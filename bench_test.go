@@ -1,0 +1,427 @@
+// Package dmap_test holds the repository benchmark harness: one
+// testing.B benchmark per table and figure of the paper (run the full
+// versions through cmd/dmapsim), plus micro-benchmarks for the hot
+// paths: hashing, prefix matching, placement, routing and the wire
+// protocol.
+//
+// Run with: go test -bench=. -benchmem
+package dmap_test
+
+import (
+	"sync"
+	"testing"
+
+	"dmap/internal/client"
+	"dmap/internal/core"
+	"dmap/internal/dht"
+	"dmap/internal/experiments"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/nodesim"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/simnet"
+	"dmap/internal/stats"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+	"dmap/internal/wire"
+)
+
+// benchWorld memoizes one mid-sized world for all macro benchmarks so
+// per-benchmark setup stays out of the measured loops.
+var (
+	benchOnce  sync.Once
+	benchWorld *experiments.World
+	benchErr   error
+)
+
+func world(b *testing.B) *experiments.World {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchWorld, benchErr = experiments.NewWorld(experiments.TestScale(2000, 1))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchWorld
+}
+
+// BenchmarkFig4QueryLatency regenerates Figure 4 (query response time CDF
+// for K = 1, 3, 5) at benchmark scale.
+func BenchmarkFig4QueryLatency(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLatency(w, experiments.LatencyConfig{
+			Ks: []int{1, 3, 5}, NumGUIDs: 1000, NumLookups: 10000,
+			LocalReplica: true, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PerK[5].N() != 10000 {
+			b.Fatal("short run")
+		}
+	}
+}
+
+// BenchmarkTable1LatencyStats regenerates Table I (mean/median/95th for
+// K = 1 and K = 5).
+func BenchmarkTable1LatencyStats(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLatency(w, experiments.LatencyConfig{
+			Ks: []int{1, 5}, NumGUIDs: 1000, NumLookups: 10000,
+			LocalReplica: true, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := res.Table1()
+		if len(rows) != 2 || !(rows[1].P95 < rows[0].P95) {
+			b.Fatalf("Table I shape violated: %+v", rows)
+		}
+	}
+}
+
+// BenchmarkFig5ChurnLatency regenerates Figure 5 (response times under
+// 5% BGP-churn lookup failures, K = 5).
+func BenchmarkFig5ChurnLatency(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLatency(w, experiments.LatencyConfig{
+			Ks: []int{5}, NumGUIDs: 1000, NumLookups: 10000,
+			LocalReplica: true, MissRate: 0.05, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Retries[5] == 0 {
+			b.Fatal("no retries under churn")
+		}
+	}
+}
+
+// BenchmarkFig6LoadDistribution regenerates Figure 6 (normalized load
+// ratio distribution, K = 5).
+func BenchmarkFig6LoadDistribution(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLoad(w, experiments.LoadConfig{
+			GUIDCounts: []int{50000}, K: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PerCount[50000].N() == 0 {
+			b.Fatal("empty NLR")
+		}
+	}
+}
+
+// BenchmarkFig7AnalyticalBound regenerates Figure 7 (the §V analytical
+// sweep over K = 1..20 for three Internet scenarios).
+func BenchmarkFig7AnalyticalBound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) != 3 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkOverheadClosedForm regenerates the §IV-A storage/traffic
+// arithmetic.
+func BenchmarkOverheadClosedForm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOverhead(26424, 5e9, 5, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHolesRehash regenerates the §III-B hole statistics.
+func BenchmarkHolesRehash(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunHoles(w, 1, 10, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselines regenerates the A4 scheme comparison (DMap vs
+// Chord vs one-hop DHT vs home agent).
+func BenchmarkBaselines(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBaselines(w, experiments.BaselinesConfig{
+			K: 5, NumGUIDs: 200, NumLookups: 1000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- micro-benchmarks: the hot paths under the experiments ----
+
+func benchResolver(b *testing.B) *core.Resolver {
+	b.Helper()
+	w := world(b)
+	r, err := core.NewResolver(guid.MustHasher(5, 0), w.Table, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkHashGUID measures one replica-hash evaluation.
+func BenchmarkHashGUID(b *testing.B) {
+	h := guid.MustHasher(5, 0)
+	g := guid.New("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash(g, i%5)
+	}
+}
+
+// BenchmarkLPMLookup measures longest-prefix matching against the
+// generated DFZ (~24k prefixes at bench scale).
+func BenchmarkLPMLookup(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Table.Lookup(netaddr.Addr(uint32(i) * 2654435761))
+	}
+}
+
+// BenchmarkNearestPrefix measures the deputy-AS XOR-nearest search on
+// addresses that are mostly holes.
+func BenchmarkNearestPrefix(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Table.Nearest(netaddr.Addr(uint32(i)*2654435761 | 0xE0000000))
+	}
+}
+
+// BenchmarkPlaceReplica measures one full Algorithm 1 placement
+// (hash + LPM + rehashes).
+func BenchmarkPlaceReplica(b *testing.B) {
+	r := benchResolver(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.PlaceReplica(guid.FromUint64(uint64(i)+1), i%5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDijkstra measures one single-source shortest-path pass over
+// the 2000-AS benchmark topology.
+func BenchmarkDijkstra(b *testing.B) {
+	w := world(b)
+	dist := make([]topology.Micros, w.NumAS())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Graph.Dijkstra(i%w.NumAS(), dist)
+	}
+}
+
+// BenchmarkChordLookupPath measures one multi-hop Chord route.
+func BenchmarkChordLookupPath(b *testing.B) {
+	c, err := dht.NewChord(2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LookupPath(i%2000, guid.FromUint64(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePutGet measures the per-AS mapping store.
+func BenchmarkStorePutGet(b *testing.B) {
+	s := store.New()
+	nas := []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := guid.FromUint64(uint64(i%1024) + 1)
+		if _, err := s.Put(store.Entry{GUID: g, NAs: nas, Version: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := s.Get(g); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkWireEntryRoundTrip measures encode+decode of a 5-NA entry.
+func BenchmarkWireEntryRoundTrip(b *testing.B) {
+	e := store.Entry{GUID: guid.New("wire"), Version: 1}
+	for i := 0; i < 5; i++ {
+		e.NAs = append(e.NAs, store.NA{AS: i, Addr: netaddr.Addr(i)})
+	}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := wire.AppendEntry(buf[:0], e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.DecodeEntry(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPercentile measures the stats kernel used by every figure.
+func BenchmarkPercentile(b *testing.B) {
+	c := stats.NewCollector(100000)
+	for i := 0; i < 100000; i++ {
+		c.Add(float64(i%977) * 1.3)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Percentile(95)
+	}
+}
+
+// BenchmarkGenerateDFZ measures synthetic prefix-table generation.
+func BenchmarkGenerateDFZ(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := prefixtable.Generate(prefixtable.GenConfig{
+			NumAS: 500, NumPrefixes: 6000, AnnouncedFraction: 0.52, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateTopology measures synthetic AS-graph generation.
+func BenchmarkGenerateTopology(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.Generate(topology.SmallGenConfig(1000, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetEvents measures raw event-engine throughput.
+func BenchmarkSimnetEvents(b *testing.B) {
+	s := simnet.New()
+	b.ReportAllocs()
+	var chain func()
+	n := 0
+	chain = func() {
+		n++
+		if n < b.N {
+			_ = s.After(1, chain)
+		}
+	}
+	_ = s.After(1, chain)
+	b.ResetTimer()
+	s.Run(0)
+	if n != b.N {
+		b.Fatalf("executed %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkNodesimLookup measures one full message-level DMap lookup
+// (request, response, timers) in the event engine.
+func BenchmarkNodesimLookup(b *testing.B) {
+	w := world(b)
+	resolver, err := core.NewResolver(guid.MustHasher(5, 0), w.Table, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{Resolver: resolver, NumAS: w.NumAS()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := topology.NewDistCache(w.Graph, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := nodesim.NewDeployment(sys, simnet.New(), cache, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := store.Entry{
+		GUID:    guid.New("bench"),
+		NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: 1,
+	}
+	if err := dep.Insert(1, e, func(nodesim.InsertResult) {}); err != nil {
+		b.Fatal(err)
+	}
+	dep.Sim().Run(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		if err := dep.Lookup(i%w.NumAS(), e.GUID, func(r nodesim.LookupResult) {
+			if r.Found {
+				found++
+			}
+		}); err != nil {
+			b.Fatal(err)
+		}
+		dep.Sim().Run(0)
+	}
+	if found != b.N {
+		b.Fatalf("found %d/%d", found, b.N)
+	}
+}
+
+// BenchmarkTCPLookup measures a full client→server→client lookup over
+// loopback TCP with the binary wire protocol.
+func BenchmarkTCPLookup(b *testing.B) {
+	tbl := prefixtable.New()
+	p, err := netaddr.NewPrefix(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.Announce(p, 0); err != nil { // one AS owns everything
+		b.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := server.New(nil, nil)
+	addr, err := node.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	cl, err := client.New(resolver, map[int]string{0: addr}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	e := store.Entry{
+		GUID:    guid.New("tcp-bench"),
+		NAs:     []store.NA{{AS: 0, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: 1,
+	}
+	if _, err := cl.Insert(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Lookup(e.GUID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command dmapmodel evaluates the §V analytical upper bound on DMap
+// query response time (Figure 7) for the paper's three Internet-evolution
+// scenarios, an optional custom layer-fraction vector, or the layer
+// decomposition of a freshly generated topology.
+//
+// Usage:
+//
+//	dmapmodel [-maxk 20] [-fractions 0.01,0.2,0.5,0.29] [-measured 26424] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dmap/internal/analytical"
+	"dmap/internal/experiments"
+	"dmap/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dmapmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmapmodel", flag.ContinueOnError)
+	var (
+		maxK      = fs.Int("maxk", 20, "largest replication factor to evaluate")
+		fractions = fs.String("fractions", "", "comma-separated custom layer fractions r_0,r_1,...")
+		measured  = fs.Int("measured", 0, "also decompose a generated topology of this many ASs")
+		seed      = fs.Int64("seed", 1, "seed for -measured")
+		c0        = fs.Float64("c0", analytical.DefaultC0, "ms per overlay hop")
+		c1        = fs.Float64("c1", analytical.DefaultC1, "constant ms offset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := experiments.RunFig7(*maxK)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Figure 7: analytical RTT upper bound vs number of replicas K")
+	fmt.Print(res)
+
+	if *fractions != "" {
+		parts := strings.Split(*fractions, ",")
+		rs := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("bad fraction %q: %w", p, err)
+			}
+			rs = append(rs, v)
+		}
+		m, err := analytical.NewModel(rs, *c0, *c1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n# custom model (%d layers)\n", m.NumLayers())
+		if err := printSweep(m, *maxK); err != nil {
+			return err
+		}
+	}
+
+	if *measured > 0 {
+		g, err := topology.Generate(topology.SmallGenConfig(*measured, *seed))
+		if err != nil {
+			return err
+		}
+		jf := topology.DecomposeJellyfish(g)
+		m, err := analytical.NewModel(jf.LayerFractions, *c0, *c1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n# generated topology: %d ASs, %d layers, core %d\n",
+			g.NumAS(), jf.NumLayers(), len(jf.Core))
+		fmt.Printf("layer fractions:")
+		for _, r := range jf.LayerFractions {
+			fmt.Printf(" %.4f", r)
+		}
+		fmt.Println()
+		if err := printSweep(m, *maxK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printSweep(m *analytical.Model, maxK int) error {
+	vals, err := m.Sweep(maxK)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %12s\n", "K", "bound(ms)")
+	for k, v := range vals {
+		fmt.Printf("%-4d %12.1f\n", k+1, v)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-maxk", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomFractions(t *testing.T) {
+	if err := run([]string{"-maxk", "3", "-fractions", "0.01,0.2,0.5,0.29"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fractions", "abc"}); err == nil {
+		t.Error("bad fractions should fail")
+	}
+	if err := run([]string{"-fractions", "-1,2"}); err == nil {
+		t.Error("negative fraction should fail")
+	}
+}
+
+func TestRunMeasuredTopology(t *testing.T) {
+	if err := run([]string{"-maxk", "3", "-measured", "300"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

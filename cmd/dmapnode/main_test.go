@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestDemoRoundTrip(t *testing.T) {
+	if err := demo([]string{"-nodes", "4", "-k", "2", "-objects", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoValidation(t *testing.T) {
+	cases := [][]string{
+		{"-nodes", "1"},
+		{"-k", "0"},
+		{"-objects", "0"},
+	}
+	for _, args := range cases {
+		if err := demo(args); err == nil {
+			t.Errorf("demo(%v) should fail", args)
+		}
+	}
+	if err := demo([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,109 @@
+// Quickstart: the smallest useful DMap program.
+//
+// It builds a toy Internet (an AS topology plus a BGP prefix table),
+// stands up a DMap system, inserts a GUID→NA mapping for a device, and
+// resolves it from another AS — showing the K hosting ASs that the hash
+// family derives and the round-trip latency of the closest replica.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const numAS = 500
+	const k = 5
+
+	// 1. The substrate: an AS-level topology and an announced-prefix
+	// table (in a real deployment these are the Internet itself and the
+	// BGP DFZ table every border router already has).
+	graph, err := topology.Generate(topology.SmallGenConfig(numAS, 42))
+	if err != nil {
+		return err
+	}
+	table, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS: numAS, NumPrefixes: 6000, AnnouncedFraction: 0.52, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 2. The DMap system: a shared hash family (agreed among all
+	// routers), Algorithm 1 placement, and per-AS mapping stores.
+	resolver, err := core.NewResolver(guid.MustHasher(k, 0), table, 0)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Resolver: resolver, NumAS: numAS, LocalReplica: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 3. A phone attaches to AS 137 and registers its GUID→NA mapping.
+	phone := guid.New("imsi-310-150-123456789")
+	const phoneAS = 137
+	entry := store.Entry{
+		GUID:    phone,
+		NAs:     []store.NA{{AS: phoneAS, Addr: netaddr.AddrFromOctets(10, 1, 2, 3)}},
+		Version: 1,
+	}
+	placements, err := sys.Insert(entry, phoneAS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GUID %s… hosted at %d ASs:\n", phone.Short(), len(placements))
+	for _, p := range placements {
+		fmt.Printf("  replica %d → AS %-5d (hashed address %v, %d rehashes)\n",
+			p.Replica, p.AS, p.Addr, p.Rehashes)
+	}
+
+	// 4. A correspondent in AS 9 resolves the GUID: one overlay hop to
+	// the closest replica.
+	cache, err := topology.NewDistCache(graph, 16)
+	if err != nil {
+		return err
+	}
+	got, outcome, err := sys.Lookup(phone, 9, cache, core.LookupOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlookup from AS 9: served by AS %d in %.1f ms (attempt %d)\n",
+		outcome.ServedBy, outcome.RTT.Millis(), outcome.Attempts)
+	fmt.Printf("locators: ")
+	for _, na := range got.NAs {
+		fmt.Printf("AS %d/%v ", na.AS, na.Addr)
+	}
+	fmt.Println()
+
+	// 5. The phone moves to AS 260; version 2 supersedes everywhere.
+	entry.NAs = []store.NA{{AS: 260, Addr: netaddr.AddrFromOctets(172, 16, 9, 1)}}
+	entry.Version = 2
+	if _, err := sys.Update(entry, 260); err != nil {
+		return err
+	}
+	got, outcome, err = sys.Lookup(phone, 9, cache, core.LookupOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter handoff: locator AS %d, lookup %.1f ms\n",
+		got.NAs[0].AS, outcome.RTT.Millis())
+	return nil
+}

@@ -1,0 +1,3 @@
+module dmap
+
+go 1.22

@@ -1,0 +1,182 @@
+// Package analytical implements the §V upper bound on DMap query response
+// time over the Jellyfish model of the Internet.
+//
+// The Internet PoP topology is summarized by its layer fractions r_j
+// (Layer(j) = Shell-j ∪ Hang-(j−1)); a query source s and the K hashed
+// destinations t_1..t_K are placed in layers at random with those
+// probabilities. With no peer links inside layers, d(s,t) ≤ j_s + j_t + 1,
+// which yields (Eq. 2–3):
+//
+//	P(d(s,t_i) > l | s ∈ Layer(j)) ≤ p_{j,l} = r_{l−j} + r_{l+1−j} + …
+//	q_l = Σ_j r_j (1 − p_{j,l}^K)
+//	E[min_i d(s,t_i)] < Σ_{l=1}^{2N−1} (1 − q_l)
+//	E[τ(s,G)] < c0 · E[min_i d(s,t_i)] + c1
+//
+// with the least-squares constants c0 = 10.6, c1 = 8.3 measured in the
+// paper.
+package analytical
+
+import (
+	"fmt"
+	"math"
+)
+
+// Paper's measured linear-fit constants (ms per hop, ms).
+const (
+	DefaultC0 = 10.6
+	DefaultC1 = 8.3
+)
+
+// Model is a Jellyfish layer-fraction summary of an internetwork.
+type Model struct {
+	// Fractions[j] is r_j; they must be non-negative and sum to 1.
+	Fractions []float64
+	// C0, C1 translate expected hop distance to milliseconds.
+	C0, C1 float64
+}
+
+// NewModel validates and normalizes layer fractions. c0/c1 ≤ 0 select the
+// paper defaults.
+func NewModel(fractions []float64, c0, c1 float64) (*Model, error) {
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("analytical: no layers")
+	}
+	var sum float64
+	for j, r := range fractions {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("analytical: bad fraction %g at layer %d", r, j)
+		}
+		sum += r
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("analytical: all fractions zero")
+	}
+	norm := make([]float64, len(fractions))
+	for j, r := range fractions {
+		norm[j] = r / sum
+	}
+	if c0 <= 0 {
+		c0 = DefaultC0
+	}
+	if c1 <= 0 {
+		c1 = DefaultC1
+	}
+	return &Model{Fractions: norm, C0: c0, C1: c1}, nil
+}
+
+// NumLayers returns N.
+func (m *Model) NumLayers() int { return len(m.Fractions) }
+
+// pjl computes p_{j,l} = Σ_{i ≥ l−j} r_i (zero outside the layer range),
+// capped at 1 (it is a probability bound).
+func (m *Model) pjl(j, l int) float64 {
+	start := l - j
+	if start < 0 {
+		start = 0
+	}
+	var p float64
+	for i := start; i < len(m.Fractions); i++ {
+		p += m.Fractions[i]
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ql computes q_l = Σ_j r_j (1 − p_{j,l}^K), the lower bound on
+// P(min_i d(s,t_i) ≤ l).
+func (m *Model) ql(l, k int) float64 {
+	var q float64
+	for j, r := range m.Fractions {
+		q += r * (1 - math.Pow(m.pjl(j, l), float64(k)))
+	}
+	return q
+}
+
+// ExpectedMinDistance bounds E[min_{1≤i≤K} d(s, t_i)] from above
+// (Eq. 3's inner sum). k must be positive.
+func (m *Model) ExpectedMinDistance(k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("analytical: K must be positive, got %d", k)
+	}
+	n := len(m.Fractions)
+	var e float64
+	for l := 1; l <= 2*n-1; l++ {
+		e += 1 - m.ql(l, k)
+	}
+	return e, nil
+}
+
+// ResponseTimeBoundMs bounds the mean round-trip query response time in
+// milliseconds: c0·E[min d] + c1.
+func (m *Model) ResponseTimeBoundMs(k int) (float64, error) {
+	e, err := m.ExpectedMinDistance(k)
+	if err != nil {
+		return 0, err
+	}
+	return m.C0*e + m.C1, nil
+}
+
+// Sweep evaluates the bound for K = 1..maxK (Figure 7's x-axis).
+func (m *Model) Sweep(maxK int) ([]float64, error) {
+	if maxK <= 0 {
+		return nil, fmt.Errorf("analytical: maxK must be positive, got %d", maxK)
+	}
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		v, err := m.ResponseTimeBoundMs(k)
+		if err != nil {
+			return nil, err
+		}
+		out[k-1] = v
+	}
+	return out, nil
+}
+
+// Scenario names one of the paper's three Internet-evolution models.
+type Scenario int
+
+// Figure 7's scenarios.
+const (
+	// PresentInternet reflects the iPlane measurement: 193,376 PoPs in 8
+	// layers with over 60% of nodes in layers 3 and 4.
+	PresentInternet Scenario = iota + 1
+	// MediumTermInternet extrapolates 5–10 years: 20% more nodes in 6
+	// layers (the Internet grows and flattens, per CAIDA trends).
+	MediumTermInternet
+	// LongTermInternet extrapolates 25–30 years: double the nodes in 4
+	// layers.
+	LongTermInternet
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case PresentInternet:
+		return "present-day Internet"
+	case MediumTermInternet:
+		return "medium-term future Internet"
+	case LongTermInternet:
+		return "long-term future Internet"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// ScenarioModel returns the layer fractions for a Figure 7 scenario with
+// the paper's c0, c1. The present-day fractions follow the iPlane shape
+// (layers 3–4 hold >60% of nodes); the future models redistribute mass
+// into fewer layers as the topology flattens.
+func ScenarioModel(s Scenario) (*Model, error) {
+	switch s {
+	case PresentInternet:
+		return NewModel([]float64{0.0001, 0.008, 0.115, 0.33, 0.31, 0.165, 0.06, 0.012}, 0, 0)
+	case MediumTermInternet:
+		return NewModel([]float64{0.0001, 0.012, 0.21, 0.42, 0.27, 0.088}, 0, 0)
+	case LongTermInternet:
+		return NewModel([]float64{0.0002, 0.06, 0.56, 0.38}, 0, 0)
+	default:
+		return nil, fmt.Errorf("analytical: unknown scenario %d", s)
+	}
+}

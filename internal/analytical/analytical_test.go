@@ -1,0 +1,166 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(nil, 0, 0); err == nil {
+		t.Error("empty fractions should fail")
+	}
+	if _, err := NewModel([]float64{0, 0}, 0, 0); err == nil {
+		t.Error("all-zero fractions should fail")
+	}
+	if _, err := NewModel([]float64{0.5, -0.1}, 0, 0); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	if _, err := NewModel([]float64{math.NaN()}, 0, 0); err == nil {
+		t.Error("NaN fraction should fail")
+	}
+}
+
+func TestNewModelNormalizes(t *testing.T) {
+	m, err := NewModel([]float64{2, 2}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fractions[0] != 0.5 || m.Fractions[1] != 0.5 {
+		t.Errorf("fractions = %v", m.Fractions)
+	}
+	if m.C0 != DefaultC0 || m.C1 != DefaultC1 {
+		t.Errorf("defaults not applied: c0=%v c1=%v", m.C0, m.C1)
+	}
+}
+
+func TestExpectedMinDistanceSingleLayer(t *testing.T) {
+	// Everything in layer 0 (a clique): d(s,t) ≤ 1 always, and the bound
+	// gives E ≤ Σ_l (1 − q_l) with q_1 = 1 (p_{0,1} = 0 since r has no
+	// mass at index ≥ 1): E < 1.
+	m, err := NewModel([]float64{1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.ExpectedMinDistance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1 {
+		t.Errorf("clique bound = %v, want ≤ 1", e)
+	}
+}
+
+func TestExpectedMinDistanceDecreasesInK(t *testing.T) {
+	m, err := ScenarioModel(PresentInternet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= 20; k++ {
+		e, err := m.ExpectedMinDistance(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev+1e-12 {
+			t.Fatalf("bound increased at K=%d: %v > %v", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	// Figure 7's second observation: the marginal gain of extra replicas
+	// shrinks.
+	m, err := ScenarioModel(PresentInternet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := m.Sweep(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain12 := vals[0] - vals[1]
+	gain1920 := vals[18] - vals[19]
+	if gain1920 > gain12/4 {
+		t.Errorf("no diminishing returns: Δ(1→2)=%v, Δ(19→20)=%v", gain12, gain1920)
+	}
+}
+
+func TestTopologyEvolutionLowersBound(t *testing.T) {
+	// Figure 7's first observation: flatter future topologies give lower
+	// response-time bounds at every K.
+	present, _ := ScenarioModel(PresentInternet)
+	medium, _ := ScenarioModel(MediumTermInternet)
+	long, _ := ScenarioModel(LongTermInternet)
+	for k := 1; k <= 20; k++ {
+		p, _ := present.ResponseTimeBoundMs(k)
+		m, _ := medium.ResponseTimeBoundMs(k)
+		l, _ := long.ResponseTimeBoundMs(k)
+		if !(l < m && m < p) {
+			t.Fatalf("K=%d: want long(%v) < medium(%v) < present(%v)", k, l, m, p)
+		}
+	}
+}
+
+func TestBoundMagnitudeMatchesFigure7(t *testing.T) {
+	// The paper's Figure 7 y-axis spans ≈50–100 ms across scenarios and K.
+	for _, s := range []Scenario{PresentInternet, MediumTermInternet, LongTermInternet} {
+		m, err := ScenarioModel(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5, 20} {
+			v, err := m.ResponseTimeBoundMs(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 30 || v > 130 {
+				t.Errorf("%v K=%d bound = %.1f ms, outside Figure 7's plausible range", s, k, v)
+			}
+		}
+	}
+}
+
+func TestSweepAndValidation(t *testing.T) {
+	m, _ := ScenarioModel(LongTermInternet)
+	if _, err := m.Sweep(0); err == nil {
+		t.Error("maxK=0 should fail")
+	}
+	if _, err := m.ExpectedMinDistance(0); err == nil {
+		t.Error("K=0 should fail")
+	}
+	vals, err := m.Sweep(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 5 {
+		t.Errorf("Sweep length = %d", len(vals))
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if PresentInternet.String() == "" || Scenario(99).String() == "" {
+		t.Error("scenario names")
+	}
+	if _, err := ScenarioModel(Scenario(99)); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+}
+
+func TestPjlProperties(t *testing.T) {
+	m, _ := ScenarioModel(PresentInternet)
+	n := m.NumLayers()
+	for j := 0; j < n; j++ {
+		prev := 2.0
+		for l := 1; l <= 2*n-1; l++ {
+			p := m.pjl(j, l)
+			if p < 0 || p > 1 {
+				t.Fatalf("p[%d,%d] = %v out of [0,1]", j, l, p)
+			}
+			if p > prev+1e-12 {
+				t.Fatalf("p[%d,%d] increased in l", j, l)
+			}
+			prev = p
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analytical
+
+import "fmt"
+
+// FitConstants recovers (c0, c1) by ordinary least squares from measured
+// (expected-min-hop-distance, round-trip-latency-ms) pairs, the procedure
+// the paper used to obtain its c0 = 10.6, c1 = 8.3 ("the measured least
+// squared error values"). It lets a deployment recalibrate the §V bound
+// against its own topology.
+func FitConstants(distances, latenciesMs []float64) (c0, c1 float64, err error) {
+	n := len(distances)
+	if n != len(latenciesMs) {
+		return 0, 0, fmt.Errorf("analytical: length mismatch %d vs %d", n, len(latenciesMs))
+	}
+	if n < 2 {
+		return 0, 0, fmt.Errorf("analytical: need at least 2 samples, got %d", n)
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		x, y := distances[i], latenciesMs[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("analytical: degenerate fit (all distances equal)")
+	}
+	c0 = (float64(n)*sxy - sx*sy) / den
+	c1 = (sy - c0*sx) / float64(n)
+	return c0, c1, nil
+}
+
+// FitFromSweep fits (c0, c1) by pairing the model's expected minimum
+// distances for K = 1..len(measuredMs) with measured mean RTTs: the
+// self-calibration loop closed by cmd/dmapsim's ablation-k experiment.
+func (m *Model) FitFromSweep(measuredMs []float64) (c0, c1 float64, err error) {
+	if len(measuredMs) < 2 {
+		return 0, 0, fmt.Errorf("analytical: need at least 2 measured points")
+	}
+	dists := make([]float64, len(measuredMs))
+	for k := 1; k <= len(measuredMs); k++ {
+		d, err := m.ExpectedMinDistance(k)
+		if err != nil {
+			return 0, 0, err
+		}
+		dists[k-1] = d
+	}
+	return FitConstants(dists, measuredMs)
+}

@@ -1,0 +1,76 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitConstantsExactLine(t *testing.T) {
+	// y = 10.6 x + 8.3 exactly.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 10.6*x + 8.3
+	}
+	c0, c1, err := FitConstants(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c0-10.6) > 1e-9 || math.Abs(c1-8.3) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (10.6, 8.3)", c0, c1)
+	}
+}
+
+func TestFitConstantsNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{18.5, 29.7, 40.0, 50.9, 61.2, 72.1} // ≈ 10.7x + 8
+	c0, c1, err := FitConstants(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 < 10 || c0 > 11.5 {
+		t.Errorf("c0 = %v", c0)
+	}
+	if c1 < 6 || c1 > 10 {
+		t.Errorf("c1 = %v", c1)
+	}
+}
+
+func TestFitConstantsValidation(t *testing.T) {
+	if _, _, err := FitConstants([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, _, err := FitConstants([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := FitConstants([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+func TestFitFromSweepRecoversConstants(t *testing.T) {
+	// Generate "measurements" from the model itself with known c0, c1;
+	// the fit must recover them exactly (the bound is linear in E[min d]).
+	m, err := ScenarioModel(PresentInternet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := make([]float64, 10)
+	for k := 1; k <= 10; k++ {
+		v, err := m.ResponseTimeBoundMs(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured[k-1] = v
+	}
+	c0, c1, err := m.FitFromSweep(measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c0-DefaultC0) > 1e-6 || math.Abs(c1-DefaultC1) > 1e-6 {
+		t.Errorf("recovered (%v, %v), want (%v, %v)", c0, c1, DefaultC0, DefaultC1)
+	}
+	if _, _, err := m.FitFromSweep([]float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+}

@@ -1,0 +1,168 @@
+// Package bucket implements the two-level indexing scheme of §III-B
+// (Figure 3) for extending DMap to sparse address spaces such as IPv6,
+// where unannounced holes vastly outnumber announced segments and
+// rehash-until-hit would be hopeless.
+//
+// Every announced address segment is indexed by a (bucket ID, segment ID)
+// pair: N buckets, each holding at most S segments, with N large so S
+// stays small. Resolving a GUID runs two hash functions — the first picks
+// the bucket, the second the segment within it — so any router can derive
+// the hosting segment locally, exactly as in the dense IPv4 scheme.
+package bucket
+
+import (
+	"fmt"
+
+	"dmap/internal/guid"
+)
+
+// Segment is one announced address segment of the sparse space: an opaque
+// segment identifier plus the AS announcing it.
+type Segment struct {
+	// ID identifies the segment (e.g. a hash of the IPv6 prefix).
+	ID uint64
+	// AS is the announcing autonomous system index.
+	AS int
+}
+
+// Index is the two-level bucket directory. It is not safe for concurrent
+// mutation; build it once from the routing table, then share read-only.
+type Index struct {
+	buckets [][]Segment
+	size    int
+}
+
+// NewIndex creates an index with n buckets. n must be positive; the paper
+// recommends making it large so per-bucket occupancy stays small.
+func NewIndex(n int) (*Index, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bucket: bucket count must be positive, got %d", n)
+	}
+	return &Index{buckets: make([][]Segment, n)}, nil
+}
+
+// NumBuckets returns N.
+func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+
+// Len returns the total number of indexed segments.
+func (ix *Index) Len() int { return ix.size }
+
+// bucketOf spreads segments across buckets by their ID (multiplicative
+// hashing keeps sequential IDs from clustering).
+func (ix *Index) bucketOf(id uint64) int {
+	const goldenGamma = 0x9E3779B97F4A7C15
+	h := id * goldenGamma
+	h ^= h >> 32
+	return int(h % uint64(len(ix.buckets)))
+}
+
+// Add indexes a segment. Duplicate IDs in the same bucket are rejected.
+func (ix *Index) Add(seg Segment) error {
+	if seg.AS < 0 {
+		return fmt.Errorf("bucket: segment %#x has negative AS index", seg.ID)
+	}
+	b := ix.bucketOf(seg.ID)
+	for _, s := range ix.buckets[b] {
+		if s.ID == seg.ID {
+			return fmt.Errorf("bucket: duplicate segment %#x", seg.ID)
+		}
+	}
+	ix.buckets[b] = append(ix.buckets[b], seg)
+	ix.size++
+	return nil
+}
+
+// Remove deletes the segment with the given ID, reporting whether it was
+// present (segment withdrawal under churn).
+func (ix *Index) Remove(id uint64) bool {
+	b := ix.bucketOf(id)
+	for i, s := range ix.buckets[b] {
+		if s.ID == id {
+			last := len(ix.buckets[b]) - 1
+			ix.buckets[b][i] = ix.buckets[b][last]
+			ix.buckets[b] = ix.buckets[b][:last]
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// MaxOccupancy returns S_max, the largest per-bucket segment count — the
+// quantity the scheme keeps small by choosing N large.
+func (ix *Index) MaxOccupancy() int {
+	max := 0
+	for _, b := range ix.buckets {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	return max
+}
+
+// Resolve maps (g, replica) to a hosting segment using the two-level
+// consistent hashing of Figure 3: hash once to a bucket ID, once more to a
+// segment ID within the bucket. Empty buckets are handled like IP holes:
+// linear probing to the next non-empty bucket, which every router derives
+// identically. It returns ok=false only when the index is empty.
+func (ix *Index) Resolve(g guid.GUID, h *guid.Hasher, replica int) (Segment, bool) {
+	if ix.size == 0 {
+		return Segment{}, false
+	}
+	n := len(ix.buckets)
+	b := h.HashToRange(g, replica, n)
+	for probe := 0; probe < n; probe++ {
+		slot := (b + probe) % n
+		if len(ix.buckets[slot]) == 0 {
+			continue
+		}
+		seg := ix.buckets[slot][int(h.Hash(g, replica))%len(ix.buckets[slot])]
+		return seg, true
+	}
+	return Segment{}, false
+}
+
+// ResolveAll returns the K hosting segments for g, one per replica hash.
+func (ix *Index) ResolveAll(g guid.GUID, h *guid.Hasher) []Segment {
+	out := make([]Segment, 0, h.K())
+	for i := 0; i < h.K(); i++ {
+		if seg, ok := ix.Resolve(g, h, i); ok {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// FromTable indexes every announced prefix of a routing table, deriving
+// segment IDs from the prefixes themselves so that all participants build
+// the identical index from their (identical) routing view — the property
+// that keeps resolution a purely local computation when the dense-space
+// rehashing of Algorithm 1 is replaced by bucketing.
+func FromTable(entries []TableEntry, numBuckets int) (*Index, error) {
+	ix, err := NewIndex(numBuckets)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := ix.Add(Segment{ID: e.SegmentID(), AS: e.AS}); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// TableEntry is the minimal routing-table row FromTable consumes
+// (prefixtable.Entry maps onto it without importing that package, which
+// keeps bucket free of IPv4 assumptions).
+type TableEntry struct {
+	// Addr and Bits identify the announced segment.
+	Addr uint64
+	Bits int
+	// AS announces it.
+	AS int
+}
+
+// SegmentID derives a unique segment identifier from the prefix.
+func (e TableEntry) SegmentID() uint64 {
+	return e.Addr<<6 | uint64(e.Bits&63)
+}

@@ -1,0 +1,196 @@
+package bucket
+
+import (
+	"testing"
+
+	"dmap/internal/guid"
+)
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(0); err == nil {
+		t.Error("0 buckets should fail")
+	}
+	if _, err := NewIndex(-5); err == nil {
+		t.Error("negative buckets should fail")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	ix, err := NewIndex(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(Segment{ID: 1, AS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(Segment{ID: 2, AS: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(Segment{ID: 1, AS: 12}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if err := ix.Add(Segment{ID: 3, AS: -1}); err == nil {
+		t.Error("negative AS should fail")
+	}
+	if ix.Len() != 2 {
+		t.Errorf("Len = %d, want 2", ix.Len())
+	}
+	if !ix.Remove(1) {
+		t.Error("Remove(1) should succeed")
+	}
+	if ix.Remove(1) {
+		t.Error("double Remove should fail")
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	ix, _ := NewIndex(8)
+	h := guid.MustHasher(2, 0)
+	if _, ok := ix.Resolve(guid.New("g"), h, 0); ok {
+		t.Error("empty index must not resolve")
+	}
+	if got := ix.ResolveAll(guid.New("g"), h); len(got) != 0 {
+		t.Errorf("ResolveAll on empty = %v", got)
+	}
+}
+
+func TestResolveDeterministicAndValid(t *testing.T) {
+	ix, _ := NewIndex(64)
+	for i := 0; i < 100; i++ {
+		if err := ix.Add(Segment{ID: uint64(i), AS: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := guid.MustHasher(3, 0)
+	for i := 0; i < 200; i++ {
+		g := guid.FromUint64(uint64(i))
+		segs := ix.ResolveAll(g, h)
+		if len(segs) != 3 {
+			t.Fatalf("ResolveAll returned %d segments", len(segs))
+		}
+		again := ix.ResolveAll(g, h)
+		for k := range segs {
+			if segs[k] != again[k] {
+				t.Fatal("Resolve must be deterministic")
+			}
+		}
+	}
+}
+
+func TestResolveProbesEmptyBuckets(t *testing.T) {
+	// With far more buckets than segments, most buckets are empty; every
+	// GUID must still resolve via probing.
+	ix, _ := NewIndex(4096)
+	if err := ix.Add(Segment{ID: 7, AS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	h := guid.MustHasher(1, 0)
+	for i := 0; i < 50; i++ {
+		seg, ok := ix.Resolve(guid.FromUint64(uint64(i)), h, 0)
+		if !ok || seg.AS != 1 {
+			t.Fatalf("Resolve with single segment = (%+v, %v)", seg, ok)
+		}
+	}
+}
+
+func TestResolveBalance(t *testing.T) {
+	// Sparse-space goal: per-AS load spreads evenly when each AS
+	// announces many segments (the operative regime: N buckets sized so
+	// occupancy S stays small but positive).
+	const numAS = 10
+	const segsPerAS = 50
+	ix, _ := NewIndex(64)
+	for i := 0; i < numAS*segsPerAS; i++ {
+		if err := ix.Add(Segment{ID: uint64(i * 977), AS: i % numAS}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := guid.MustHasher(1, 0)
+	counts := make([]int, numAS)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		seg, ok := ix.Resolve(guid.FromUint64(uint64(i)), h, 0)
+		if !ok {
+			t.Fatal("resolve failed")
+		}
+		counts[seg.AS]++
+	}
+	avg := draws / numAS
+	for as, c := range counts {
+		if c < avg*7/10 || c > avg*13/10 {
+			t.Errorf("AS %d load %d, want within 30%% of %d", as, c, avg)
+		}
+	}
+}
+
+func TestMaxOccupancySmallWithLargeN(t *testing.T) {
+	// §III-B: "We make N large so that S can be kept small."
+	ix, _ := NewIndex(10000)
+	for i := 0; i < 1000; i++ {
+		if err := ix.Add(Segment{ID: uint64(i), AS: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ix.MaxOccupancy(); got > 5 {
+		t.Errorf("MaxOccupancy = %d, want small (≤5) with N=10×segments", got)
+	}
+}
+
+func TestReplicasDiversify(t *testing.T) {
+	ix, _ := NewIndex(256)
+	for i := 0; i < 100; i++ {
+		if err := ix.Add(Segment{ID: uint64(i), AS: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := guid.MustHasher(5, 0)
+	distinct := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		segs := ix.ResolveAll(guid.FromUint64(uint64(i)), h)
+		seen := make(map[int]bool)
+		for _, s := range segs {
+			seen[s.AS] = true
+		}
+		if len(seen) >= 4 {
+			distinct++
+		}
+	}
+	if distinct < trials*8/10 {
+		t.Errorf("only %d/%d GUIDs got ≥4 distinct replica segments", distinct, trials)
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	entries := []TableEntry{
+		{Addr: 0x0A000000, Bits: 8, AS: 1},
+		{Addr: 0x0A000000, Bits: 16, AS: 2}, // same addr, different length: distinct segment
+		{Addr: 0xC0A80000, Bits: 16, AS: 3},
+	}
+	ix, err := FromTable(entries, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	// Segment IDs must be unique per (addr, bits) pair.
+	if entries[0].SegmentID() == entries[1].SegmentID() {
+		t.Error("distinct prefixes share a segment ID")
+	}
+	// Every GUID resolves to one of the three ASs, deterministically.
+	h := guid.MustHasher(2, 0)
+	for i := 0; i < 50; i++ {
+		seg, ok := ix.Resolve(guid.FromUint64(uint64(i)), h, 0)
+		if !ok || seg.AS < 1 || seg.AS > 3 {
+			t.Fatalf("Resolve = (%+v, %v)", seg, ok)
+		}
+	}
+	// Duplicate rows are rejected.
+	if _, err := FromTable(append(entries, entries[0]), 64); err == nil {
+		t.Error("duplicate table entry should fail")
+	}
+}

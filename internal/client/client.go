@@ -1,0 +1,309 @@
+// Package client implements the querier side of networked DMap: it
+// derives each GUID's K hosting ASs locally (exactly as a border gateway
+// would, from the shared hash family and prefix table) and talks to the
+// corresponding mapping nodes over TCP.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+// Cluster resolves GUIDs against a set of networked mapping nodes. It is
+// safe for concurrent use.
+type Cluster struct {
+	resolver *core.Resolver
+	timeout  time.Duration
+
+	mu    sync.RWMutex
+	addrs map[int]string // AS index → node address
+
+	pool connPool
+}
+
+// DefaultTimeout bounds each network operation.
+const DefaultTimeout = 2 * time.Second
+
+// New builds a cluster client. addrs maps AS indices to node "host:port"
+// addresses; ASs without nodes are treated as unreachable. timeout ≤ 0
+// selects DefaultTimeout.
+func New(resolver *core.Resolver, addrs map[int]string, timeout time.Duration) (*Cluster, error) {
+	if resolver == nil {
+		return nil, errors.New("client: nil resolver")
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	m := make(map[int]string, len(addrs))
+	for as, a := range addrs {
+		m[as] = a
+	}
+	return &Cluster{resolver: resolver, timeout: timeout, addrs: m}, nil
+}
+
+// SetNode adds or replaces the node address of an AS.
+func (c *Cluster) SetNode(as int, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs[as] = addr
+}
+
+// Close releases pooled connections.
+func (c *Cluster) Close() {
+	c.pool.closeAll()
+}
+
+// ErrNotFound reports that no reachable replica had the mapping.
+var ErrNotFound = errors.New("client: GUID not found")
+
+// Insert stores e at all K replicas in parallel and waits for every
+// reachable replica's ack, returning how many acknowledged. An error is
+// returned only when no replica could be reached (partial success is the
+// protocol's normal churn-tolerant mode).
+func (c *Cluster) Insert(e store.Entry) (int, error) {
+	placements, err := c.resolver.Place(e.GUID)
+	if err != nil {
+		return 0, err
+	}
+	payload, err := wire.AppendEntry(nil, e)
+	if err != nil {
+		return 0, err
+	}
+
+	var wg sync.WaitGroup
+	acks := make([]bool, len(placements))
+	for i, p := range placements {
+		i, as := i, p.AS
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t, _, err := c.roundTrip(as, wire.MsgInsert, payload)
+			acks[i] = err == nil && t == wire.MsgInsertAck
+		}()
+	}
+	wg.Wait()
+	n := 0
+	for _, ok := range acks {
+		if ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("client: insert %s: no replica reachable", e.GUID.Short())
+	}
+	return n, nil
+}
+
+// Update is Insert with a higher version (freshest-wins at each node).
+func (c *Cluster) Update(e store.Entry) (int, error) { return c.Insert(e) }
+
+// Lookup resolves g, trying replicas in placement order and skipping
+// unreachable or missing ones (§III-D3's retry, with the network's
+// timeout standing in for the router-failure timeout).
+func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
+	placements, err := c.resolver.Place(g)
+	if err != nil {
+		return store.Entry{}, err
+	}
+	payload := wire.AppendGUID(nil, g)
+	var lastErr error
+	for _, p := range placements {
+		t, body, err := c.roundTrip(p.AS, wire.MsgLookup, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if t != wire.MsgLookupResp {
+			lastErr = fmt.Errorf("client: unexpected frame %v", t)
+			continue
+		}
+		resp, err := wire.DecodeLookupResp(body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Found {
+			return resp.Entry, nil
+		}
+	}
+	if lastErr != nil {
+		return store.Entry{}, fmt.Errorf("%w (last error: %v)", ErrNotFound, lastErr)
+	}
+	return store.Entry{}, ErrNotFound
+}
+
+// LookupFastest queries all K replicas in parallel and returns the first
+// positive answer — the latency-optimal strategy when the client cannot
+// estimate per-replica RTTs (cf. §III-C's simultaneous local+global
+// lookup). It costs K network round trips of load instead of one.
+func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
+	placements, err := c.resolver.Place(g)
+	if err != nil {
+		return store.Entry{}, err
+	}
+	payload := wire.AppendGUID(nil, g)
+
+	type answer struct {
+		entry store.Entry
+		found bool
+		err   error
+	}
+	results := make(chan answer, len(placements))
+	for _, p := range placements {
+		as := p.AS
+		go func() {
+			t, body, err := c.roundTrip(as, wire.MsgLookup, payload)
+			if err != nil {
+				results <- answer{err: err}
+				return
+			}
+			if t != wire.MsgLookupResp {
+				results <- answer{err: fmt.Errorf("client: unexpected frame %v", t)}
+				return
+			}
+			resp, err := wire.DecodeLookupResp(body)
+			if err != nil {
+				results <- answer{err: err}
+				return
+			}
+			results <- answer{entry: resp.Entry, found: resp.Found}
+		}()
+	}
+	var lastErr error
+	for range placements {
+		a := <-results
+		if a.found {
+			return a.entry, nil
+		}
+		if a.err != nil {
+			lastErr = a.err
+		}
+	}
+	if lastErr != nil {
+		return store.Entry{}, fmt.Errorf("%w (last error: %v)", ErrNotFound, lastErr)
+	}
+	return store.Entry{}, ErrNotFound
+}
+
+// Delete removes g from all replicas, returning how many held it.
+func (c *Cluster) Delete(g guid.GUID) (int, error) {
+	placements, err := c.resolver.Place(g)
+	if err != nil {
+		return 0, err
+	}
+	payload := wire.AppendGUID(nil, g)
+	removed := 0
+	for _, p := range placements {
+		t, body, err := c.roundTrip(p.AS, wire.MsgDelete, payload)
+		if err != nil || t != wire.MsgDeleteAck || len(body) < 1 {
+			continue
+		}
+		if body[0] == 1 {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// Ping checks liveness of the node serving an AS.
+func (c *Cluster) Ping(as int) error {
+	t, _, err := c.roundTrip(as, wire.MsgPing, nil)
+	if err != nil {
+		return err
+	}
+	if t != wire.MsgPong {
+		return fmt.Errorf("client: unexpected frame %v", t)
+	}
+	return nil
+}
+
+// roundTrip performs one request/response against the node of as, using
+// a pooled connection when available.
+func (c *Cluster) roundTrip(as int, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	c.mu.RLock()
+	addr, ok := c.addrs[as]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("client: no node for AS %d", as)
+	}
+
+	// One retry with a fresh connection covers pooled connections that
+	// the server closed while idle.
+	for attempt := 0; ; attempt++ {
+		conn, fresh, err := c.pool.get(addr, c.timeout)
+		if err != nil {
+			return 0, nil, err
+		}
+		deadline := time.Now().Add(c.timeout)
+		_ = conn.SetDeadline(deadline)
+		if err := wire.WriteFrame(conn, t, payload); err == nil {
+			if rt, body, err := wire.ReadFrame(conn); err == nil {
+				_ = conn.SetDeadline(time.Time{})
+				c.pool.put(addr, conn)
+				return rt, body, nil
+			} else if fresh || attempt > 0 {
+				conn.Close()
+				return 0, nil, err
+			}
+		} else if fresh || attempt > 0 {
+			conn.Close()
+			return 0, nil, err
+		}
+		conn.Close() // stale pooled conn: retry once with a fresh dial
+	}
+}
+
+// connPool keeps one idle connection per address — enough to amortize
+// dials for the sequential request/response protocol while staying
+// trivially correct.
+type connPool struct {
+	mu   sync.Mutex
+	idle map[string]net.Conn
+}
+
+// get returns a pooled connection or dials a fresh one; fresh reports
+// which.
+func (p *connPool) get(addr string, timeout time.Duration) (conn net.Conn, fresh bool, err error) {
+	p.mu.Lock()
+	if c, ok := p.idle[addr]; ok {
+		delete(p.idle, addr)
+		p.mu.Unlock()
+		return c, false, nil
+	}
+	p.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, true, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return c, true, nil
+}
+
+func (p *connPool) put(addr string, conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.idle == nil {
+		p.idle = make(map[string]net.Conn)
+	}
+	if _, ok := p.idle[addr]; ok {
+		conn.Close() // already one idle; drop the extra
+		return
+	}
+	p.idle[addr] = conn
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+}

@@ -1,0 +1,306 @@
+// Package client's tests double as the integration suite for the
+// networked stack: real TCP nodes (internal/server), real placements
+// (internal/core over a generated DFZ), real wire frames.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+)
+
+// testCluster spins up one TCP node per AS of a small generated world and
+// returns a connected client. Nodes are shut down via t.Cleanup.
+func testCluster(t *testing.T, numAS, k int) (*Cluster, []*server.Node) {
+	t.Helper()
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             numAS,
+		NumPrefixes:       numAS * 12,
+		AnnouncedFraction: 0.52,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(k, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*server.Node, numAS)
+	addrs := make(map[int]string, numAS)
+	for as := 0; as < numAS; as++ {
+		n := server.New(nil, nil)
+		addr, err := n.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[as] = n
+		addrs[as] = addr
+		t.Cleanup(func() { n.Close() })
+	}
+	c, err := New(resolver, addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, nodes
+}
+
+func clusterEntry(name string, version uint64) store.Entry {
+	return store.Entry{
+		GUID:    guid.New(name),
+		NAs:     []store.NA{{AS: 3, Addr: netaddr.AddrFromOctets(192, 0, 2, 1)}},
+		Version: version,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 0); err == nil {
+		t.Error("nil resolver should fail")
+	}
+}
+
+func TestInsertLookupDeleteOverTCP(t *testing.T) {
+	c, nodes := testCluster(t, 24, 5)
+	e := clusterEntry("laptop", 1)
+
+	acks, err := c.Insert(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks != 5 {
+		t.Errorf("acks = %d, want 5", acks)
+	}
+	// The replicas really hold it.
+	holding := 0
+	for _, n := range nodes {
+		if _, ok := n.Store().Get(e.GUID); ok {
+			holding++
+		}
+	}
+	if holding == 0 || holding > 5 {
+		t.Errorf("%d nodes hold the entry", holding)
+	}
+
+	got, err := c.Lookup(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GUID != e.GUID || got.NAs[0].AS != 3 {
+		t.Errorf("lookup = %+v", got)
+	}
+
+	removed, err := c.Delete(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != holding {
+		t.Errorf("removed %d, want %d", removed, holding)
+	}
+	if _, err := c.Lookup(e.GUID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("post-delete lookup err = %v", err)
+	}
+}
+
+func TestLookupUnknownGUID(t *testing.T) {
+	c, _ := testCluster(t, 12, 3)
+	if _, err := c.Lookup(guid.New("ghost")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpdateMovesMapping(t *testing.T) {
+	c, _ := testCluster(t, 16, 3)
+	if _, err := c.Insert(clusterEntry("phone", 1)); err != nil {
+		t.Fatal(err)
+	}
+	e2 := clusterEntry("phone", 2)
+	e2.NAs[0].AS = 9
+	if _, err := c.Update(e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(e2.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || got.NAs[0].AS != 9 {
+		t.Errorf("after update: %+v", got)
+	}
+	// Stale update is ignored by every node.
+	stale := clusterEntry("phone", 1)
+	if _, err := c.Update(stale); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Lookup(e2.GUID)
+	if got.Version != 2 {
+		t.Errorf("stale update rolled back to %d", got.Version)
+	}
+}
+
+func TestReplicaFailureFallback(t *testing.T) {
+	c, nodes := testCluster(t, 20, 5)
+	e := clusterEntry("resilient", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first three replica nodes; lookups must still succeed via
+	// the survivors (§III-D3).
+	placements, err := cResolver(c).Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range placements[:3] {
+		nodes[p.AS].Close()
+	}
+	got, err := c.Lookup(e.GUID)
+	if err != nil {
+		t.Fatalf("lookup with 3 dead replicas: %v", err)
+	}
+	if got.GUID != e.GUID {
+		t.Error("wrong entry")
+	}
+}
+
+// cResolver exposes the resolver for test introspection.
+func cResolver(c *Cluster) *core.Resolver { return c.resolver }
+
+func TestInsertAllNodesDown(t *testing.T) {
+	c, nodes := testCluster(t, 8, 2)
+	for _, n := range nodes {
+		n.Close()
+	}
+	if _, err := c.Insert(clusterEntry("doomed", 1)); err == nil {
+		t.Error("insert with all nodes down should fail")
+	}
+}
+
+func TestPing(t *testing.T) {
+	c, nodes := testCluster(t, 4, 1)
+	if err := c.Ping(0); err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].Close()
+	if err := c.Ping(1); err == nil {
+		t.Error("ping of dead node should fail")
+	}
+	if err := c.Ping(99); err == nil {
+		t.Error("ping of unknown AS should fail")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _ := testCluster(t, 24, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("obj-%d-%d", w, i)
+				e := clusterEntry(name, 1)
+				if _, err := c.Insert(e); err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Lookup(e.GUID)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.GUID != e.GUID {
+					errs <- fmt.Errorf("wrong entry for %s", name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPooledConnectionReuse(t *testing.T) {
+	c, nodes := testCluster(t, 2, 1)
+	e := clusterEntry("pooled", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	// Repeated lookups reuse the pooled connection.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Lookup(e.GUID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := nodes[0].Stats()
+	st2 := nodes[1].Stats()
+	if st.Lookups+st2.Lookups != 10 {
+		t.Errorf("lookups served = %d, want 10", st.Lookups+st2.Lookups)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	c, nodes := testCluster(t, 2, 2)
+	e := clusterEntry("counted", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(e.GUID); err != nil {
+		t.Fatal(err)
+	}
+	var total server.Stats
+	for _, n := range nodes {
+		s := n.Stats()
+		total.Inserts += s.Inserts
+		total.Lookups += s.Lookups
+		total.Hits += s.Hits
+	}
+	if total.Inserts != 2 {
+		t.Errorf("inserts = %d, want K=2", total.Inserts)
+	}
+	if total.Hits < 1 {
+		t.Errorf("hits = %d", total.Hits)
+	}
+}
+
+func TestLookupFastest(t *testing.T) {
+	c, nodes := testCluster(t, 20, 5)
+	e := clusterEntry("parallel", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LookupFastest(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GUID != e.GUID {
+		t.Error("wrong entry")
+	}
+	// Still works with most replicas dead.
+	placements, err := cResolver(c).Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range placements[:4] {
+		nodes[p.AS].Close()
+	}
+	if _, err := c.LookupFastest(e.GUID); err != nil {
+		t.Fatalf("parallel lookup with 4 dead replicas: %v", err)
+	}
+	// Unknown GUID reports ErrNotFound.
+	if _, err := c.LookupFastest(guid.New("nobody")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}

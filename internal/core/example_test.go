@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+)
+
+// Example shows the complete DMap flow: build the substrate, place a
+// mapping at its K hosting ASs, and resolve it from elsewhere.
+func Example() {
+	// The routing substrate every participant shares: announced
+	// prefixes and the agreed hash family.
+	table := prefixtable.New()
+	_ = table.Announce(netaddr.MustPrefix(netaddr.AddrFromOctets(10, 0, 0, 0), 8), 1)
+	_ = table.Announce(netaddr.MustPrefix(netaddr.AddrFromOctets(128, 0, 0, 0), 1), 2)
+
+	resolver, _ := core.NewResolver(guid.MustHasher(3, 0), table, 0)
+	sys, _ := core.NewSystem(core.SystemConfig{Resolver: resolver, NumAS: 3})
+
+	// A phone registers its GUID→NA mapping.
+	g := guid.New("phone-42")
+	_, _ = sys.Insert(store.Entry{
+		GUID:    g,
+		NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(10, 1, 2, 3)}},
+		Version: 1,
+	}, 1)
+
+	// Anyone resolves it with only local computation plus one overlay
+	// hop (constRTT stands in for the Internet here).
+	entry, outcome, _ := sys.Lookup(g, 0, constRTT{}, core.LookupOptions{})
+	fmt.Printf("locator AS %d in %d attempt(s)\n", entry.NAs[0].AS, outcome.Attempts)
+	// Output: locator AS 1 in 1 attempt(s)
+}
+
+// constRTT is a fixed-latency model for the example.
+type constRTT struct{}
+
+func (constRTT) RTT(src, dst int) topology.Micros { return 10_000 }

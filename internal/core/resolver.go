@@ -1,0 +1,200 @@
+// Package core implements DMap itself: the direct mapping of flat GUIDs
+// onto the announced network address space (Algorithm 1 of the paper),
+// K-replica placement, and the insert/update/lookup protocols with local
+// replication, churn handling and failure retries.
+//
+// The resolver side (this file) is pure: given the shared hash family and
+// a BGP prefix table, every participant derives the same K hosting ASs
+// for any GUID with only local computation — the property that gives DMap
+// its single overlay hop.
+package core
+
+import (
+	"fmt"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+)
+
+// DefaultMaxRehash is M in Algorithm 1. With ≈45% of the space
+// unannounced, the probability of still being in a hole after 10 rehashes
+// is 0.45^10 ≈ 0.034% (§III-B).
+const DefaultMaxRehash = 10
+
+// Placement describes where one replica of a GUID's mapping lives and how
+// Algorithm 1 got there.
+type Placement struct {
+	// AS hosts the replica.
+	AS int
+	// Addr is the hashed (or rehashed, or nearest-announced) address that
+	// selected the AS.
+	Addr netaddr.Addr
+	// Replica is the hash-function index in [0, K).
+	Replica int
+	// Rehashes counts how many extra hashes Algorithm 1 needed.
+	Rehashes int
+	// UsedNearest reports that all M hashes fell into IP holes and the
+	// minimum-IP-distance deputy was used.
+	UsedNearest bool
+}
+
+// Resolver derives hosting ASs from GUIDs. It is safe for concurrent use
+// as long as the prefix table is not mutated concurrently (System
+// serializes churn).
+type Resolver struct {
+	hasher    *guid.Hasher
+	table     *prefixtable.Table
+	maxRehash int
+}
+
+// NewResolver builds a resolver over the shared hash family and prefix
+// table. maxRehash ≤ 0 selects DefaultMaxRehash.
+func NewResolver(h *guid.Hasher, t *prefixtable.Table, maxRehash int) (*Resolver, error) {
+	if h == nil {
+		return nil, fmt.Errorf("core: nil hasher")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("core: nil prefix table")
+	}
+	if maxRehash <= 0 {
+		maxRehash = DefaultMaxRehash
+	}
+	return &Resolver{hasher: h, table: t, maxRehash: maxRehash}, nil
+}
+
+// K returns the replication factor.
+func (r *Resolver) K() int { return r.hasher.K() }
+
+// MaxRehash returns M.
+func (r *Resolver) MaxRehash() int { return r.maxRehash }
+
+// Table returns the underlying prefix table.
+func (r *Resolver) Table() *prefixtable.Table { return r.table }
+
+// Hasher returns the shared hash family.
+func (r *Resolver) Hasher() *guid.Hasher { return r.hasher }
+
+// ErrNoPrefixes reports an empty prefix table: no AS can host anything.
+var ErrNoPrefixes = fmt.Errorf("core: prefix table is empty")
+
+// PlaceReplica runs Algorithm 1 for one replica index: hash the GUID,
+// rehash up to M−1 times while the address falls into an IP hole, then
+// fall back to the announced prefix nearest in IP distance.
+func (r *Resolver) PlaceReplica(g guid.GUID, replica int) (Placement, error) {
+	addr := netaddr.Addr(r.hasher.Hash(g, replica))
+	for m := 0; m < r.maxRehash; m++ {
+		if e, ok := r.table.Lookup(addr); ok {
+			return Placement{AS: e.AS, Addr: addr, Replica: replica, Rehashes: m}, nil
+		}
+		addr = netaddr.Addr(r.hasher.Rehash(uint32(addr), replica))
+	}
+	e, closest, ok := r.table.Nearest(addr)
+	if !ok {
+		return Placement{}, ErrNoPrefixes
+	}
+	return Placement{
+		AS:          e.AS,
+		Addr:        closest,
+		Replica:     replica,
+		Rehashes:    r.maxRehash,
+		UsedNearest: true,
+	}, nil
+}
+
+// Place returns all K placements for g, in replica order. Distinct
+// replicas may land on the same AS (the paper accepts this; with ~26k
+// candidate ASs it is rare).
+func (r *Resolver) Place(g guid.GUID) ([]Placement, error) {
+	out := make([]Placement, r.hasher.K())
+	for i := range out {
+		p, err := r.PlaceReplica(g, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// PlaceExcluding runs Algorithm 1 for one replica as if exclude(addr)
+// addresses were holes. It implements the deputy search of §III-D1: a
+// withdrawing AS finds where its orphan mappings must migrate by
+// continuing the protocol past its own (about-to-vanish) prefix, and an
+// announcing AS locates the old deputy by pretending its new prefix is
+// still a hole.
+func (r *Resolver) PlaceExcluding(g guid.GUID, replica int, exclude func(netaddr.Addr) bool) (Placement, error) {
+	addr := netaddr.Addr(r.hasher.Hash(g, replica))
+	for m := 0; m < r.maxRehash; m++ {
+		if e, ok := r.table.Lookup(addr); ok && !exclude(addr) {
+			return Placement{AS: e.AS, Addr: addr, Replica: replica, Rehashes: m}, nil
+		}
+		addr = netaddr.Addr(r.hasher.Rehash(uint32(addr), replica))
+	}
+	e, closest, ok := r.table.Nearest(addr)
+	if !ok {
+		return Placement{}, ErrNoPrefixes
+	}
+	return Placement{
+		AS:          e.AS,
+		Addr:        closest,
+		Replica:     replica,
+		Rehashes:    r.maxRehash,
+		UsedNearest: true,
+	}, nil
+}
+
+// PlaceByASNumber is the §VII variant that hashes GUIDs directly to AS
+// numbers instead of addresses, bypassing the prefix table entirely.
+// numAS is the size of the (dense) AS number space.
+func (r *Resolver) PlaceByASNumber(g guid.GUID, replica, numAS int) (Placement, error) {
+	if numAS <= 0 {
+		return Placement{}, fmt.Errorf("core: numAS must be positive, got %d", numAS)
+	}
+	return Placement{
+		AS:      r.hasher.HashToRange(g, replica, numAS),
+		Replica: replica,
+	}, nil
+}
+
+// RehashStats measures Algorithm 1's behaviour over a set of GUIDs: how
+// often each rehash depth is reached and how often the nearest-prefix
+// deputy fallback fires (the §III-B hole-probability analysis).
+type RehashStats struct {
+	// Samples is the number of (GUID, replica) placements measured.
+	Samples int
+	// DepthCounts[d] counts placements that needed exactly d rehashes.
+	DepthCounts []int
+	// NearestFallbacks counts placements that exhausted M rehashes.
+	NearestFallbacks int
+}
+
+// FallbackRate returns the fraction of placements that used the deputy
+// fallback.
+func (s RehashStats) FallbackRate() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.NearestFallbacks) / float64(s.Samples)
+}
+
+// MeasureRehash places n sequentially derived GUIDs (all K replicas each)
+// and aggregates Algorithm 1 statistics.
+func (r *Resolver) MeasureRehash(n int) (RehashStats, error) {
+	st := RehashStats{DepthCounts: make([]int, r.maxRehash+1)}
+	for i := 0; i < n; i++ {
+		g := guid.FromUint64(uint64(i))
+		for k := 0; k < r.hasher.K(); k++ {
+			p, err := r.PlaceReplica(g, k)
+			if err != nil {
+				return RehashStats{}, err
+			}
+			st.Samples++
+			st.DepthCounts[p.Rehashes]++
+			if p.UsedNearest {
+				st.NearestFallbacks++
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"dmap/internal/bucket"
+	"dmap/internal/guid"
+)
+
+// SparseResolver is the §III-B variant of the resolver for address
+// spaces where holes vastly outnumber announced segments (IPv6 and other
+// future addressing schemes): instead of hash-and-rehash over raw
+// addresses, placements go through the two-level bucket index, keeping
+// resolution a purely local computation with the same K-replica
+// semantics as the dense resolver.
+type SparseResolver struct {
+	hasher *guid.Hasher
+	index  *bucket.Index
+}
+
+// NewSparseResolver builds a resolver over the shared hash family and a
+// bucket index of the announced segments (see bucket.FromTable).
+func NewSparseResolver(h *guid.Hasher, ix *bucket.Index) (*SparseResolver, error) {
+	if h == nil {
+		return nil, fmt.Errorf("core: nil hasher")
+	}
+	if ix == nil {
+		return nil, fmt.Errorf("core: nil bucket index")
+	}
+	return &SparseResolver{hasher: h, index: ix}, nil
+}
+
+// K returns the replication factor.
+func (r *SparseResolver) K() int { return r.hasher.K() }
+
+// Index returns the underlying bucket index.
+func (r *SparseResolver) Index() *bucket.Index { return r.index }
+
+// PlaceReplica maps (g, replica) to its hosting AS through the bucket
+// scheme. The returned Placement carries no address (sparse segments are
+// opaque) and never uses the nearest fallback: bucket probing always
+// terminates at an announced segment.
+func (r *SparseResolver) PlaceReplica(g guid.GUID, replica int) (Placement, error) {
+	seg, ok := r.index.Resolve(g, r.hasher, replica)
+	if !ok {
+		return Placement{}, ErrNoPrefixes
+	}
+	return Placement{AS: seg.AS, Replica: replica}, nil
+}
+
+// Place returns all K placements for g, in replica order.
+func (r *SparseResolver) Place(g guid.GUID) ([]Placement, error) {
+	out := make([]Placement, r.hasher.K())
+	for i := range out {
+		p, err := r.PlaceReplica(g, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"dmap/internal/bucket"
+	"dmap/internal/guid"
+)
+
+func sparseIndex(t *testing.T, numSegments, numBuckets int) *bucket.Index {
+	t.Helper()
+	entries := make([]bucket.TableEntry, numSegments)
+	for i := range entries {
+		entries[i] = bucket.TableEntry{
+			Addr: uint64(i) * 7919,
+			Bits: 48,
+			AS:   i % 50,
+		}
+	}
+	ix, err := bucket.FromTable(entries, numBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestNewSparseResolverValidation(t *testing.T) {
+	h := guid.MustHasher(2, 0)
+	ix := sparseIndex(t, 10, 8)
+	if _, err := NewSparseResolver(nil, ix); err == nil {
+		t.Error("nil hasher should fail")
+	}
+	if _, err := NewSparseResolver(h, nil); err == nil {
+		t.Error("nil index should fail")
+	}
+	r, err := NewSparseResolver(h, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 2 || r.Index() != ix {
+		t.Error("accessors")
+	}
+}
+
+func TestSparsePlaceEmptyIndex(t *testing.T) {
+	ix, err := bucket.NewIndex(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewSparseResolver(guid.MustHasher(1, 0), ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Place(guid.New("g")); err != ErrNoPrefixes {
+		t.Errorf("err = %v, want ErrNoPrefixes", err)
+	}
+}
+
+func TestSparsePlaceDeterministicAndValid(t *testing.T) {
+	r, err := NewSparseResolver(guid.MustHasher(5, 0), sparseIndex(t, 500, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		g := guid.FromUint64(uint64(i) + 1)
+		p1, err := r.Place(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := r.Place(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p1) != 5 {
+			t.Fatalf("placements = %d", len(p1))
+		}
+		for k := range p1 {
+			if p1[k] != p2[k] {
+				t.Fatal("not deterministic")
+			}
+			if p1[k].AS < 0 || p1[k].AS >= 50 {
+				t.Fatalf("AS %d out of range", p1[k].AS)
+			}
+			if p1[k].Replica != k {
+				t.Errorf("replica field %d", p1[k].Replica)
+			}
+			if p1[k].UsedNearest {
+				t.Error("sparse placement never uses nearest fallback")
+			}
+		}
+	}
+}
+
+func TestSparsePlaceBalanced(t *testing.T) {
+	// Per-AS load must track the number of segments each AS announces
+	// (uniform here: 10 segments per AS).
+	r, err := NewSparseResolver(guid.MustHasher(1, 0), sparseIndex(t, 500, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 50)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		p, err := r.PlaceReplica(guid.FromUint64(uint64(i)+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.AS]++
+	}
+	avg := n / 50
+	for as, c := range counts {
+		if c < avg/2 || c > avg*2 {
+			t.Errorf("AS %d load %d, want within 2x of %d", as, c, avg)
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+)
+
+// LatencyModel abstracts how long a request/response exchange between two
+// ASs takes. topology.DistCache satisfies it; experiments substitute
+// grouped Dijkstra vectors.
+type LatencyModel interface {
+	// RTT is the round-trip time between a requester in AS src and a
+	// mapping server in AS dst (src == dst gives the intra-AS round
+	// trip).
+	RTT(src, dst int) topology.Micros
+}
+
+// SelectionPolicy chooses which of the K replicas a querier contacts
+// first (§IV-B2a).
+type SelectionPolicy int
+
+// Selection policies.
+const (
+	// SelectLowestRTT assumes the querying node can estimate response
+	// times and picks the minimum (the paper's primary assumption).
+	SelectLowestRTT SelectionPolicy = iota + 1
+	// SelectLeastHops uses BGP hop counts, "only partially available"
+	// information that every AS does have; the paper reports similar
+	// results with marginally increased latencies.
+	SelectLeastHops
+)
+
+// SystemConfig assembles a DMap deployment.
+type SystemConfig struct {
+	// Resolver derives placements (shared hash family + prefix table).
+	Resolver *Resolver
+	// NumAS bounds the AS index space (stores are allocated lazily).
+	NumAS int
+	// LocalReplica enables the extra per-attachment-AS copy of §III-C.
+	LocalReplica bool
+}
+
+// System is an in-memory DMap deployment: one mapping store per AS plus
+// the protocol logic that moves entries between them. All mutating
+// methods are unsynchronized with respect to each other; drive a System
+// from one goroutine (the simulator) or wrap it (the server does).
+type System struct {
+	res          *Resolver
+	stores       []*store.Store
+	localReplica bool
+}
+
+// NewSystem builds a deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("core: nil resolver")
+	}
+	if cfg.NumAS <= 0 {
+		return nil, fmt.Errorf("core: NumAS must be positive, got %d", cfg.NumAS)
+	}
+	return &System{
+		res:          cfg.Resolver,
+		stores:       make([]*store.Store, cfg.NumAS),
+		localReplica: cfg.LocalReplica,
+	}, nil
+}
+
+// Resolver returns the placement resolver.
+func (s *System) Resolver() *Resolver { return s.res }
+
+// NumAS returns the AS index space size.
+func (s *System) NumAS() int { return len(s.stores) }
+
+// storeAt returns (allocating if needed) the mapping store of as.
+func (s *System) storeAt(as int) *store.Store {
+	if s.stores[as] == nil {
+		s.stores[as] = store.New()
+	}
+	return s.stores[as]
+}
+
+// Store exposes the mapping store of as (allocating it if needed), for
+// event-driven deployments that deliver protocol messages themselves.
+func (s *System) Store(as int) (*store.Store, error) {
+	if as < 0 || as >= len(s.stores) {
+		return nil, fmt.Errorf("core: AS %d out of range [0,%d)", as, len(s.stores))
+	}
+	return s.storeAt(as), nil
+}
+
+// LocalReplicaEnabled reports whether §III-C local replication is on.
+func (s *System) LocalReplicaEnabled() bool { return s.localReplica }
+
+// StoreLen returns the number of mappings hosted at as (0 if none).
+func (s *System) StoreLen(as int) int {
+	if s.stores[as] == nil {
+		return 0
+	}
+	return s.stores[as].Len()
+}
+
+// HostedCounts returns the per-AS hosted mapping counts (for NLR).
+func (s *System) HostedCounts() map[int]int {
+	out := make(map[int]int)
+	for as, st := range s.stores {
+		if st != nil && st.Len() > 0 {
+			out[as] = st.Len()
+		}
+	}
+	return out
+}
+
+// Insert stores e's mapping at its K global replicas, plus a local copy
+// at srcAS when local replication is on (§III-C). It returns the global
+// placements. Insert and Update share semantics: the store keeps the
+// highest version (§III-D2), so a reordered stale update is a no-op.
+func (s *System) Insert(e store.Entry, srcAS int) ([]Placement, error) {
+	if srcAS < 0 || srcAS >= len(s.stores) {
+		return nil, fmt.Errorf("core: srcAS %d out of range [0,%d)", srcAS, len(s.stores))
+	}
+	placements, err := s.res.Place(e.GUID)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range placements {
+		if _, err := s.storeAt(p.AS).Put(e); err != nil {
+			return nil, fmt.Errorf("core: insert at AS %d: %w", p.AS, err)
+		}
+	}
+	if s.localReplica {
+		if _, err := s.storeAt(srcAS).Put(e); err != nil {
+			return nil, fmt.Errorf("core: local insert at AS %d: %w", srcAS, err)
+		}
+	}
+	return placements, nil
+}
+
+// Update is Insert with move semantics: the entry's version must exceed
+// the stored one for the new locators to take effect everywhere.
+func (s *System) Update(e store.Entry, srcAS int) ([]Placement, error) {
+	return s.Insert(e, srcAS)
+}
+
+// Delete removes g's mapping from its K replicas (and the local copy at
+// srcAS), reporting how many copies existed.
+func (s *System) Delete(g guid.GUID, srcAS int) (int, error) {
+	placements, err := s.res.Place(g)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, p := range placements {
+		if s.stores[p.AS] != nil && s.stores[p.AS].Delete(g) {
+			removed++
+		}
+	}
+	if s.localReplica && srcAS >= 0 && srcAS < len(s.stores) && s.stores[srcAS] != nil {
+		if s.stores[srcAS].Delete(g) {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// UpdateLatency is the paper's update-cost metric: updates go to all K
+// replicas in parallel, so the latency is the largest RTT among them
+// (§III-A).
+func (s *System) UpdateLatency(g guid.GUID, srcAS int, lm LatencyModel) (topology.Micros, error) {
+	placements, err := s.res.Place(g)
+	if err != nil {
+		return 0, err
+	}
+	var max topology.Micros
+	for _, p := range placements {
+		if rtt := lm.RTT(srcAS, p.AS); rtt > max {
+			max = rtt
+		}
+	}
+	return max, nil
+}
+
+// LookupOptions tunes a lookup.
+type LookupOptions struct {
+	// Selection picks the replica-ordering policy; zero value means
+	// SelectLowestRTT.
+	Selection SelectionPolicy
+	// Hops supplies src-relative AS hop counts for SelectLeastHops.
+	Hops []int32
+	// Miss marks ASs that answer "GUID missing" despite being a computed
+	// replica (BGP churn inconsistency, §III-D1 / Fig. 5). A missed
+	// attempt costs its full RTT before the querier tries the next
+	// replica.
+	Miss func(as int) bool
+	// Crashed marks ASs that do not answer at all (router failure,
+	// §III-D3). A crashed attempt costs Timeout.
+	Crashed func(as int) bool
+	// Timeout is the querier's retransmission timeout for crashed
+	// replicas; zero selects DefaultTimeout.
+	Timeout topology.Micros
+}
+
+// DefaultTimeout is the querier's timeout for unresponsive replicas.
+const DefaultTimeout = topology.Micros(2_000_000) // 2 s
+
+// LookupOutcome reports how a lookup went.
+type LookupOutcome struct {
+	// RTT is the total time until the answer arrived, including failed
+	// attempts and timeouts.
+	RTT topology.Micros
+	// ServedBy is the AS that answered.
+	ServedBy int
+	// UsedLocal reports that the local (attachment-AS) replica answered
+	// first.
+	UsedLocal bool
+	// Attempts counts contacted replicas (1 = first try).
+	Attempts int
+}
+
+// ErrNotFound reports that no replica holds a mapping for the GUID.
+var ErrNotFound = fmt.Errorf("core: GUID not found")
+
+// Lookup resolves g from a requester in srcAS. Per §III-C the querier
+// sends a local and a global lookup simultaneously; the effective latency
+// is whichever copy answers first. Global replicas are tried in
+// policy order; replicas marked Miss cost an RTT, crashed ones a timeout.
+func (s *System) Lookup(g guid.GUID, srcAS int, lm LatencyModel, opts LookupOptions) (store.Entry, LookupOutcome, error) {
+	if srcAS < 0 || srcAS >= len(s.stores) {
+		return store.Entry{}, LookupOutcome{}, fmt.Errorf("core: srcAS %d out of range [0,%d)", srcAS, len(s.stores))
+	}
+	placements, err := s.res.Place(g)
+	if err != nil {
+		return store.Entry{}, LookupOutcome{}, err
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+
+	// Order replicas by the selection policy.
+	type cand struct {
+		as   int
+		rtt  topology.Micros
+		cost int64
+	}
+	cands := make([]cand, 0, len(placements))
+	for _, p := range placements {
+		c := cand{as: p.AS, rtt: lm.RTT(srcAS, p.AS)}
+		switch opts.Selection {
+		case SelectLeastHops:
+			if opts.Hops == nil {
+				return store.Entry{}, LookupOutcome{}, fmt.Errorf("core: SelectLeastHops requires Hops")
+			}
+			c.cost = int64(opts.Hops[p.AS])
+		default:
+			c.cost = int64(c.rtt)
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].as < cands[j].as
+	})
+
+	// The parallel local lookup (if the requester's AS holds a copy).
+	localRTT := topology.Micros(-1)
+	var localEntry store.Entry
+	if s.localReplica && s.stores[srcAS] != nil {
+		if e, ok := s.stores[srcAS].Get(g); ok {
+			localRTT = lm.RTT(srcAS, srcAS)
+			localEntry = e
+		}
+	}
+
+	var elapsed topology.Micros
+	attempts := 0
+	for _, c := range cands {
+		attempts++
+		switch {
+		case opts.Crashed != nil && opts.Crashed(c.as):
+			elapsed += timeout
+		case opts.Miss != nil && opts.Miss(c.as):
+			elapsed += c.rtt
+		default:
+			e, ok := func() (store.Entry, bool) {
+				if s.stores[c.as] == nil {
+					return store.Entry{}, false
+				}
+				return s.stores[c.as].Get(g)
+			}()
+			if !ok {
+				// Genuine miss (e.g. never inserted here): costs an RTT
+				// like a churn miss.
+				elapsed += c.rtt
+				continue
+			}
+			total := elapsed + c.rtt
+			if localRTT >= 0 && localRTT < total {
+				return localEntry, LookupOutcome{RTT: localRTT, ServedBy: srcAS, UsedLocal: true, Attempts: attempts}, nil
+			}
+			return e, LookupOutcome{RTT: total, ServedBy: c.as, Attempts: attempts}, nil
+		}
+	}
+	if localRTT >= 0 {
+		return localEntry, LookupOutcome{RTT: localRTT, ServedBy: srcAS, UsedLocal: true, Attempts: attempts}, nil
+	}
+	return store.Entry{}, LookupOutcome{RTT: elapsed, Attempts: attempts}, ErrNotFound
+}
+
+// ConsistencyReport summarizes an audit of the deployment's invariants.
+type ConsistencyReport struct {
+	// Mappings is the number of distinct GUIDs audited.
+	Mappings int
+	// MissingReplicas counts (GUID, replica) pairs whose computed
+	// hosting AS does not hold the mapping.
+	MissingReplicas int
+	// VersionSkews counts GUIDs whose replicas disagree on the version
+	// (transiently normal during an update; permanently a bug).
+	VersionSkews int
+	// Strays counts stored entries at ASs that are neither a computed
+	// replica nor a local-replica attachment for the GUID.
+	Strays int
+}
+
+// Ok reports a fully consistent deployment.
+func (r ConsistencyReport) Ok() bool {
+	return r.MissingReplicas == 0 && r.VersionSkews == 0 && r.Strays == 0
+}
+
+// String formats the report.
+func (r ConsistencyReport) String() string {
+	return fmt.Sprintf("mappings=%d missingReplicas=%d versionSkews=%d strays=%d",
+		r.Mappings, r.MissingReplicas, r.VersionSkews, r.Strays)
+}
+
+// VerifyConsistency audits the whole deployment against the placement
+// function: every GUID stored anywhere must be present at each of its K
+// computed replicas with one agreed version, and no AS may hold a
+// mapping it should not (modulo local replicas, which may live at any
+// attachment AS listed in the entry's NAs). Quiesce the system first;
+// the audit reads every store.
+func (s *System) VerifyConsistency() (ConsistencyReport, error) {
+	var rep ConsistencyReport
+
+	// Collect the union of stored GUIDs and who holds them.
+	holders := make(map[guid.GUID]map[int]uint64) // guid → AS → version
+	for as, st := range s.stores {
+		if st == nil {
+			continue
+		}
+		as := as
+		st.Range(func(e store.Entry) bool {
+			m, ok := holders[e.GUID]
+			if !ok {
+				m = make(map[int]uint64, s.res.K()+1)
+				holders[e.GUID] = m
+			}
+			m[as] = e.Version
+			return true
+		})
+	}
+
+	for g, byAS := range holders {
+		rep.Mappings++
+		placements, err := s.res.Place(g)
+		if err != nil {
+			return rep, err
+		}
+		expected := make(map[int]bool, len(placements))
+		for _, p := range placements {
+			expected[p.AS] = true
+			if _, ok := byAS[p.AS]; !ok {
+				rep.MissingReplicas++
+			}
+		}
+		// Local replicas may live at any AS the entry lists as an
+		// attachment.
+		if s.localReplica {
+			for as := range byAS {
+				var e store.Entry
+				if st := s.stores[as]; st != nil {
+					e, _ = st.Get(g)
+				}
+				for _, na := range e.NAs {
+					expected[na.AS] = true
+				}
+			}
+		}
+		versions := make(map[uint64]bool)
+		for as, v := range byAS {
+			versions[v] = true
+			if !expected[as] {
+				rep.Strays++
+			}
+		}
+		if len(versions) > 1 {
+			rep.VersionSkews++
+		}
+	}
+	return rep, nil
+}
+
+// WithdrawPrefix implements the §III-D1 withdrawal protocol: before the
+// prefix disappears from the table, the withdrawing AS extracts every
+// mapping it hosts whose placement address lies in p and pushes each to
+// its deputy (the AS Algorithm 1 reaches once p is gone). Queries issued
+// afterwards hit the hole, follow the same rehash chain, and find the
+// deputy naturally. It returns the number of migrated mappings.
+func (s *System) WithdrawPrefix(p netaddr.Prefix, owner int) (int, error) {
+	if owner < 0 || owner >= len(s.stores) {
+		return 0, fmt.Errorf("core: owner %d out of range", owner)
+	}
+
+	var orphans []store.Entry
+	if st := s.stores[owner]; st != nil {
+		orphans = st.Extract(func(g guid.GUID) bool {
+			// The mapping is orphaned if one of its placements selected
+			// this AS via an address inside p.
+			for k := 0; k < s.res.K(); k++ {
+				pl, err := s.res.PlaceReplica(g, k)
+				if err != nil {
+					return false
+				}
+				if pl.AS == owner && p.Contains(pl.Addr) {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	if !s.res.table.Withdraw(p) {
+		return 0, fmt.Errorf("core: prefix %v not announced", p)
+	}
+
+	// With the prefix gone, Algorithm 1 lands each orphan on its deputy;
+	// re-placing all K replicas is idempotent for the unaffected ones
+	// (the store rejects non-newer versions it already holds).
+	migrated := 0
+	for _, e := range orphans {
+		for k := 0; k < s.res.K(); k++ {
+			pl, err := s.res.PlaceReplica(e.GUID, k)
+			if err != nil {
+				return migrated, err
+			}
+			if _, err := s.storeAt(pl.AS).Put(e); err != nil {
+				return migrated, err
+			}
+		}
+		migrated++
+	}
+	return migrated, nil
+}
+
+// AnnouncePrefix implements the §III-D1 announcement protocol. The new
+// prefix may capture GUIDs whose mappings live at a deputy chosen when
+// these addresses were holes; those become orphans. DMap recovers lazily:
+// the first query that reaches the announcing AS and misses triggers a
+// GUID migration message to the deputy (found by running Algorithm 1 as
+// if the new prefix were still a hole), relocating the mapping. This
+// method performs the announcement; RepairMiss performs the lazy pull.
+func (s *System) AnnouncePrefix(p netaddr.Prefix, owner int) error {
+	if owner < 0 || owner >= len(s.stores) {
+		return fmt.Errorf("core: owner %d out of range", owner)
+	}
+	return s.res.table.Announce(p, owner)
+}
+
+// RepairMiss is the lazy migration triggered by a "GUID missing" reply
+// from a freshly announcing AS: locate the old deputy by excluding the
+// new prefix from Algorithm 1, pull the mapping from it, and store it at
+// the announcing AS. It reports whether a mapping was recovered.
+func (s *System) RepairMiss(g guid.GUID, announced netaddr.Prefix, owner int) (bool, error) {
+	exclude := func(a netaddr.Addr) bool { return announced.Contains(a) }
+	for k := 0; k < s.res.K(); k++ {
+		pl, err := s.res.PlaceReplica(g, k)
+		if err != nil {
+			return false, err
+		}
+		if pl.AS != owner || !announced.Contains(pl.Addr) {
+			continue // this replica is not affected by the announcement
+		}
+		deputy, err := s.res.PlaceExcluding(g, k, exclude)
+		if err != nil {
+			return false, err
+		}
+		if st := s.stores[deputy.AS]; st != nil {
+			if e, ok := st.Get(g); ok {
+				if _, err := s.storeAt(owner).Put(e); err != nil {
+					return false, err
+				}
+				st.Delete(g)
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,656 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+)
+
+// flatLatency is a trivial LatencyModel: RTT is |src-dst|+1 ms, and 1 ms
+// within the same AS — enough structure to make "closest replica" and
+// "local is fastest" observable in tests.
+type flatLatency struct{}
+
+func (flatLatency) RTT(src, dst int) topology.Micros {
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	return topology.MicrosFromMillis(float64(d + 1))
+}
+
+func newTestSystem(t *testing.T, k int, local bool) *System {
+	t.Helper()
+	tbl := genTable(t, 11)
+	r, err := NewResolver(guid.MustHasher(k, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{Resolver: r, NumAS: 500, LocalReplica: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testEntry(name string, version uint64, as int) store.Entry {
+	return store.Entry{
+		GUID:    guid.New(name),
+		NAs:     []store.NA{{AS: as, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: version,
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{Resolver: nil, NumAS: 10}); err == nil {
+		t.Error("nil resolver should fail")
+	}
+	tbl := genTable(t, 1)
+	r, _ := NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if _, err := NewSystem(SystemConfig{Resolver: r, NumAS: 0}); err == nil {
+		t.Error("NumAS=0 should fail")
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	e := testEntry("laptop", 1, 42)
+	placements, err := sys.Insert(e, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != 5 {
+		t.Fatalf("placements = %d", len(placements))
+	}
+	// Every replica AS holds the entry.
+	for _, p := range placements {
+		if sys.StoreLen(p.AS) == 0 {
+			t.Errorf("replica AS %d holds nothing", p.AS)
+		}
+	}
+	got, outcome, err := sys.Lookup(e.GUID, 7, flatLatency{}, LookupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NAs[0].AS != 42 {
+		t.Errorf("lookup NAs = %+v", got.NAs)
+	}
+	if outcome.Attempts != 1 || outcome.UsedLocal {
+		t.Errorf("outcome = %+v", outcome)
+	}
+	// Closest-replica selection: ServedBy must minimize flat RTT.
+	best := placements[0].AS
+	for _, p := range placements {
+		if d := p.AS - 7; (d < 0 && -(d) < abs(best-7)) || (d >= 0 && d < abs(best-7)) {
+			best = p.AS
+		}
+	}
+	if outcome.ServedBy != best {
+		t.Errorf("ServedBy = %d, want closest replica %d", outcome.ServedBy, best)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestLookupNotFound(t *testing.T) {
+	sys := newTestSystem(t, 3, false)
+	_, outcome, err := sys.Lookup(guid.New("ghost"), 0, flatLatency{}, LookupOptions{})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if outcome.Attempts != 3 {
+		t.Errorf("attempts = %d, want K=3 (every replica tried)", outcome.Attempts)
+	}
+	if outcome.RTT <= 0 {
+		t.Error("failed lookup still costs time")
+	}
+}
+
+func TestLookupSrcValidation(t *testing.T) {
+	sys := newTestSystem(t, 1, false)
+	if _, _, err := sys.Lookup(guid.New("g"), -1, flatLatency{}, LookupOptions{}); err == nil {
+		t.Error("negative src should fail")
+	}
+	if _, err := sys.Insert(testEntry("g", 1, 1), 1e6); err == nil {
+		t.Error("out-of-range src should fail")
+	}
+}
+
+func TestUpdateVersioning(t *testing.T) {
+	sys := newTestSystem(t, 3, false)
+	g := guid.New("phone")
+	if _, err := sys.Insert(testEntry("phone", 1, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Update(testEntry("phone", 2, 20), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A delayed, reordered stale update must not roll back.
+	if _, err := sys.Update(testEntry("phone", 1, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sys.Lookup(g, 0, flatLatency{}, LookupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || got.NAs[0].AS != 20 {
+		t.Errorf("after updates: %+v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	sys := newTestSystem(t, 5, true)
+	e := testEntry("gone", 1, 3)
+	if _, err := sys.Insert(e, 3); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := sys.Delete(e.GUID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed < 5 {
+		t.Errorf("removed = %d, want >= K=5", removed)
+	}
+	if _, _, err := sys.Lookup(e.GUID, 3, flatLatency{}, LookupOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted GUID should not resolve")
+	}
+}
+
+func TestLocalReplica(t *testing.T) {
+	sys := newTestSystem(t, 5, true)
+	const home = 123
+	e := testEntry("local", 1, home)
+	placements, err := sys.Insert(e, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requester in the same AS: local copy answers at intra-AS RTT (1 ms
+	// under flatLatency), unless a global replica happens to be co-located.
+	_, outcome, err := sys.Lookup(e.GUID, home, flatLatency{}, LookupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coLocated := false
+	for _, p := range placements {
+		if p.AS == home {
+			coLocated = true
+		}
+	}
+	if !coLocated && !outcome.UsedLocal {
+		t.Errorf("outcome = %+v, want local replica win", outcome)
+	}
+	if outcome.RTT != topology.MicrosFromMillis(1) {
+		t.Errorf("local RTT = %v, want 1 ms", outcome.RTT)
+	}
+	if outcome.ServedBy != home {
+		t.Errorf("ServedBy = %d, want home %d", outcome.ServedBy, home)
+	}
+}
+
+func TestLocalReplicaOffByDefault(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	const home = 123
+	e := testEntry("nolocal", 1, home)
+	if _, err := sys.Insert(e, home); err != nil {
+		t.Fatal(err)
+	}
+	_, outcome, err := sys.Lookup(e.GUID, home, flatLatency{}, LookupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.UsedLocal {
+		t.Error("local replica should be disabled")
+	}
+}
+
+func TestLookupMissRetries(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	e := testEntry("churny", 1, 9)
+	placements, err := sys.Insert(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reproduce the system's replica ordering (RTT, then AS on ties) and
+	// mark the first two distinct ASs as answering "GUID missing".
+	lm := flatLatency{}
+	type cand struct {
+		as  int
+		rtt topology.Micros
+	}
+	cands := make([]cand, 0, 5)
+	for _, p := range placements {
+		cands = append(cands, cand{p.AS, lm.RTT(50, p.AS)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rtt != cands[j].rtt {
+			return cands[i].rtt < cands[j].rtt
+		}
+		return cands[i].as < cands[j].as
+	})
+	missing := make(map[int]bool)
+	for _, c := range cands {
+		if len(missing) < 2 {
+			missing[c.as] = true
+		}
+	}
+	// Expected: every leading candidate in a missing AS costs its RTT;
+	// the first candidate in a live AS answers.
+	wantAttempts := 0
+	var wantRTT topology.Micros
+	for _, c := range cands {
+		wantAttempts++
+		wantRTT += c.rtt
+		if !missing[c.as] {
+			break
+		}
+	}
+
+	_, outcome, err := sys.Lookup(e.GUID, 50, lm, LookupOptions{
+		Miss: func(as int) bool { return missing[as] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Attempts != wantAttempts {
+		t.Errorf("attempts = %d, want %d", outcome.Attempts, wantAttempts)
+	}
+	if outcome.RTT != wantRTT {
+		t.Errorf("RTT = %v, want cumulative %v", outcome.RTT, wantRTT)
+	}
+	if missing[outcome.ServedBy] {
+		t.Errorf("served by a missing AS %d", outcome.ServedBy)
+	}
+}
+
+func TestLookupCrashTimeout(t *testing.T) {
+	sys := newTestSystem(t, 2, false)
+	e := testEntry("crash", 1, 9)
+	placements, err := sys.Insert(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := flatLatency{}
+	// Crash the closer replica.
+	first, second := placements[0].AS, placements[1].AS
+	if lm.RTT(0, second) < lm.RTT(0, first) {
+		first, second = second, first
+	}
+	_, outcome, err := sys.Lookup(e.GUID, 0, lm, LookupOptions{
+		Crashed: func(as int) bool { return as == first },
+		Timeout: topology.MicrosFromMillis(500),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.MicrosFromMillis(500) + lm.RTT(0, second)
+	if outcome.RTT != want {
+		t.Errorf("RTT = %v, want timeout+retry %v", outcome.RTT, want)
+	}
+	if outcome.Attempts != 2 {
+		t.Errorf("attempts = %d", outcome.Attempts)
+	}
+}
+
+func TestLookupAllCrashedFallsBackToLocal(t *testing.T) {
+	sys := newTestSystem(t, 2, true)
+	const home = 77
+	e := testEntry("resilient", 1, home)
+	if _, err := sys.Insert(e, home); err != nil {
+		t.Fatal(err)
+	}
+	got, outcome, err := sys.Lookup(e.GUID, home, flatLatency{}, LookupOptions{
+		Crashed: func(as int) bool { return as != home },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.UsedLocal || got.GUID != e.GUID {
+		t.Errorf("outcome = %+v", outcome)
+	}
+}
+
+func TestSelectLeastHops(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	e := testEntry("hops", 1, 1)
+	placements, err := sys.Insert(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft hop counts that rank the farthest-by-RTT replica first.
+	hops := make([]int32, sys.NumAS())
+	for i := range hops {
+		hops[i] = 100
+	}
+	var farthest int
+	lm := flatLatency{}
+	for _, p := range placements {
+		if lm.RTT(0, p.AS) > lm.RTT(0, farthest) {
+			farthest = p.AS
+		}
+	}
+	hops[farthest] = 1
+	_, outcome, err := sys.Lookup(e.GUID, 0, lm, LookupOptions{
+		Selection: SelectLeastHops,
+		Hops:      hops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.ServedBy != farthest {
+		t.Errorf("ServedBy = %d, want hop-selected %d", outcome.ServedBy, farthest)
+	}
+	// Missing hops must error.
+	if _, _, err := sys.Lookup(e.GUID, 0, lm, LookupOptions{Selection: SelectLeastHops}); err == nil {
+		t.Error("SelectLeastHops without Hops should fail")
+	}
+}
+
+func TestWithdrawMigration(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	// Insert a population, then withdraw the prefix hosting some replica
+	// of a chosen GUID; the mapping must remain resolvable.
+	var entries []store.Entry
+	for i := 1; i <= 50; i++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(i)),
+			NAs:     []store.NA{{AS: i % 100}},
+			Version: 1,
+		}
+		entries = append(entries, e)
+		if _, err := sys.Insert(e, i%100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := entries[17]
+	placements, err := sys.Resolver().Place(victim.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := placements[2]
+	pfxEntry, ok := sys.Resolver().Table().Lookup(target.Addr)
+	if !ok {
+		t.Fatal("placement prefix missing")
+	}
+
+	migrated, err := sys.WithdrawPrefix(pfxEntry.Prefix, pfxEntry.AS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated == 0 {
+		t.Error("expected at least one migrated mapping")
+	}
+	// Every entry must still resolve (the withdrawn replica now follows
+	// the hole protocol to the deputy).
+	for _, e := range entries {
+		got, _, err := sys.Lookup(e.GUID, 0, flatLatency{}, LookupOptions{})
+		if err != nil {
+			t.Fatalf("GUID %s unresolvable after withdrawal: %v", e.GUID.Short(), err)
+		}
+		if got.GUID != e.GUID {
+			t.Fatal("wrong entry")
+		}
+	}
+	// The new placement of the victim's replica must differ.
+	newPlacements, err := sys.Resolver().Place(victim.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newPlacements[2].AS == target.AS && newPlacements[2].Addr == target.Addr {
+		t.Error("withdrawn placement unchanged")
+	}
+	// Withdrawing an unannounced prefix errors.
+	if _, err := sys.WithdrawPrefix(pfxEntry.Prefix, pfxEntry.AS); err == nil {
+		t.Error("double withdrawal should fail")
+	}
+}
+
+func TestAnnounceLazyMigration(t *testing.T) {
+	// Build a table with a known hole, place a GUID whose first hash
+	// lands in it (so a deputy hosts it), then announce the hole and
+	// verify RepairMiss pulls the mapping to the announcing AS.
+	tbl := halfTable(t) // only lower half announced, AS 0
+	r, err := NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{Resolver: r, NumAS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a GUID whose first hash has the top bit set (in the hole).
+	var g guid.GUID
+	for i := 0; ; i++ {
+		g = guid.FromUint64(uint64(i))
+		if r.Hasher().Hash(g, 0)>>31 == 1 {
+			break
+		}
+	}
+	e := store.Entry{GUID: g, NAs: []store.NA{{AS: 5}}, Version: 1}
+	if _, err := sys.Insert(e, 5); err != nil {
+		t.Fatal(err)
+	}
+	if sys.StoreLen(0) != 1 {
+		t.Fatalf("deputy AS 0 should hold the mapping, got %d", sys.StoreLen(0))
+	}
+
+	// AS 1 announces the upper half; the GUID's hash now lands there.
+	upper, err := netaddr.NewPrefix(netaddr.Addr(1<<31), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AnnouncePrefix(upper, 1); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := r.PlaceReplica(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.AS != 1 {
+		t.Fatalf("placement after announcement = %+v, want AS 1", pl)
+	}
+	// The first query reaching AS 1 misses; RepairMiss pulls from deputy.
+	if sys.StoreLen(1) != 0 {
+		t.Fatal("AS 1 should not hold the mapping yet")
+	}
+	recovered, err := sys.RepairMiss(g, upper, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered {
+		t.Fatal("RepairMiss found nothing")
+	}
+	if sys.StoreLen(1) != 1 || sys.StoreLen(0) != 0 {
+		t.Errorf("after repair: AS1=%d AS0=%d, want 1/0", sys.StoreLen(1), sys.StoreLen(0))
+	}
+	// Second repair is a no-op.
+	if again, _ := sys.RepairMiss(g, upper, 1); again {
+		t.Error("second RepairMiss should find nothing")
+	}
+}
+
+func TestUpdateLatencyIsMaxOverReplicas(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	g := guid.New("upd")
+	placements, err := sys.Resolver().Place(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := flatLatency{}
+	var want topology.Micros
+	for _, p := range placements {
+		if rtt := lm.RTT(3, p.AS); rtt > want {
+			want = rtt
+		}
+	}
+	got, err := sys.UpdateLatency(g, 3, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("UpdateLatency = %v, want max %v", got, want)
+	}
+}
+
+func TestHostedCounts(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	total := 0
+	for i := 1; i <= 20; i++ {
+		placements, err := sys.Insert(store.Entry{
+			GUID:    guid.FromUint64(uint64(i)),
+			NAs:     []store.NA{{AS: 0}},
+			Version: 1,
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(placements)
+	}
+	counts := sys.HostedCounts()
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	// Replicas of one GUID may share an AS only if the hash collides on
+	// the same store key — same GUID, so the store deduplicates. Sum must
+	// equal the number of distinct (AS, GUID) pairs, ≤ total.
+	if sum > total || sum < 20*4 {
+		t.Errorf("hosted sum = %d, placements = %d", sum, total)
+	}
+}
+
+func TestVerifyConsistencyCleanSystem(t *testing.T) {
+	sys := newTestSystem(t, 5, true)
+	for i := 1; i <= 40; i++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(i)),
+			NAs:     []store.NA{{AS: i % 100}},
+			Version: 1,
+		}
+		if _, err := sys.Insert(e, i%100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sys.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Errorf("clean system inconsistent: %v", rep)
+	}
+	if rep.Mappings != 40 {
+		t.Errorf("audited %d mappings, want 40", rep.Mappings)
+	}
+}
+
+func TestVerifyConsistencyAfterChurn(t *testing.T) {
+	sys := newTestSystem(t, 5, false)
+	for i := 1; i <= 40; i++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(i)),
+			NAs:     []store.NA{{AS: i % 100}},
+			Version: 1,
+		}
+		if _, err := sys.Insert(e, i%100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Withdraw a replica-hosting prefix: migration must leave the system
+	// consistent with the NEW placement function.
+	pl, err := sys.Resolver().PlaceReplica(guid.FromUint64(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx, ok := sys.Resolver().Table().Lookup(pl.Addr)
+	if !ok {
+		t.Fatal("no prefix")
+	}
+	if _, err := sys.WithdrawPrefix(pfx.Prefix, pfx.AS); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Withdrawal re-homes orphans; mappings the withdrawn AS hosted via
+	// OTHER prefixes remain valid. Remaining entries at the withdrawing
+	// AS for unaffected prefixes are fine; no replicas may be missing.
+	if rep.MissingReplicas != 0 {
+		t.Errorf("missing replicas after migration: %v", rep)
+	}
+	if rep.VersionSkews != 0 {
+		t.Errorf("version skews after migration: %v", rep)
+	}
+}
+
+func TestVerifyConsistencyDetectsTampering(t *testing.T) {
+	sys := newTestSystem(t, 3, false)
+	e := testEntry("tampered", 1, 9)
+	placements, err := sys.Insert(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete one replica behind the system's back.
+	st, err := sys.Store(placements[1].AS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Delete(e.GUID)
+	rep, err := sys.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissingReplicas == 0 {
+		t.Errorf("audit missed a deleted replica: %v", rep)
+	}
+	// Plant a stray at an unrelated AS.
+	stray, err := sys.Store(499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isReplica := false
+	for _, p := range placements {
+		if p.AS == 499 {
+			isReplica = true
+		}
+	}
+	if !isReplica {
+		if _, err := stray.Put(testEntry("tampered", 1, 9)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err = sys.VerifyConsistency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Strays == 0 {
+			t.Errorf("audit missed a stray: %v", rep)
+		}
+	}
+	// Version skew: bump one replica only.
+	e2 := testEntry("tampered", 7, 10)
+	if _, err := st.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = sys.VerifyConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VersionSkews == 0 {
+		t.Errorf("audit missed a version skew: %v", rep)
+	}
+	if rep.Ok() {
+		t.Error("tampered system reported Ok")
+	}
+	if rep.String() == "" {
+		t.Error("String output")
+	}
+}

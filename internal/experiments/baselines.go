@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmap/internal/analytical"
+	"dmap/internal/core"
+	"dmap/internal/dht"
+	"dmap/internal/guid"
+	"dmap/internal/stats"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// BaselinesConfig drives the DMap-vs-alternatives comparison (§II-B,
+// §VI): the same workload resolved through DMap, a Chord DHT, a one-hop
+// DHT and a MobileIP-style home agent.
+type BaselinesConfig struct {
+	// K is DMap's replication factor.
+	K int
+	// NumGUIDs / NumLookups size the workload.
+	NumGUIDs   int
+	NumLookups int
+	// CacheCapacity bounds the Dijkstra cache used for multi-hop paths.
+	CacheCapacity int
+	// Seed fixes the workload.
+	Seed int64
+}
+
+// BaselineRow is one scheme's latency/hop digest.
+type BaselineRow struct {
+	Scheme      string
+	RTT         stats.Summary // milliseconds
+	OverlayHops float64       // mean overlay hops per lookup
+}
+
+// BaselinesResult compares resolution schemes on identical workloads.
+type BaselinesResult struct {
+	Rows []BaselineRow
+}
+
+// RunBaselines evaluates all four schemes. Multi-hop Chord paths need
+// arbitrary pairwise distances, so this experiment favours moderate world
+// sizes (≲5k ASs) where the distance cache covers every source.
+func RunBaselines(w *World, cfg BaselinesConfig) (*BaselinesResult, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("experiments: K must be positive")
+	}
+	trace, err := workload.Generate(workload.TraceConfig{
+		NumGUIDs:      cfg.NumGUIDs,
+		NumLookups:    cfg.NumLookups,
+		SourceWeights: w.Graph.EndNodeWeights(),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	capacity := cfg.CacheCapacity
+	if capacity <= 0 {
+		capacity = w.NumAS()
+	}
+	cache, err := topology.NewDistCache(w.Graph, capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	resolver, err := core.NewResolver(guid.MustHasher(cfg.K, 0), w.Table, 0)
+	if err != nil {
+		return nil, err
+	}
+	chord, err := dht.NewChord(w.NumAS(), 1)
+	if err != nil {
+		return nil, err
+	}
+	oneHop, err := dht.NewOneHop(w.NumAS(), 2)
+	if err != nil {
+		return nil, err
+	}
+	home := dht.NewHomeAgent()
+
+	// DMap placements and home registration share the GUID index space.
+	placements := make([][]int, cfg.NumGUIDs)
+	guids := make([]guid.GUID, cfg.NumGUIDs)
+	for gi := 0; gi < cfg.NumGUIDs; gi++ {
+		g := guid.FromUint64(uint64(gi) + 1)
+		guids[gi] = g
+		pls, err := resolver.Place(g)
+		if err != nil {
+			return nil, err
+		}
+		ass := make([]int, len(pls))
+		for i, p := range pls {
+			ass[i] = p.AS
+		}
+		placements[gi] = ass
+		// The first insert AS is the permanent MobileIP home.
+		home.Register(g, trace.HomeAS[gi])
+	}
+
+	dmapCol := stats.NewCollector(cfg.NumLookups)
+	chordCol := stats.NewCollector(cfg.NumLookups)
+	oneHopCol := stats.NewCollector(cfg.NumLookups)
+	homeCol := stats.NewCollector(cfg.NumLookups)
+	var chordHops, oneHopHops float64
+
+	for _, ev := range trace.Lookups {
+		src, gi := ev.SrcAS, ev.GUIDIndex
+
+		// DMap: closest of K replicas, single overlay hop.
+		best := topology.InfMicros
+		for _, as := range placements[gi] {
+			if rtt := cache.RTT(src, as); rtt < best {
+				best = rtt
+			}
+		}
+		dmapCol.Add(best.Millis())
+
+		// Chord: recursive route to the owner, direct reply.
+		path, err := chord.LookupPath(src, guids[gi])
+		if err != nil {
+			return nil, err
+		}
+		var lat topology.Micros
+		for i := 1; i < len(path); i++ {
+			lat += cache.OneWay(path[i-1], path[i])
+		}
+		lat += cache.OneWay(path[len(path)-1], src)
+		chordCol.Add(lat.Millis())
+		chordHops += float64(len(path) - 1)
+
+		// One-hop DHT: direct to the single owner.
+		opath, err := oneHop.LookupPath(src, guids[gi])
+		if err != nil {
+			return nil, err
+		}
+		oneHopCol.Add(cache.RTT(src, opath[len(opath)-1]).Millis())
+		oneHopHops += float64(len(opath) - 1)
+
+		// Home agent: always the fixed home AS.
+		hpath, err := home.LookupPath(src, guids[gi])
+		if err != nil {
+			return nil, err
+		}
+		homeCol.Add(cache.RTT(src, hpath[len(hpath)-1]).Millis())
+	}
+
+	n := float64(cfg.NumLookups)
+	return &BaselinesResult{Rows: []BaselineRow{
+		{Scheme: fmt.Sprintf("DMap (K=%d)", cfg.K), RTT: dmapCol.Summarize(), OverlayHops: 1},
+		{Scheme: "One-hop DHT", RTT: oneHopCol.Summarize(), OverlayHops: oneHopHops / n},
+		{Scheme: "Home agent", RTT: homeCol.Summarize(), OverlayHops: 1},
+		{Scheme: "Chord DHT", RTT: chordCol.Summarize(), OverlayHops: chordHops / n},
+	}}, nil
+}
+
+// String renders the comparison table.
+func (r *BaselinesResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s\n", "scheme", "mean(ms)", "median", "p95", "hops")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %10.1f %10.1f %10.1f %10.2f\n",
+			row.Scheme, row.RTT.Mean, row.RTT.Median, row.RTT.P95, row.OverlayHops)
+	}
+	return b.String()
+}
+
+// Fig7Result holds the analytical response-time upper bounds per
+// scenario.
+type Fig7Result struct {
+	MaxK int
+	// Series maps scenario name to bounds for K = 1..MaxK (ms).
+	Series map[string][]float64
+	Order  []string
+}
+
+// RunFig7 evaluates the §V bound for the three Internet-evolution
+// scenarios (Figure 7).
+func RunFig7(maxK int) (*Fig7Result, error) {
+	res := &Fig7Result{MaxK: maxK, Series: make(map[string][]float64, 3)}
+	for _, s := range []analytical.Scenario{
+		analytical.PresentInternet,
+		analytical.MediumTermInternet,
+		analytical.LongTermInternet,
+	} {
+		m, err := analytical.ScenarioModel(s)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := m.Sweep(maxK)
+		if err != nil {
+			return nil, err
+		}
+		res.Series[s.String()] = vals
+		res.Order = append(res.Order, s.String())
+	}
+	return res, nil
+}
+
+// String renders Figure 7 as a series table.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s", "K")
+	for _, name := range r.Order {
+		fmt.Fprintf(&b, " %28s", name)
+	}
+	b.WriteByte('\n')
+	for k := 1; k <= r.MaxK; k++ {
+		fmt.Fprintf(&b, "%-4d", k)
+		for _, name := range r.Order {
+			fmt.Fprintf(&b, " %26.1f ms", r.Series[name][k-1])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MeasuredJellyfishModel builds an analytical model from the generated
+// topology's own layer decomposition, letting the measured world be
+// compared against the paper's parametric scenarios.
+func MeasuredJellyfishModel(w *World) (*analytical.Model, error) {
+	jf := topology.DecomposeJellyfish(w.Graph)
+	return analytical.NewModel(jf.LayerFractions, 0, 0)
+}
+
+// MSweepRow reports Algorithm 1 behaviour for one rehash bound.
+type MSweepRow struct {
+	M            int
+	FallbackRate float64
+	NLRp99       float64
+}
+
+// RunMSweep is ablation A3: how the rehash bound M trades deputy-AS
+// fallbacks (which concentrate load near large holes) against hashing
+// work. NLR tail is measured over numGUIDs placements with K=1.
+func RunMSweep(w *World, ms []int, numGUIDs int) ([]MSweepRow, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("experiments: no M values")
+	}
+	rawShares := w.Table.ShareByAS()
+	announced := w.Table.AnnouncedFraction()
+	shares := make(map[int]float64, len(rawShares))
+	for as, s := range rawShares {
+		shares[as] = s / announced
+	}
+
+	rows := make([]MSweepRow, 0, len(ms))
+	for _, m := range ms {
+		resolver, err := core.NewResolver(guid.MustHasher(1, 0), w.Table, m)
+		if err != nil {
+			return nil, err
+		}
+		hosted := make(map[int]int)
+		fallbacks := 0
+		for gi := 1; gi <= numGUIDs; gi++ {
+			p, err := resolver.PlaceReplica(guid.FromUint64(uint64(gi)), 0)
+			if err != nil {
+				return nil, err
+			}
+			hosted[p.AS]++
+			if p.UsedNearest {
+				fallbacks++
+			}
+		}
+		col := stats.NormalizedLoadRatios(hosted, shares)
+		rows = append(rows, MSweepRow{
+			M:            m,
+			FallbackRate: float64(fallbacks) / float64(numGUIDs),
+			NLRp99:       col.Percentile(99),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].M < rows[j].M })
+	return rows, nil
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dmap/internal/cache"
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/stats"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// CachingConfig drives the §VII in-network caching extension experiment:
+// each source AS caches resolved mappings with a TTL, trading lookup
+// latency against bounded staleness under host mobility.
+type CachingConfig struct {
+	// K is the replication factor of the underlying DMap.
+	K int
+	// NumGUIDs / NumLookups size the workload.
+	NumGUIDs   int
+	NumLookups int
+	// DurationSec is the simulated wall span the lookups spread over.
+	DurationSec float64
+	// UpdateRatePerSec is each GUID's mobility rate (the paper's
+	// ~100 updates/day ≈ 0.00116/s).
+	UpdateRatePerSec float64
+	// TTLs lists cache TTLs to evaluate (0 in the list means "no cache",
+	// the baseline row).
+	TTLs []topology.Micros
+	// CacheCapacity bounds each AS's cache.
+	CacheCapacity int
+	// Seed fixes workloads and staleness sampling.
+	Seed int64
+}
+
+// CachingRow is one TTL's outcome.
+type CachingRow struct {
+	TTL       topology.Micros
+	Latency   stats.Summary // ms
+	HitRate   float64
+	StaleRate float64 // fraction of all lookups answered with a stale mapping
+}
+
+// CachingResult holds one row per TTL.
+type CachingResult struct {
+	Rows []CachingRow
+}
+
+// RunCaching evaluates per-AS query caching on top of DMap. A cache hit
+// answers at intra-AS latency; the mapping is stale if its GUID moved
+// after the cache fill, which happens with probability
+// 1 − exp(−rate·age) under Poisson mobility.
+func RunCaching(w *World, cfg CachingConfig) (*CachingResult, error) {
+	if cfg.K <= 0 || cfg.NumGUIDs <= 0 || cfg.NumLookups <= 0 {
+		return nil, fmt.Errorf("experiments: invalid caching workload")
+	}
+	if cfg.DurationSec <= 0 || cfg.UpdateRatePerSec < 0 {
+		return nil, fmt.Errorf("experiments: invalid caching time parameters")
+	}
+	if len(cfg.TTLs) == 0 {
+		return nil, fmt.Errorf("experiments: no TTLs")
+	}
+	capacity := cfg.CacheCapacity
+	if capacity <= 0 {
+		capacity = 1024
+	}
+
+	trace, err := workload.Generate(workload.TraceConfig{
+		NumGUIDs:      cfg.NumGUIDs,
+		NumLookups:    cfg.NumLookups,
+		SourceWeights: w.Graph.EndNodeWeights(),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(cfg.K, 0), w.Table, 0)
+	if err != nil {
+		return nil, err
+	}
+	placements := make([][]int32, cfg.NumGUIDs)
+	for gi := 0; gi < cfg.NumGUIDs; gi++ {
+		g := guid.FromUint64(uint64(gi) + 1)
+		ass := make([]int32, cfg.K)
+		for r := 0; r < cfg.K; r++ {
+			p, err := resolver.PlaceReplica(g, r)
+			if err != nil {
+				return nil, err
+			}
+			ass[r] = int32(p.AS)
+		}
+		placements[gi] = ass
+	}
+
+	// Assign each lookup a uniform time in the window, then group by
+	// source AS and sort each group by time (caches are per source, so
+	// per-source time order is all TTL semantics need).
+	rng := rand.New(rand.NewSource(cfg.Seed + 101))
+	times := make([]topology.Micros, len(trace.Lookups))
+	for i := range times {
+		times[i] = topology.Micros(rng.Float64() * cfg.DurationSec * 1e6)
+	}
+	bySrc := make(map[int][]int)
+	for i, ev := range trace.Lookups {
+		bySrc[ev.SrcAS] = append(bySrc[ev.SrcAS], i)
+	}
+	sources := make([]int, 0, len(bySrc))
+	for src := range bySrc {
+		idx := bySrc[src]
+		sort.Slice(idx, func(a, b int) bool { return times[idx[a]] < times[idx[b]] })
+		sources = append(sources, src)
+	}
+	sort.Ints(sources)
+
+	res := &CachingResult{Rows: make([]CachingRow, 0, len(cfg.TTLs))}
+	dist := make([]topology.Micros, w.NumAS())
+
+	for _, ttl := range cfg.TTLs {
+		col := stats.NewCollector(cfg.NumLookups)
+		staleRng := rand.New(rand.NewSource(cfg.Seed + int64(ttl)%7919 + 5))
+		var hits, stale int64
+
+		for _, src := range sources {
+			w.Graph.Dijkstra(src, dist)
+			var cc *cache.Cache
+			if ttl > 0 {
+				cc, err = cache.New(capacity, ttl)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, li := range bySrc[src] {
+				ev := trace.Lookups[li]
+				now := times[li]
+				g := guid.FromUint64(uint64(ev.GUIDIndex) + 1)
+
+				if cc != nil {
+					if _, cachedAt, ok := cc.Get(g, now); ok {
+						hits++
+						col.Add((2 * w.Graph.Intra(src)).Millis())
+						// Poisson mobility: stale with p = 1 − e^(−λ·age).
+						age := float64(now-cachedAt) / 1e6
+						if staleRng.Float64() < 1-math.Exp(-cfg.UpdateRatePerSec*age) {
+							stale++
+						}
+						continue
+					}
+				}
+				best := topology.InfMicros
+				for _, as := range placements[ev.GUIDIndex] {
+					if rtt := w.Graph.RTT(src, int(as), dist); rtt < best {
+						best = rtt
+					}
+				}
+				col.Add(best.Millis())
+				if cc != nil {
+					// The experiment measures latency and staleness, not
+					// payloads; an empty entry keeps the cache cheap.
+					cc.Put(g, store.Entry{}, now)
+				}
+			}
+		}
+		res.Rows = append(res.Rows, CachingRow{
+			TTL:       ttl,
+			Latency:   col.Summarize(),
+			HitRate:   float64(hits) / float64(cfg.NumLookups),
+			StaleRate: float64(stale) / float64(cfg.NumLookups),
+		})
+	}
+	return res, nil
+}
+
+// String renders the caching trade-off table.
+func (r *CachingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %8s %8s\n", "TTL", "mean(ms)", "median", "p95", "hit%", "stale%")
+	for _, row := range r.Rows {
+		name := "off"
+		if row.TTL > 0 {
+			name = fmt.Sprintf("%.0fs", float64(row.TTL)/1e6)
+		}
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %7.1f%% %7.2f%%\n",
+			name, row.Latency.Mean, row.Latency.Median, row.Latency.P95,
+			100*row.HitRate, 100*row.StaleRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmap/internal/topology"
+)
+
+func TestRunCachingValidation(t *testing.T) {
+	w := testWorld(t)
+	bad := []CachingConfig{
+		{K: 0, NumGUIDs: 10, NumLookups: 10, DurationSec: 1, TTLs: []topology.Micros{0}},
+		{K: 1, NumGUIDs: 0, NumLookups: 10, DurationSec: 1, TTLs: []topology.Micros{0}},
+		{K: 1, NumGUIDs: 10, NumLookups: 10, DurationSec: 0, TTLs: []topology.Micros{0}},
+		{K: 1, NumGUIDs: 10, NumLookups: 10, DurationSec: 1, UpdateRatePerSec: -1, TTLs: []topology.Micros{0}},
+		{K: 1, NumGUIDs: 10, NumLookups: 10, DurationSec: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunCaching(w, cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestCachingTradeoff(t *testing.T) {
+	w := testWorld(t)
+	// A dense window: 40k lookups over 50 hot GUIDs in 10 minutes, so
+	// per-source reuse actually occurs.
+	res, err := RunCaching(w, CachingConfig{
+		K:                5,
+		NumGUIDs:         50,
+		NumLookups:       40000,
+		DurationSec:      600,
+		UpdateRatePerSec: 100.0 / 86400,                                 // one move per ~14 min per GUID
+		TTLs:             []topology.Micros{0, 10_000_000, 600_000_000}, // off, 10 s, 10 min
+		Seed:             6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	off, short, long := res.Rows[0], res.Rows[1], res.Rows[2]
+
+	if off.HitRate != 0 || off.StaleRate != 0 {
+		t.Errorf("cache-off row = %+v", off)
+	}
+	// Longer TTL → more hits and lower mean latency...
+	if long.HitRate <= short.HitRate {
+		t.Errorf("hit rates: short %.3f, long %.3f", short.HitRate, long.HitRate)
+	}
+	if long.HitRate < 0.1 {
+		t.Errorf("10-min TTL hit rate = %.3f, want substantial reuse", long.HitRate)
+	}
+	if long.Latency.Mean >= off.Latency.Mean {
+		t.Errorf("caching did not reduce mean latency: %.1f vs %.1f",
+			long.Latency.Mean, off.Latency.Mean)
+	}
+	// ...but also more staleness: at one move per ~14 min, 10-minute-old
+	// answers are stale ~25% of the time — the §VII trade-off and the
+	// reason the paper rejects DNS-style long-TTL caching for mobility.
+	if long.StaleRate < short.StaleRate {
+		t.Errorf("staleness should not shrink with TTL: short %.4f, long %.4f",
+			short.StaleRate, long.StaleRate)
+	}
+	if long.StaleRate > long.HitRate {
+		t.Errorf("stale %.4f cannot exceed hits %.4f", long.StaleRate, long.HitRate)
+	}
+	staleGivenHitShort := short.StaleRate / short.HitRate
+	staleGivenHitLong := long.StaleRate / long.HitRate
+	if staleGivenHitShort > 0.02 {
+		t.Errorf("10-s TTL stale-per-hit = %.4f, want < 2%%", staleGivenHitShort)
+	}
+	if staleGivenHitLong < staleGivenHitShort {
+		t.Errorf("stale-per-hit should grow with TTL: %.4f vs %.4f",
+			staleGivenHitLong, staleGivenHitShort)
+	}
+	if !strings.Contains(res.String(), "stale%") {
+		t.Error("String output")
+	}
+}
+
+func TestRunUpdateLatency(t *testing.T) {
+	w := testWorld(t)
+	res, err := RunUpdate(w, UpdateConfig{Ks: []int{1, 5}, NumUpdates: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c5 := res.PerK[1], res.PerK[5]
+	if c1.N() != 5000 || c5.N() != 5000 {
+		t.Fatal("sample counts")
+	}
+	// Update latency is max-over-K: more replicas cannot be faster.
+	if c5.Mean() < c1.Mean() {
+		t.Errorf("K=5 update mean %.1f < K=1 %.1f", c5.Mean(), c1.Mean())
+	}
+	if c5.Median() < c1.Median() {
+		t.Errorf("K=5 update median %.1f < K=1 %.1f", c5.Median(), c1.Median())
+	}
+	// §IV-B2a: updates must fit comfortably inside handoff times.
+	if res.WithinBudget[5] < 0.95 {
+		t.Errorf("only %.1f%% of K=5 updates within 500 ms", 100*res.WithinBudget[5])
+	}
+	if !strings.Contains(res.String(), "within 500ms") {
+		t.Error("String output")
+	}
+}
+
+func TestRunUpdateValidation(t *testing.T) {
+	w := testWorld(t)
+	if _, err := RunUpdate(w, UpdateConfig{NumUpdates: 5}); err == nil {
+		t.Error("no Ks should fail")
+	}
+	if _, err := RunUpdate(w, UpdateConfig{Ks: []int{1}, NumUpdates: 0}); err == nil {
+		t.Error("no updates should fail")
+	}
+	if _, err := RunUpdate(w, UpdateConfig{Ks: []int{0}, NumUpdates: 5}); err == nil {
+		t.Error("K=0 should fail")
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/nodesim"
+	"dmap/internal/prefixtable"
+	"dmap/internal/simnet"
+	"dmap/internal/stats"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// ChurnSimConfig drives the protocol-level churn experiment: real timed
+// BGP withdrawals and announcements applied to a live event-driven
+// deployment while a lookup stream runs — the end-to-end version of
+// Fig. 5's abstracted miss-rate model, exercising the §III-D1 migration
+// protocol itself.
+type ChurnSimConfig struct {
+	K          int
+	NumGUIDs   int
+	NumLookups int
+	// DurationSec is the simulated window; lookups spread uniformly and
+	// churn follows the configured rates.
+	DurationSec float64
+	// WithdrawPerSec / AnnouncePerSec are BGP churn rates (§III-D1).
+	WithdrawPerSec float64
+	AnnouncePerSec float64
+	Seed           int64
+}
+
+// ChurnSimResult reports protocol behaviour under live churn.
+type ChurnSimResult struct {
+	Latency stats.Summary // ms, successful lookups
+	// Lookups / Failures count the stream; with K replicas and migration
+	// the protocol should keep Failures at zero.
+	Lookups  int
+	Failures int
+	// Migrated counts mappings re-homed by withdrawals.
+	Migrated int
+	// Withdrawals / Announcements applied.
+	Withdrawals   int
+	Announcements int
+	// Repaired counts orphan mappings pulled back by the §III-D1 lazy
+	// announce-repair (RepairMiss) once traffic settles.
+	Repaired int
+	// Retried counts lookups that needed more than one replica attempt.
+	Retried int
+	// Consistency is the post-run audit of the deployment's invariants
+	// (core.System.VerifyConsistency): after churn settles there must be
+	// no missing replicas, version skews or stray entries.
+	Consistency core.ConsistencyReport
+}
+
+// RunChurnSim executes the experiment at protocol level (moderate world
+// sizes; every message is simulated).
+func RunChurnSim(w *World, cfg ChurnSimConfig) (*ChurnSimResult, error) {
+	if cfg.K <= 0 || cfg.NumGUIDs <= 0 || cfg.NumLookups <= 0 || cfg.DurationSec <= 0 {
+		return nil, fmt.Errorf("experiments: invalid churn-sim config")
+	}
+	trace, err := workload.Generate(workload.TraceConfig{
+		NumGUIDs:      cfg.NumGUIDs,
+		NumLookups:    cfg.NumLookups,
+		SourceWeights: w.Graph.EndNodeWeights(),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(cfg.K, 0), w.Table, 0)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Resolver: resolver, NumAS: w.NumAS(), LocalReplica: false,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cache, err := topology.NewDistCache(w.Graph, 512)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := nodesim.NewDeployment(sys, simnet.New(), cache, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Populate synchronously (state setup, not measured).
+	for gi := 0; gi < cfg.NumGUIDs; gi++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(gi) + 1),
+			NAs:     []store.NA{{AS: trace.HomeAS[gi], Addr: netaddr.Addr(gi)}},
+			Version: 1,
+		}
+		if _, err := sys.Insert(e, trace.HomeAS[gi]); err != nil {
+			return nil, err
+		}
+	}
+
+	churn, err := prefixtable.GenerateChurn(w.Table, prefixtable.ChurnConfig{
+		WithdrawPerSec: cfg.WithdrawPerSec,
+		AnnouncePerSec: cfg.AnnouncePerSec,
+		DurationSec:    cfg.DurationSec,
+		Seed:           cfg.Seed + 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ChurnSimResult{Lookups: cfg.NumLookups}
+	col := stats.NewCollector(cfg.NumLookups)
+	sim := dep.Sim()
+
+	for _, ev := range churn {
+		ev := ev
+		at := simnet.Time(ev.AtSec * 1e6)
+		if err := sim.At(at, func() {
+			switch ev.Kind {
+			case prefixtable.ChurnWithdraw:
+				n, err := sys.WithdrawPrefix(ev.Prefix.Prefix, ev.Prefix.AS)
+				if err != nil {
+					return // already withdrawn by an overlapping event
+				}
+				res.Migrated += n
+				res.Withdrawals++
+			case prefixtable.ChurnAnnounce:
+				if err := sys.AnnouncePrefix(ev.Prefix.Prefix, ev.Prefix.AS); err == nil {
+					res.Announcements++
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	rngStep := cfg.DurationSec * 1e6 / float64(cfg.NumLookups)
+	for i, ev := range trace.Lookups {
+		ev := ev
+		at := simnet.Time(float64(i) * rngStep)
+		g := guid.FromUint64(uint64(ev.GUIDIndex) + 1)
+		if err := sim.At(at, func() {
+			err := dep.Lookup(ev.SrcAS, g, func(r nodesim.LookupResult) {
+				if !r.Found {
+					res.Failures++
+					return
+				}
+				if r.Attempts > 1 {
+					res.Retried++
+				}
+				col.Add(float64(r.Latency) / 1000)
+			})
+			if err != nil {
+				res.Failures++
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	sim.Run(0)
+	res.Latency = col.Summarize()
+
+	// Settle the lazy announce-repair: in production each orphan is
+	// pulled on its first post-announcement query (§III-D1); here we
+	// sweep so the post-run audit reflects the repaired steady state.
+	for _, ev := range churn {
+		if ev.Kind != prefixtable.ChurnAnnounce {
+			continue
+		}
+		for gi := 0; gi < cfg.NumGUIDs; gi++ {
+			g := guid.FromUint64(uint64(gi) + 1)
+			repaired, err := sys.RepairMiss(g, ev.Prefix.Prefix, ev.Prefix.AS)
+			if err != nil {
+				return nil, err
+			}
+			if repaired {
+				res.Repaired++
+			}
+		}
+	}
+
+	rep, err := sys.VerifyConsistency()
+	if err != nil {
+		return nil, err
+	}
+	res.Consistency = rep
+	return res, nil
+}
+
+// String renders the churn-sim report.
+func (r *ChurnSimResult) String() string {
+	return fmt.Sprintf(
+		"lookups: %d (failures %d, retried %d)\nwithdrawals: %d (migrated %d mappings), announcements: %d (repaired %d)\nlatency: %v\nconsistency audit: %v\n",
+		r.Lookups, r.Failures, r.Retried, r.Withdrawals, r.Migrated, r.Announcements, r.Repaired, r.Latency, r.Consistency)
+}

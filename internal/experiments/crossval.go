@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/nodesim"
+	"dmap/internal/simnet"
+	"dmap/internal/stats"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// CrossValConfig drives the engine cross-validation: the same workload
+// evaluated through (a) the closed-form grouped evaluator used for the
+// figure-scale runs and (b) the message-level discrete-event engine. The
+// two implementations share no latency code paths beyond the topology,
+// so agreement validates both (DESIGN.md "Scale strategy").
+type CrossValConfig struct {
+	K          int
+	NumGUIDs   int
+	NumLookups int
+	Seed       int64
+}
+
+// CrossValResult compares the two engines.
+type CrossValResult struct {
+	ClosedForm stats.Summary // ms
+	EventSim   stats.Summary // ms
+	// MaxAbsDiffMs is the largest per-query latency disagreement.
+	MaxAbsDiffMs float64
+	// Queries is the number of compared lookups.
+	Queries int
+}
+
+// RunCrossVal executes the comparison. Failure-free lookups are used so
+// both engines should agree exactly up to integer-microsecond rounding.
+func RunCrossVal(w *World, cfg CrossValConfig) (*CrossValResult, error) {
+	if cfg.K <= 0 || cfg.NumGUIDs <= 0 || cfg.NumLookups <= 0 {
+		return nil, fmt.Errorf("experiments: invalid cross-validation config")
+	}
+	trace, err := workload.Generate(workload.TraceConfig{
+		NumGUIDs:      cfg.NumGUIDs,
+		NumLookups:    cfg.NumLookups,
+		SourceWeights: w.Graph.EndNodeWeights(),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(cfg.K, 0), w.Table, 0)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Resolver: resolver, NumAS: w.NumAS(), LocalReplica: false,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Populate the stores once; both engines read the same state.
+	for gi := 0; gi < cfg.NumGUIDs; gi++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(gi) + 1),
+			NAs:     []store.NA{{AS: trace.HomeAS[gi], Addr: netaddr.Addr(gi)}},
+			Version: 1,
+		}
+		if _, err := sys.Insert(e, trace.HomeAS[gi]); err != nil {
+			return nil, err
+		}
+	}
+
+	cache, err := topology.NewDistCache(w.Graph, w.NumAS())
+	if err != nil {
+		return nil, err
+	}
+
+	// (a) Closed-form: core.System.Lookup with the cached latency model.
+	closed := stats.NewCollector(cfg.NumLookups)
+	closedVals := make([]topology.Micros, cfg.NumLookups)
+	for i, ev := range trace.Lookups {
+		g := guid.FromUint64(uint64(ev.GUIDIndex) + 1)
+		_, outcome, err := sys.Lookup(g, ev.SrcAS, cache, core.LookupOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("closed-form lookup %d: %w", i, err)
+		}
+		closed.Add(outcome.RTT.Millis())
+		closedVals[i] = outcome.RTT
+	}
+
+	// (b) Event-driven: the same lookups as scheduled messages.
+	dep, err := nodesim.NewDeployment(sys, simnet.New(), cache, 0)
+	if err != nil {
+		return nil, err
+	}
+	eventVals := make([]topology.Micros, cfg.NumLookups)
+	evCol := stats.NewCollector(cfg.NumLookups)
+	for i, ev := range trace.Lookups {
+		i, ev := i, ev
+		g := guid.FromUint64(uint64(ev.GUIDIndex) + 1)
+		// Space queries far apart so each completes in isolation.
+		at := simnet.Time(i) * 10_000_000
+		if err := dep.Sim().At(at, func() {
+			err := dep.Lookup(ev.SrcAS, g, func(r nodesim.LookupResult) {
+				if !r.Found {
+					eventVals[i] = -1
+					return
+				}
+				eventVals[i] = r.Latency
+			})
+			if err != nil {
+				eventVals[i] = -1
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	dep.Sim().Run(0)
+
+	maxDiff := 0.0
+	for i := range eventVals {
+		if eventVals[i] < 0 {
+			return nil, fmt.Errorf("event-sim lookup %d failed", i)
+		}
+		evCol.Add(eventVals[i].Millis())
+		if d := math.Abs(eventVals[i].Millis() - closedVals[i].Millis()); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return &CrossValResult{
+		ClosedForm:   closed.Summarize(),
+		EventSim:     evCol.Summarize(),
+		MaxAbsDiffMs: maxDiff,
+		Queries:      cfg.NumLookups,
+	}, nil
+}
+
+// String renders the comparison.
+func (r *CrossValResult) String() string {
+	return fmt.Sprintf(
+		"closed-form: %v\nevent-sim:   %v\nmax per-query |Δ| = %.3f ms over %d queries\n",
+		r.ClosedForm, r.EventSim, r.MaxAbsDiffMs, r.Queries)
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/stats"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// LatencyConfig drives the query-response-time experiments (Fig. 4,
+// Table I, Fig. 5 and the selection/local-replica ablations).
+type LatencyConfig struct {
+	// Ks lists the replication factors to evaluate (Fig. 4: 1, 3, 5).
+	Ks []int
+	// NumGUIDs / NumLookups size the workload (paper: 10^5 / 10^6).
+	NumGUIDs   int
+	NumLookups int
+	// MissRate is the per-replica probability of a "GUID missing" reply
+	// caused by BGP-churn inconsistency (Fig. 5: 0, 0.05, 0.10).
+	MissRate float64
+	// LocalReplica stores an extra copy at each GUID's attachment AS and
+	// lets same-AS queries resolve locally (§III-C). The paper's runs
+	// keep it on.
+	LocalReplica bool
+	// Selection is the replica-choice policy; zero means lowest RTT.
+	Selection core.SelectionPolicy
+	// MaxRehash is Algorithm 1's M; zero selects the default (10).
+	MaxRehash int
+	// HashToASNumbers switches to the §VII variant placing GUIDs
+	// uniformly over AS numbers instead of announced addresses.
+	HashToASNumbers bool
+	// Seed fixes workload generation and failure sampling.
+	Seed int64
+}
+
+// LatencyResult holds per-K round-trip-time distributions in
+// milliseconds.
+type LatencyResult struct {
+	PerK map[int]*stats.Collector
+	// LocalHits counts lookups answered by the local replica, per K.
+	LocalHits map[int]int
+	// Retries counts extra replica contacts forced by misses, per K.
+	Retries map[int]int
+}
+
+// RunLatency evaluates DMap query response times on w.
+//
+// Queries are evaluated grouped by source AS — one Dijkstra per distinct
+// source — which is exact for these experiments because lookups are
+// mutually independent (DESIGN.md, "Scale strategy").
+func RunLatency(w *World, cfg LatencyConfig) (*LatencyResult, error) {
+	if len(cfg.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: no K values")
+	}
+	if cfg.MissRate < 0 || cfg.MissRate >= 1 {
+		return nil, fmt.Errorf("experiments: miss rate %g out of [0,1)", cfg.MissRate)
+	}
+	trace, err := workload.Generate(workload.TraceConfig{
+		NumGUIDs:      cfg.NumGUIDs,
+		NumLookups:    cfg.NumLookups,
+		SourceWeights: w.Graph.EndNodeWeights(),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Group lookups by source AS.
+	bySrc := make(map[int][]int)
+	for i, ev := range trace.Lookups {
+		bySrc[ev.SrcAS] = append(bySrc[ev.SrcAS], i)
+	}
+	sources := make([]int, 0, len(bySrc))
+	for src := range bySrc {
+		sources = append(sources, src)
+	}
+	sort.Ints(sources)
+
+	res := &LatencyResult{
+		PerK:      make(map[int]*stats.Collector, len(cfg.Ks)),
+		LocalHits: make(map[int]int, len(cfg.Ks)),
+		Retries:   make(map[int]int, len(cfg.Ks)),
+	}
+
+	// Placements per GUID per K, computed once. Because the hash family
+	// is domain-separated on the replica index, the K=5 placements of a
+	// GUID extend its K=3 placements; one resolver at max K serves all.
+	maxK := 0
+	for _, k := range cfg.Ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("experiments: K must be positive, got %d", k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(maxK, 0), w.Table, cfg.MaxRehash)
+	if err != nil {
+		return nil, err
+	}
+	placements := make([][]int32, cfg.NumGUIDs)
+	for gi := 0; gi < cfg.NumGUIDs; gi++ {
+		g := guid.FromUint64(uint64(gi) + 1)
+		ass := make([]int32, maxK)
+		for r := 0; r < maxK; r++ {
+			var p core.Placement
+			var err error
+			if cfg.HashToASNumbers {
+				p, err = resolver.PlaceByASNumber(g, r, w.NumAS())
+			} else {
+				p, err = resolver.PlaceReplica(g, r)
+			}
+			if err != nil {
+				return nil, err
+			}
+			ass[r] = int32(p.AS)
+		}
+		placements[gi] = ass
+	}
+
+	type kState struct {
+		k         int
+		col       *stats.Collector
+		rng       *rand.Rand
+		localHits int
+		retries   int
+	}
+	states := make([]*kState, len(cfg.Ks))
+	for i, k := range cfg.Ks {
+		states[i] = &kState{
+			k:   k,
+			col: stats.NewCollector(cfg.NumLookups),
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(k)*7919)),
+		}
+	}
+
+	dist := make([]topology.Micros, w.NumAS())
+	var hops []int32
+	if cfg.Selection == core.SelectLeastHops {
+		hops = make([]int32, w.NumAS())
+	}
+	replicaBuf := make([]int, maxK)
+	scratch := make([]lookupCand, maxK)
+
+	// One Dijkstra per distinct source serves every K.
+	for _, src := range sources {
+		w.Graph.Dijkstra(src, dist)
+		if hops != nil {
+			w.Graph.HopBFS(src, hops)
+		}
+		for _, li := range bySrc[src] {
+			ev := trace.Lookups[li]
+			all := placements[ev.GUIDIndex]
+			localAS := localASFor(cfg, trace, ev.GUIDIndex)
+			for _, st := range states {
+				replicas := replicaBuf[:st.k]
+				for i := range replicas {
+					replicas[i] = int(all[i])
+				}
+				rtt, usedLocal, extra := evalLookup(w.Graph, src, replicas, dist, hops, scratch, evalOpts{
+					localAS:  localAS,
+					missRate: cfg.MissRate,
+					rng:      st.rng,
+				})
+				st.col.Add(rtt.Millis())
+				if usedLocal {
+					st.localHits++
+				}
+				st.retries += extra
+			}
+		}
+	}
+	for _, st := range states {
+		res.PerK[st.k] = st.col
+		res.LocalHits[st.k] = st.localHits
+		res.Retries[st.k] = st.retries
+	}
+	return res, nil
+}
+
+func localASFor(cfg LatencyConfig, trace *workload.Trace, guidIdx int) int {
+	if !cfg.LocalReplica {
+		return -1
+	}
+	return trace.HomeAS[guidIdx]
+}
+
+type evalOpts struct {
+	// localAS is the GUID's attachment AS holding the §III-C local copy
+	// (-1 when local replication is off).
+	localAS  int
+	missRate float64
+	rng      *rand.Rand
+}
+
+// lookupCand is one replica candidate during closed-form evaluation.
+type lookupCand struct {
+	as   int
+	rtt  topology.Micros
+	cost int64
+}
+
+// evalLookup reproduces core.System.Lookup's latency semantics in closed
+// form over a source-rooted distance vector: replicas are tried in
+// selection-policy order; each churn miss costs its RTT; the parallel
+// local lookup wins if it is faster than the eventual global answer.
+// scratch must have capacity ≥ len(replicas); it keeps the hot loop
+// allocation-free.
+func evalLookup(g *topology.Graph, src int, replicas []int, dist []topology.Micros, hops []int32, scratch []lookupCand, o evalOpts) (topology.Micros, bool, int) {
+	cands := scratch[:len(replicas)]
+	for i, as := range replicas {
+		c := lookupCand{as: as, rtt: g.RTT(src, as, dist)}
+		if hops != nil {
+			c.cost = int64(hops[as])
+		} else {
+			c.cost = int64(c.rtt)
+		}
+		cands[i] = c
+	}
+	// Insertion sort: K ≤ 20 and the slice is reused, so this beats
+	// sort.Slice's closure allocation on the hottest loop in the repo.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && (cands[j].cost < cands[j-1].cost ||
+			(cands[j].cost == cands[j-1].cost && cands[j].as < cands[j-1].as)); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+
+	localRTT := topology.Micros(-1)
+	if o.localAS == src {
+		localRTT = 2 * g.Intra(src)
+	}
+
+	var elapsed topology.Micros
+	retries := 0
+	for i, c := range cands {
+		if o.missRate > 0 && o.rng.Float64() < o.missRate {
+			elapsed += c.rtt
+			retries++
+			// If every replica misses this round, the querier retries the
+			// closest replica once more; churn inconsistency is transient
+			// and a repeat attempt succeeds (cf. §III-D2's re-check).
+			if i == len(cands)-1 {
+				total := elapsed + cands[0].rtt
+				if localRTT >= 0 && localRTT < total {
+					return localRTT, true, retries
+				}
+				return total, false, retries
+			}
+			continue
+		}
+		total := elapsed + c.rtt
+		if localRTT >= 0 && localRTT < total {
+			return localRTT, true, retries
+		}
+		return total, false, retries
+	}
+	// Unreachable: the loop always returns.
+	return elapsed, false, retries
+}
+
+// Table1 summarizes the Fig. 4 distributions the way Table I does.
+type Table1Row struct {
+	K      int
+	Mean   float64
+	Median float64
+	P95    float64
+}
+
+// Table1 extracts Table I rows (mean / median / 95th percentile RTT in
+// ms) from a latency result, in ascending K order.
+func (r *LatencyResult) Table1() []Table1Row {
+	ks := make([]int, 0, len(r.PerK))
+	for k := range r.PerK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	rows := make([]Table1Row, 0, len(ks))
+	for _, k := range ks {
+		c := r.PerK[k]
+		rows = append(rows, Table1Row{
+			K:      k,
+			Mean:   c.Mean(),
+			Median: c.Median(),
+			P95:    c.Percentile(95),
+		})
+	}
+	return rows
+}
+
+// String renders the result as a Table I-style text table plus CDF
+// checkpoints for each K (the Fig. 4 series).
+func (r *LatencyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %10s %10s %10s %10s %10s\n", "K", "mean(ms)", "median(ms)", "p95(ms)", "localHits", "retries")
+	for _, row := range r.Table1() {
+		fmt.Fprintf(&b, "%-4d %10.1f %10.1f %10.1f %10d %10d\n",
+			row.K, row.Mean, row.Median, row.P95, r.LocalHits[row.K], r.Retries[row.K])
+	}
+	return b.String()
+}
+
+// CDFSeries returns the Fig. 4 / Fig. 5 plot series for one K: points of
+// (RTT ms, cumulative fraction).
+func (r *LatencyResult) CDFSeries(k, points int) []stats.CDFPoint {
+	c, ok := r.PerK[k]
+	if !ok {
+		return nil
+	}
+	return c.CDF(points)
+}

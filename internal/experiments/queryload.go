@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/stats"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// QueryLoadConfig drives the query-serving load experiment: Fig. 6
+// measures *storage* balance; this companion measures how the *lookup
+// traffic* itself spreads over ASs. Two forces compete: K replicas give
+// every popular GUID K hosts (per-GUID relief), but closest-replica
+// selection preferentially routes to whichever replica sits nearest the
+// populous regions, concentrating service at well-positioned ASs — a
+// traffic-engineering tension the storage NLR of Fig. 6 cannot see.
+type QueryLoadConfig struct {
+	// Ks lists the replication factors to compare.
+	Ks []int
+	// NumGUIDs / NumLookups size the Zipf workload.
+	NumGUIDs   int
+	NumLookups int
+	Seed       int64
+}
+
+// QueryLoadRow summarizes one K.
+type QueryLoadRow struct {
+	K int
+	// MaxShare is the largest fraction of all lookups served by a single
+	// AS.
+	MaxShare float64
+	// Top10Share is the fraction served by the ten busiest ASs.
+	Top10Share float64
+	// NLRp99 is the 99th percentile of the per-AS query NLR (share of
+	// queries ÷ share of announced space).
+	NLRp99 float64
+}
+
+// QueryLoadResult holds one row per K.
+type QueryLoadResult struct {
+	Rows []QueryLoadRow
+}
+
+// RunQueryLoad evaluates query-serving concentration.
+func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
+	if len(cfg.Ks) == 0 || cfg.NumGUIDs <= 0 || cfg.NumLookups <= 0 {
+		return nil, fmt.Errorf("experiments: invalid query-load config")
+	}
+	trace, err := workload.Generate(workload.TraceConfig{
+		NumGUIDs:      cfg.NumGUIDs,
+		NumLookups:    cfg.NumLookups,
+		SourceWeights: w.Graph.EndNodeWeights(),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rawShares := w.Table.ShareByAS()
+	announced := w.Table.AnnouncedFraction()
+	shares := make(map[int]float64, len(rawShares))
+	for as, s := range rawShares {
+		shares[as] = s / announced
+	}
+
+	res := &QueryLoadResult{Rows: make([]QueryLoadRow, 0, len(cfg.Ks))}
+	dist := make([]topology.Micros, w.NumAS())
+
+	for _, k := range cfg.Ks {
+		resolver, err := core.NewResolver(guid.MustHasher(k, 0), w.Table, 0)
+		if err != nil {
+			return nil, err
+		}
+		placements := make([][]int32, cfg.NumGUIDs)
+		for gi := 0; gi < cfg.NumGUIDs; gi++ {
+			g := guid.FromUint64(uint64(gi) + 1)
+			ass := make([]int32, k)
+			for r := 0; r < k; r++ {
+				p, err := resolver.PlaceReplica(g, r)
+				if err != nil {
+					return nil, err
+				}
+				ass[r] = int32(p.AS)
+			}
+			placements[gi] = ass
+		}
+
+		// Group by source so closest-replica selection reuses Dijkstra.
+		bySrc := make(map[int][]int)
+		for i, ev := range trace.Lookups {
+			bySrc[ev.SrcAS] = append(bySrc[ev.SrcAS], i)
+		}
+		srcs := make([]int, 0, len(bySrc))
+		for s := range bySrc {
+			srcs = append(srcs, s)
+		}
+		sort.Ints(srcs)
+
+		served := make(map[int]int, w.NumAS())
+		for _, src := range srcs {
+			w.Graph.Dijkstra(src, dist)
+			for _, li := range bySrc[src] {
+				gi := trace.Lookups[li].GUIDIndex
+				best, bestRTT := -1, topology.InfMicros
+				for _, as := range placements[gi] {
+					if rtt := w.Graph.RTT(src, int(as), dist); rtt < bestRTT {
+						best, bestRTT = int(as), rtt
+					}
+				}
+				served[best]++
+			}
+		}
+
+		counts := make([]int, 0, len(served))
+		for _, c := range served {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		total := float64(cfg.NumLookups)
+		row := QueryLoadRow{K: k, MaxShare: float64(counts[0]) / total}
+		for i := 0; i < 10 && i < len(counts); i++ {
+			row.Top10Share += float64(counts[i]) / total
+		}
+		row.NLRp99 = stats.NormalizedLoadRatios(served, shares).Percentile(99)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the query-load table.
+func (r *QueryLoadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %12s %12s %12s\n", "K", "maxAS share", "top-10 share", "queryNLR p99")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-4d %11.2f%% %11.2f%% %12.1f\n",
+			row.K, 100*row.MaxShare, 100*row.Top10Share, row.NLRp99)
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/stats"
+	"dmap/internal/topology"
+	"dmap/internal/workload"
+)
+
+// UpdateConfig drives the update-latency experiment: §III-A observes
+// that "the update latency becomes the largest among the K ASs" because
+// replicas are written in parallel, and §IV-B's handoff discussion
+// requires updates to finish well inside typical 0.5–1 s WiFi/IP handoff
+// times.
+type UpdateConfig struct {
+	// Ks lists replication factors to evaluate.
+	Ks []int
+	// NumUpdates is the number of (GUID, source AS) update events.
+	NumUpdates int
+	// Seed fixes the workload.
+	Seed int64
+}
+
+// UpdateResult holds the per-K update-latency distributions (ms) and the
+// per-K fraction of updates completing within the 500 ms handoff budget.
+type UpdateResult struct {
+	PerK         map[int]*stats.Collector
+	WithinBudget map[int]float64
+}
+
+// HandoffBudgetMs is the conservative end of the paper's cited handoff
+// latencies ("often on the order of 0.5–1 second", §IV-B2a).
+const HandoffBudgetMs = 500.0
+
+// RunUpdate measures insert/update completion latency: the maximum RTT
+// over the K replicas of each GUID, evaluated grouped by source AS.
+func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
+	if len(cfg.Ks) == 0 {
+		return nil, fmt.Errorf("experiments: no K values")
+	}
+	if cfg.NumUpdates <= 0 {
+		return nil, fmt.Errorf("experiments: NumUpdates must be positive")
+	}
+	maxK := 0
+	for _, k := range cfg.Ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("experiments: K must be positive, got %d", k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(maxK, 0), w.Table, 0)
+	if err != nil {
+		return nil, err
+	}
+	src, err := workload.NewWeightedSampler(w.Graph.EndNodeWeights())
+	if err != nil {
+		return nil, err
+	}
+
+	// Each update i touches GUID i from a weighted-random source AS.
+	type ev struct {
+		guidIdx int
+		src     int
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	events := make([]ev, cfg.NumUpdates)
+	for i := range events {
+		events[i] = ev{guidIdx: i + 1, src: src.Sample(rng)}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].src < events[j].src })
+
+	res := &UpdateResult{
+		PerK:         make(map[int]*stats.Collector, len(cfg.Ks)),
+		WithinBudget: make(map[int]float64, len(cfg.Ks)),
+	}
+	for _, k := range cfg.Ks {
+		res.PerK[k] = stats.NewCollector(cfg.NumUpdates)
+	}
+
+	dist := make([]topology.Micros, w.NumAS())
+	lastSrc := -1
+	replicaAS := make([]int, maxK)
+	for _, e := range events {
+		if e.src != lastSrc {
+			w.Graph.Dijkstra(e.src, dist)
+			lastSrc = e.src
+		}
+		g := guid.FromUint64(uint64(e.guidIdx))
+		for r := 0; r < maxK; r++ {
+			p, err := resolver.PlaceReplica(g, r)
+			if err != nil {
+				return nil, err
+			}
+			replicaAS[r] = p.AS
+		}
+		for _, k := range cfg.Ks {
+			var max topology.Micros
+			for r := 0; r < k; r++ {
+				if rtt := w.Graph.RTT(e.src, replicaAS[r], dist); rtt > max {
+					max = rtt
+				}
+			}
+			res.PerK[k].Add(max.Millis())
+		}
+	}
+	for _, k := range cfg.Ks {
+		res.WithinBudget[k] = res.PerK[k].FractionBelow(HandoffBudgetMs)
+	}
+	return res, nil
+}
+
+// String renders the update-latency table.
+func (r *UpdateResult) String() string {
+	ks := make([]int, 0, len(r.PerK))
+	for k := range r.PerK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %10s %10s %10s %16s\n", "K", "mean(ms)", "median(ms)", "p95(ms)", "within 500ms")
+	for _, k := range ks {
+		c := r.PerK[k]
+		fmt.Fprintf(&b, "%-4d %10.1f %10.1f %10.1f %15.2f%%\n",
+			k, c.Mean(), c.Median(), c.Percentile(95), 100*r.WithinBudget[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§IV–§V), plus the ablations listed in DESIGN.md.
+// Each driver returns a typed result whose String method prints the same
+// rows or series the paper reports; cmd/dmapsim and the repository
+// benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"dmap/internal/prefixtable"
+	"dmap/internal/topology"
+)
+
+// World bundles the generated environment shared by all experiments: the
+// AS-level topology and the announced-prefix table (the substitutes for
+// the DIMES and APNIC datasets).
+type World struct {
+	Graph *topology.Graph
+	Table *prefixtable.Table
+}
+
+// WorldConfig sizes a world. The zero value is invalid; use FullScale or
+// TestScale.
+type WorldConfig struct {
+	NumAS             int
+	NumLinks          int
+	NumPrefixes       int
+	AnnouncedFraction float64
+	Seed              int64
+}
+
+// FullScale reproduces the paper's environment: 26,424 ASs, 90,267
+// links, ≈330k prefixes spanning ≈52% of the IPv4 space.
+func FullScale(seed int64) WorldConfig {
+	return WorldConfig{
+		NumAS:             26424,
+		NumLinks:          90267,
+		NumPrefixes:       330000,
+		AnnouncedFraction: 0.52,
+		Seed:              seed,
+	}
+}
+
+// TestScale shrinks the world for unit tests and quick runs while keeping
+// every distributional parameter.
+func TestScale(numAS int, seed int64) WorldConfig {
+	return WorldConfig{
+		NumAS:             numAS,
+		NumLinks:          int(float64(numAS) * 3.42),
+		NumPrefixes:       numAS * 12,
+		AnnouncedFraction: 0.52,
+		Seed:              seed,
+	}
+}
+
+// NewWorld generates a world.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	tcfg := topology.DefaultGenConfig(cfg.Seed)
+	tcfg.NumAS = cfg.NumAS
+	tcfg.TargetLinks = cfg.NumLinks
+	if tcfg.CoreSize > cfg.NumAS/4 {
+		tcfg.CoreSize = cfg.NumAS / 4
+		if tcfg.CoreSize < 2 {
+			tcfg.CoreSize = 2
+		}
+	}
+	g, err := topology.Generate(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: topology: %w", err)
+	}
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             cfg.NumAS,
+		NumPrefixes:       cfg.NumPrefixes,
+		AnnouncedFraction: cfg.AnnouncedFraction,
+		Seed:              cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: prefix table: %w", err)
+	}
+	return &World{Graph: g, Table: tbl}, nil
+}
+
+// NumAS returns the AS count.
+func (w *World) NumAS() int { return w.Graph.NumAS() }

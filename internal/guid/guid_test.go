@@ -1,0 +1,264 @@
+package guid
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	g := New("laptop-A")
+	back, err := Parse(g.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Errorf("round trip mismatch: %v != %v", back, g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "abcd", strings.Repeat("z", 40), strings.Repeat("a", 41)} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	b := make([]byte, Size)
+	b[0], b[Size-1] = 0xAB, 0xCD
+	g, err := FromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 0xAB || g[Size-1] != 0xCD {
+		t.Error("bytes not copied")
+	}
+	if _, err := FromBytes(b[:Size-1]); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, err := FromBytes(append(b, 0)); err == nil {
+		t.Error("long input should fail")
+	}
+}
+
+func TestNewIsDeterministicAndDistinct(t *testing.T) {
+	if New("x") != New("x") {
+		t.Error("New must be deterministic")
+	}
+	if New("x") == New("y") {
+		t.Error("distinct names must give distinct GUIDs")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var g GUID
+	if !g.IsZero() {
+		t.Error("zero GUID should report IsZero")
+	}
+	if New("a").IsZero() {
+		t.Error("derived GUID should not be zero")
+	}
+}
+
+func TestShort(t *testing.T) {
+	g := New("thing")
+	if len(g.Short()) != 8 {
+		t.Errorf("Short() length = %d, want 8", len(g.Short()))
+	}
+	if !strings.HasPrefix(g.String(), g.Short()) {
+		t.Error("Short() must be a prefix of String()")
+	}
+}
+
+func TestNewHasherValidation(t *testing.T) {
+	if _, err := NewHasher(0, 0); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := NewHasher(-3, 0); err == nil {
+		t.Error("K<0 should fail")
+	}
+	h, err := NewHasher(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.K() != 5 {
+		t.Errorf("K() = %d, want 5", h.K())
+	}
+}
+
+func TestHashDeterministicAcrossInstances(t *testing.T) {
+	// Every router must derive the same addresses from the same agreed
+	// parameters — two independently constructed hashers must agree.
+	h1 := MustHasher(5, 42)
+	h2 := MustHasher(5, 42)
+	g := New("phone-X")
+	for i := 0; i < 5; i++ {
+		if h1.Hash(g, i) != h2.Hash(g, i) {
+			t.Fatalf("replica %d: hashers disagree", i)
+		}
+	}
+}
+
+func TestHashReplicasIndependent(t *testing.T) {
+	h := MustHasher(5, 0)
+	g := New("content-B")
+	seen := make(map[uint32]int)
+	for i := 0; i < 5; i++ {
+		v := h.Hash(g, i)
+		if prev, dup := seen[v]; dup {
+			t.Errorf("replicas %d and %d collide on %#x", prev, i, v)
+		}
+		seen[v] = i
+	}
+}
+
+func TestHashSaltSeparation(t *testing.T) {
+	g := New("g")
+	if MustHasher(1, 1).Hash(g, 0) == MustHasher(1, 2).Hash(g, 0) {
+		t.Error("different salts should give different hashes")
+	}
+}
+
+func TestHashAllMatchesHash(t *testing.T) {
+	h := MustHasher(4, 7)
+	g := FromUint64(123456)
+	all := h.HashAll(g)
+	if len(all) != 4 {
+		t.Fatalf("HashAll length = %d, want 4", len(all))
+	}
+	for i, v := range all {
+		if v != h.Hash(g, i) {
+			t.Errorf("HashAll[%d] = %#x, want %#x", i, v, h.Hash(g, i))
+		}
+	}
+}
+
+func TestHashPanicsOutOfRange(t *testing.T) {
+	h := MustHasher(2, 0)
+	for _, idx := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Hash(replica=%d) should panic", idx)
+				}
+			}()
+			h.Hash(GUID{}, idx)
+		}()
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	// Chi-square over 256 buckets of the top byte; dense sequential GUIDs
+	// must still spread uniformly. 99.9th percentile of chi2(255) ≈ 341.
+	h := MustHasher(1, 0)
+	const n = 100000
+	var buckets [256]int
+	for i := 0; i < n; i++ {
+		buckets[h.Hash(FromUint64(uint64(i)), 0)>>24]++
+	}
+	expected := float64(n) / 256
+	var chi2 float64
+	for _, c := range buckets {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 341 {
+		t.Errorf("chi-square = %.1f, want < 341 (not uniform)", chi2)
+	}
+}
+
+func TestRehashChangesValueAndIsDeterministic(t *testing.T) {
+	h := MustHasher(3, 0)
+	v := h.Hash(New("g"), 1)
+	r1 := h.Rehash(v, 1)
+	r2 := h.Rehash(v, 1)
+	if r1 != r2 {
+		t.Error("Rehash must be deterministic")
+	}
+	if r1 == v {
+		t.Error("Rehash should (overwhelmingly) change the value")
+	}
+	if h.Rehash(v, 0) == h.Rehash(v, 1) {
+		t.Error("Rehash must be domain-separated per replica")
+	}
+}
+
+func TestHashToRange(t *testing.T) {
+	h := MustHasher(2, 0)
+	f := func(v uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := h.HashToRange(FromUint64(v), 0, n)
+		return r >= 0 && r < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashToRangeUniform(t *testing.T) {
+	h := MustHasher(1, 9)
+	const n, draws = 64, 64000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[h.HashToRange(FromUint64(uint64(i)), 0, n)]++
+	}
+	expected := float64(draws) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 99.9th percentile of chi2(63) ≈ 103.
+	if chi2 > 103 {
+		t.Errorf("chi-square = %.1f, want < 103", chi2)
+	}
+}
+
+func TestHashToRangePanics(t *testing.T) {
+	h := MustHasher(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("HashToRange(n=0) should panic")
+		}
+	}()
+	h.HashToRange(GUID{}, 0, 0)
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Flipping one GUID bit should flip ~16 of 32 output bits on average.
+	h := MustHasher(1, 0)
+	var totalFlips, trials int
+	for i := 0; i < 200; i++ {
+		g := FromUint64(uint64(i))
+		base := h.Hash(g, 0)
+		for bit := 0; bit < 8; bit++ {
+			g2 := g
+			g2[Size-1] ^= 1 << bit
+			diff := base ^ h.Hash(g2, 0)
+			for ; diff != 0; diff &= diff - 1 {
+				totalFlips++
+			}
+			trials++
+		}
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if math.Abs(avg-16) > 2 {
+		t.Errorf("avalanche average = %.2f bit flips, want ≈16", avg)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	g := New("content:movie-trailer")
+	if !Verify("content:movie-trailer", g) {
+		t.Error("Verify must accept the matching name")
+	}
+	if Verify("content:other", g) {
+		t.Error("Verify must reject a different name")
+	}
+	if Verify("content:movie-trailer", GUID{}) {
+		t.Error("Verify must reject the zero GUID")
+	}
+}

@@ -1,0 +1,25 @@
+package netaddr
+
+import "testing"
+
+// FuzzParsePrefix must never panic, and every accepted prefix must
+// round-trip through its canonical string form.
+func FuzzParsePrefix(f *testing.F) {
+	f.Add("10.0.0.0/8")
+	f.Add("255.255.255.255/32")
+	f.Add("/")
+	f.Add("1.2.3.4/-1")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", p, err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed %v to %v", p, back)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Package netaddr provides IPv4 network addresses, prefixes, and the
+// XOR-weighted "IP distance" metric used by DMap's deputy-AS selection.
+//
+// DMap hashes GUIDs directly into the 32-bit IPv4 address space and stores
+// each mapping at the autonomous system announcing the hashed address.
+// This package supplies the address arithmetic that the prefix table and
+// the hole-handling protocol (Algorithm 1 of the paper) are built on.
+package netaddr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a 32-bit IPv4 address. The zero value is 0.0.0.0.
+type Addr uint32
+
+// AddrFromOctets assembles an address from its four dotted-quad octets.
+func AddrFromOctets(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses a dotted-quad IPv4 address such as "192.0.2.1".
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: parse %q: want 4 octets, got %d", s, len(parts))
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("netaddr: parse %q: bad octet %q", s, p)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return Addr(v), nil
+}
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() (o0, o1, o2, o3 byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String formats a in dotted-quad notation.
+func (a Addr) String() string {
+	o0, o1, o2, o3 := a.Octets()
+	var b strings.Builder
+	b.Grow(15)
+	b.WriteString(strconv.Itoa(int(o0)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(o1)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(o2)))
+	b.WriteByte('.')
+	b.WriteString(strconv.Itoa(int(o3)))
+	return b.String()
+}
+
+// Distance returns the IP distance between a and b as defined in §III-B of
+// the paper:
+//
+//	distance(A, B) = Σ_{i=0}^{31} |A_i − B_i| · 2^i
+//
+// where A_i is the i-th bit of A. Since |A_i − B_i| = A_i XOR B_i, this is
+// exactly the XOR metric: distance(A, B) = A ^ B interpreted as an integer.
+func (a Addr) Distance(b Addr) uint32 {
+	return uint32(a ^ b)
+}
+
+// Prefix is an IPv4 CIDR block: the Bits leading bits of Addr identify the
+// block and the remaining bits are free. The zero value is 0.0.0.0/0,
+// covering the whole address space.
+type Prefix struct {
+	addr Addr
+	bits int
+}
+
+// ErrBadPrefix reports an out-of-range prefix length.
+var ErrBadPrefix = errors.New("netaddr: prefix length out of range [0,32]")
+
+// NewPrefix builds the prefix addr/bits, masking addr down to its network
+// address. It returns ErrBadPrefix if bits is outside [0, 32].
+func NewPrefix(addr Addr, bits int) (Prefix, error) {
+	if bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("%w: %d", ErrBadPrefix, bits)
+	}
+	return Prefix{addr: addr & Addr(maskFor(bits)), bits: bits}, nil
+}
+
+// MustPrefix is NewPrefix for statically known-good inputs; it panics on
+// error and is intended for tests and package-level tables.
+func MustPrefix(addr Addr, bits int) Prefix {
+	p, err := NewPrefix(addr, bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses CIDR notation such as "10.0.0.0/8".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: parse %q: missing '/'", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("netaddr: parse %q: bad length", s)
+	}
+	return NewPrefix(addr, bits)
+}
+
+func maskFor(bits int) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// Addr returns the network (first) address of p.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length of p.
+func (p Prefix) Bits() int { return p.bits }
+
+// Size returns the number of addresses covered by p (2^(32-bits)).
+func (p Prefix) Size() uint64 { return 1 << (32 - p.bits) }
+
+// Last returns the last (highest) address in p.
+func (p Prefix) Last() Addr { return p.addr | Addr(^maskFor(p.bits)) }
+
+// Contains reports whether a falls inside p.
+func (p Prefix) Contains(a Addr) bool {
+	return a&Addr(maskFor(p.bits)) == p.addr
+}
+
+// Overlaps reports whether p and q share at least one address, i.e. whether
+// one contains the other's network address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q.addr) || q.Contains(p.addr)
+}
+
+// String formats p in CIDR notation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(p.bits)
+}
+
+// DistanceTo returns the minimum IP distance from a to any address inside
+// p, per §III-B: "the IP distance between an address and an address block
+// is the minimum IP distance between that address and all addresses in the
+// block". Under the XOR metric the minimizing member shares a's low bits,
+// so the minimum is the XOR of the prefix-masked high bits.
+func (p Prefix) DistanceTo(a Addr) uint32 {
+	mask := maskFor(p.bits)
+	return uint32((a & Addr(mask)) ^ p.addr)
+}
+
+// ClosestAddr returns the address inside p with minimum IP distance to a:
+// the member of the block whose free (host) bits equal a's.
+func (p Prefix) ClosestAddr(a Addr) Addr {
+	mask := maskFor(p.bits)
+	return p.addr | (a &^ Addr(mask))
+}
+
+// FractionOfSpace returns the share of the 2^32 IPv4 space covered by p.
+func (p Prefix) FractionOfSpace() float64 {
+	return float64(p.Size()) / float64(1<<32)
+}

@@ -1,0 +1,244 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Addr
+		wantErr bool
+	}{
+		{"0.0.0.0", 0, false},
+		{"255.255.255.255", 0xFFFFFFFF, false},
+		{"192.0.2.1", AddrFromOctets(192, 0, 2, 1), false},
+		{"10.0.0.1", 0x0A000001, false},
+		{"1.2.3", 0, true},
+		{"1.2.3.4.5", 0, true},
+		{"256.0.0.1", 0, true},
+		{"-1.0.0.1", 0, true},
+		{"a.b.c.d", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddr(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseAddr(%q) err=%v, wantErr=%v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIsXORMetric(t *testing.T) {
+	// The paper's Σ|Ai−Bi|·2^i metric must coincide with XOR.
+	f := func(a, b uint32) bool {
+		var manual uint32
+		for i := 0; i < 32; i++ {
+			ai := (a >> i) & 1
+			bi := (b >> i) & 1
+			if ai != bi {
+				manual += 1 << i
+			}
+		}
+		return Addr(a).Distance(Addr(b)) == manual
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		da := Addr(a).Distance(Addr(b))
+		db := Addr(b).Distance(Addr(a))
+		if da != db { // symmetry
+			return false
+		}
+		if a == b && da != 0 { // identity
+			return false
+		}
+		if a != b && da == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPrefixMasksHostBits(t *testing.T) {
+	p, err := NewPrefix(AddrFromOctets(10, 1, 2, 3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Addr(), AddrFromOctets(10, 0, 0, 0); got != want {
+		t.Errorf("Addr() = %v, want %v", got, want)
+	}
+	if p.Bits() != 8 {
+		t.Errorf("Bits() = %d, want 8", p.Bits())
+	}
+}
+
+func TestNewPrefixRange(t *testing.T) {
+	if _, err := NewPrefix(0, -1); err == nil {
+		t.Error("NewPrefix(-1) should fail")
+	}
+	if _, err := NewPrefix(0, 33); err == nil {
+		t.Error("NewPrefix(33) should fail")
+	}
+	for _, bits := range []int{0, 1, 16, 31, 32} {
+		if _, err := NewPrefix(0, bits); err != nil {
+			t.Errorf("NewPrefix(%d): %v", bits, err)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", false},
+		{"10.9.9.9/8", "10.0.0.0/8", false}, // host bits masked
+		{"0.0.0.0/0", "0.0.0.0/0", false},
+		{"1.2.3.4/32", "1.2.3.4/32", false},
+		{"1.2.3.4/33", "", true},
+		{"1.2.3.4", "", true},
+		{"x/8", "", true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePrefix(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParsePrefix(%q) err=%v, wantErr=%v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got.String() != tt.want {
+			t.Errorf("ParsePrefix(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix(AddrFromOctets(192, 168, 0, 0), 16)
+	if !p.Contains(AddrFromOctets(192, 168, 42, 1)) {
+		t.Error("should contain inner address")
+	}
+	if p.Contains(AddrFromOctets(192, 169, 0, 0)) {
+		t.Error("should not contain outside address")
+	}
+	if !p.Contains(p.Addr()) || !p.Contains(p.Last()) {
+		t.Error("should contain both endpoints")
+	}
+}
+
+func TestPrefixSizeAndLast(t *testing.T) {
+	tests := []struct {
+		pfx  string
+		size uint64
+		last string
+	}{
+		{"0.0.0.0/0", 1 << 32, "255.255.255.255"},
+		{"10.0.0.0/8", 1 << 24, "10.255.255.255"},
+		{"192.168.1.0/24", 256, "192.168.1.255"},
+		{"1.2.3.4/32", 1, "1.2.3.4"},
+	}
+	for _, tt := range tests {
+		p, err := ParsePrefix(tt.pfx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != tt.size {
+			t.Errorf("%s Size() = %d, want %d", tt.pfx, p.Size(), tt.size)
+		}
+		if p.Last().String() != tt.last {
+			t.Errorf("%s Last() = %v, want %v", tt.pfx, p.Last(), tt.last)
+		}
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustPrefix(AddrFromOctets(10, 0, 0, 0), 8)
+	b := MustPrefix(AddrFromOctets(10, 1, 0, 0), 16)
+	c := MustPrefix(AddrFromOctets(11, 0, 0, 0), 8)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Error("prefix overlaps itself")
+	}
+}
+
+func TestDistanceToZeroInside(t *testing.T) {
+	f := func(base, probe uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		p := MustPrefix(Addr(base), bits)
+		inside := p.ClosestAddr(Addr(probe))
+		// Closest address must be inside the block...
+		if !p.Contains(inside) {
+			return false
+		}
+		// ...and the block distance must equal the point distance to it.
+		if p.DistanceTo(Addr(probe)) != Addr(probe).Distance(inside) {
+			return false
+		}
+		// If the probe is inside the block, distance must be zero.
+		if p.Contains(Addr(probe)) && p.DistanceTo(Addr(probe)) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceToIsMinOverBlock(t *testing.T) {
+	// Brute-force check on small blocks: DistanceTo must equal the true
+	// minimum XOR distance over every member address.
+	p := MustPrefix(AddrFromOctets(203, 0, 113, 0), 24)
+	probes := []Addr{0, 0xFFFFFFFF, AddrFromOctets(203, 0, 113, 77), AddrFromOctets(8, 8, 8, 8)}
+	for _, probe := range probes {
+		min := uint32(0xFFFFFFFF)
+		for a := p.Addr(); ; a++ {
+			if d := probe.Distance(a); d < min {
+				min = d
+			}
+			if a == p.Last() {
+				break
+			}
+		}
+		if got := p.DistanceTo(probe); got != min {
+			t.Errorf("DistanceTo(%v) = %d, want brute-force %d", probe, got, min)
+		}
+	}
+}
+
+func TestFractionOfSpace(t *testing.T) {
+	if got := MustPrefix(0, 0).FractionOfSpace(); got != 1.0 {
+		t.Errorf("/0 fraction = %v, want 1", got)
+	}
+	if got := MustPrefix(AddrFromOctets(8, 0, 0, 0), 8).FractionOfSpace(); got != 1.0/256 {
+		t.Errorf("/8 fraction = %v, want 1/256", got)
+	}
+}

@@ -1,0 +1,378 @@
+package nodesim
+
+import (
+	"testing"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/simnet"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+)
+
+// testDeployment builds a small generated world: topology, DFZ, resolver,
+// system, event-driven deployment.
+func testDeployment(t *testing.T, k int, local bool) (*Deployment, *topology.Graph) {
+	t.Helper()
+	g, err := topology.Generate(topology.SmallGenConfig(200, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             g.NumAS(),
+		NumPrefixes:       3000,
+		AnnouncedFraction: 0.52,
+		Seed:              21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewResolver(guid.MustHasher(k, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{Resolver: res, NumAS: g.NumAS(), LocalReplica: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := topology.NewDistCache(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(sys, simnet.New(), cache, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, g
+}
+
+func entryFor(name string, version uint64, as int) store.Entry {
+	return store.Entry{
+		GUID:    guid.New(name),
+		NAs:     []store.NA{{AS: as, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: version,
+	}
+}
+
+func TestInsertThenLookup(t *testing.T) {
+	d, _ := testDeployment(t, 5, false)
+	e := entryFor("laptop", 1, 42)
+
+	var ins *InsertResult
+	if err := d.Insert(42, e, func(r InsertResult) { ins = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if ins == nil {
+		t.Fatal("insert never completed")
+	}
+	if ins.Acks != 5 {
+		t.Errorf("acks = %d, want 5", ins.Acks)
+	}
+	if ins.Latency <= 0 {
+		t.Error("insert latency must be positive")
+	}
+
+	var res *LookupResult
+	if err := d.Lookup(17, e.GUID, func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil || !res.Found {
+		t.Fatalf("lookup result = %+v", res)
+	}
+	if res.Entry.NAs[0].AS != 42 {
+		t.Errorf("entry = %+v", res.Entry)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d", res.Attempts)
+	}
+	if res.Latency <= 0 {
+		t.Error("lookup latency must be positive")
+	}
+}
+
+func TestLookupMissingGUID(t *testing.T) {
+	d, _ := testDeployment(t, 3, false)
+	var res *LookupResult
+	if err := d.Lookup(0, guid.New("ghost"), func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil {
+		t.Fatal("lookup never completed")
+	}
+	if res.Found {
+		t.Error("found a never-inserted GUID")
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want K=3", res.Attempts)
+	}
+}
+
+func TestUpdateLatencyIsMaxOverReplicas(t *testing.T) {
+	d, g := testDeployment(t, 5, false)
+	e := entryFor("upd", 1, 3)
+	placements, err := d.System().Resolver().Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := topology.NewDistCache(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want simnet.Time
+	for _, p := range placements {
+		if rtt := cache.RTT(3, p.AS); rtt > want {
+			want = rtt
+		}
+	}
+	var ins *InsertResult
+	if err := d.Insert(3, e, func(r InsertResult) { ins = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if ins == nil {
+		t.Fatal("no result")
+	}
+	if ins.Latency != want {
+		t.Errorf("insert latency = %v, want max replica RTT %v", ins.Latency, want)
+	}
+}
+
+func TestLocalReplicaWinsAtHome(t *testing.T) {
+	d, g := testDeployment(t, 5, true)
+	const home = 50
+	e := entryFor("homebody", 1, home)
+	if err := d.Insert(home, e, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+
+	var res *LookupResult
+	if err := d.Lookup(home, e.GUID, func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil || !res.Found {
+		t.Fatalf("result = %+v", res)
+	}
+	if !res.UsedLocal {
+		// A global replica can only beat the local copy if co-located.
+		if res.ServedBy != home {
+			t.Errorf("expected local win, got %+v", res)
+		}
+	}
+	if want := 2 * g.Intra(home); res.Latency > want {
+		t.Errorf("latency = %v, want ≤ local RTT %v", res.Latency, want)
+	}
+}
+
+func TestCrashedReplicaCostsTimeout(t *testing.T) {
+	d, _ := testDeployment(t, 2, false)
+	e := entryFor("crashy", 1, 7)
+	if err := d.Insert(7, e, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+
+	// Determine the querier's replica order and crash the first.
+	placements, err := d.System().Resolver().Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = 99
+	first := placements[0].AS
+	if d.rtt(src, placements[1].AS) < d.rtt(src, first) {
+		first = placements[1].AS
+	}
+	d.Crash(first)
+
+	start := d.Sim().Now()
+	var res *LookupResult
+	if err := d.Lookup(src, e.GUID, func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil || !res.Found {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", res.Attempts)
+	}
+	if res.Latency < DefaultTimeout {
+		t.Errorf("latency %v should include the %v timeout", res.Latency, DefaultTimeout)
+	}
+	if res.ServedBy == first {
+		t.Error("served by the crashed replica")
+	}
+	_ = start
+}
+
+func TestMobilityRaceObservesOldThenNew(t *testing.T) {
+	// §III-D2: a query issued right after a move can return the old
+	// mapping; the querier marks it obsolete and re-checks.
+	d, _ := testDeployment(t, 3, false)
+	e1 := entryFor("vehicle", 1, 10)
+	if err := d.Insert(10, e1, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+
+	// The vehicle moves to AS 20 (version 2) at t0; a distant node
+	// queries at t0+1µs, racing the update's propagation.
+	e2 := entryFor("vehicle", 2, 20)
+	if err := d.Insert(20, e2, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	var raced *LookupResult
+	if err := d.Sim().After(1, func() {
+		if err := d.Lookup(150, e1.GUID, func(r LookupResult) { raced = &r }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if raced == nil || !raced.Found {
+		t.Fatalf("raced result = %+v", raced)
+	}
+	// Either version may win the race, but a version-1 answer must be
+	// recognizably stale; re-querying afterwards must see version 2.
+	var settled *LookupResult
+	if err := d.Lookup(150, e1.GUID, func(r LookupResult) { settled = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if settled == nil || !settled.Found {
+		t.Fatal("settled lookup failed")
+	}
+	if settled.Entry.Version != 2 || settled.Entry.NAs[0].AS != 20 {
+		t.Errorf("settled entry = %+v, want version 2 at AS 20", settled.Entry)
+	}
+}
+
+func TestStaleUpdateNeverRollsBack(t *testing.T) {
+	d, _ := testDeployment(t, 3, false)
+	eNew := entryFor("rollback", 5, 30)
+	eOld := entryFor("rollback", 4, 10)
+	if err := d.Insert(30, eNew, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if err := d.Insert(10, eOld, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	var res *LookupResult
+	if err := d.Lookup(0, eNew.GUID, func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil || !res.Found || res.Entry.Version != 5 {
+		t.Fatalf("result = %+v, want version 5 preserved", res)
+	}
+}
+
+func TestRestore(t *testing.T) {
+	d, _ := testDeployment(t, 1, false)
+	e := entryFor("backup", 1, 5)
+	if err := d.Insert(5, e, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	placements, _ := d.System().Resolver().Place(e.GUID)
+	d.Crash(placements[0].AS)
+
+	var down *LookupResult
+	if err := d.Lookup(0, e.GUID, func(r LookupResult) { down = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if down == nil || down.Found {
+		t.Fatalf("lookup against crashed sole replica = %+v, want not found", down)
+	}
+
+	d.Restore(placements[0].AS)
+	var up *LookupResult
+	if err := d.Lookup(0, e.GUID, func(r LookupResult) { up = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if up == nil || !up.Found {
+		t.Fatalf("lookup after restore = %+v", up)
+	}
+}
+
+func TestChurnWithdrawDuringLiveTraffic(t *testing.T) {
+	// §III-D1 end to end in the event engine: insert a population, start
+	// a steady lookup stream, withdraw a replica-hosting prefix (with
+	// migration) mid-stream, and require every lookup to succeed.
+	d, _ := testDeployment(t, 3, false)
+	sys := d.System()
+
+	entries := make([]store.Entry, 0, 30)
+	for i := 1; i <= 30; i++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(i)),
+			NAs:     []store.NA{{AS: i % 50}},
+			Version: 1,
+		}
+		entries = append(entries, e)
+		if err := d.Insert(i%50, e, func(InsertResult) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sim().Run(0)
+
+	// Pick a victim prefix: the one hosting entry 7's replica 1.
+	pl, err := sys.Resolver().PlaceReplica(entries[7].GUID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx, ok := sys.Resolver().Table().Lookup(pl.Addr)
+	if !ok {
+		t.Fatal("placement prefix missing")
+	}
+
+	failures := 0
+	completed := 0
+	// Schedule lookups before, during and after the withdrawal (the
+	// clock already advanced past the inserts).
+	base := d.Sim().Now()
+	for i, e := range entries {
+		e := e
+		at := base + simnet.Time(i)*1_000_000
+		if err := d.Sim().At(at, func() {
+			err := d.Lookup(90, e.GUID, func(r LookupResult) {
+				completed++
+				if !r.Found {
+					failures++
+				}
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The withdrawal (with §III-D1 migration) fires mid-stream.
+	if err := d.Sim().At(base+15_000_000, func() {
+		if _, err := sys.WithdrawPrefix(pfx.Prefix, pfx.AS); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+
+	if completed != len(entries) {
+		t.Fatalf("completed %d/%d lookups", completed, len(entries))
+	}
+	if failures != 0 {
+		t.Fatalf("%d lookups failed across the withdrawal", failures)
+	}
+}

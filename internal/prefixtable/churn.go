@@ -1,0 +1,120 @@
+package prefixtable
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ChurnKind distinguishes BGP table changes (§III-D1: "changes in prefix
+// announcements occur when an AS withdraws a previously announced prefix
+// or announces a new prefix").
+type ChurnKind int
+
+// Churn kinds.
+const (
+	ChurnWithdraw ChurnKind = iota + 1
+	ChurnAnnounce
+)
+
+// String names the kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnWithdraw:
+		return "withdraw"
+	case ChurnAnnounce:
+		return "announce"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", int(k))
+	}
+}
+
+// ChurnEvent is one timed BGP change. AtSec is seconds from the start of
+// the churn window.
+type ChurnEvent struct {
+	AtSec  float64
+	Kind   ChurnKind
+	Prefix Entry
+}
+
+// ChurnConfig parameterizes GenerateChurn. Rates follow the long-term
+// BGP churn study the paper cites [22]: small, with announcements
+// dominating withdrawals.
+type ChurnConfig struct {
+	// WithdrawPerSec and AnnouncePerSec are Poisson event rates.
+	WithdrawPerSec float64
+	AnnouncePerSec float64
+	// DurationSec is the churn window length.
+	DurationSec float64
+	// Seed fixes the sample.
+	Seed int64
+}
+
+// GenerateChurn samples a timed churn schedule against the table's
+// current announcements: withdrawals pick random live prefixes;
+// announcements re-announce previously withdrawn prefixes (possibly by a
+// different AS — an origin change). Events are returned in time order
+// and do not mutate the table; the caller applies them.
+func GenerateChurn(t *Table, cfg ChurnConfig) ([]ChurnEvent, error) {
+	if cfg.DurationSec <= 0 {
+		return nil, fmt.Errorf("prefixtable: churn duration must be positive")
+	}
+	if cfg.WithdrawPerSec < 0 || cfg.AnnouncePerSec < 0 {
+		return nil, fmt.Errorf("prefixtable: negative churn rates")
+	}
+	live := t.Entries()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("prefixtable: cannot churn an empty table")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+
+	var events []ChurnEvent
+	// Withdrawals: Poisson arrivals, each consuming a distinct prefix.
+	next := 0
+	for at := exp(rng, cfg.WithdrawPerSec); at < cfg.DurationSec && next < len(live)/2; at += exp(rng, cfg.WithdrawPerSec) {
+		events = append(events, ChurnEvent{AtSec: at, Kind: ChurnWithdraw, Prefix: live[next]})
+		next++
+	}
+	// Announcements: re-announce withdrawn prefixes after a lag, with a
+	// 30% chance of an origin change.
+	reannounced := 0
+	for _, ev := range events {
+		if ev.Kind != ChurnWithdraw {
+			continue
+		}
+		if cfg.AnnouncePerSec == 0 {
+			break
+		}
+		lag := exp(rng, cfg.AnnouncePerSec)
+		at := ev.AtSec + lag
+		if at >= cfg.DurationSec {
+			continue
+		}
+		e := ev.Prefix
+		if rng.Float64() < 0.3 {
+			e.AS = int(rng.Int31n(int32(maxAS(live) + 1)))
+		}
+		events = append(events, ChurnEvent{AtSec: at, Kind: ChurnAnnounce, Prefix: e})
+		reannounced++
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].AtSec < events[j].AtSec })
+	return events, nil
+}
+
+func exp(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return 1e18 // effectively never
+	}
+	return rng.ExpFloat64() / rate
+}
+
+func maxAS(entries []Entry) int {
+	max := 0
+	for _, e := range entries {
+		if e.AS > max {
+			max = e.AS
+		}
+	}
+	return max
+}

@@ -1,0 +1,69 @@
+package prefixtable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dmap/internal/netaddr"
+)
+
+// WriteDump serializes the table as one "prefix as" pair per line
+// ("10.0.0.0/8 7018"), ordered by prefix, so synthetic and real tables
+// interchange through the same plain-text format used by common BGP
+// tooling.
+func (t *Table) WriteDump(w io.Writer) error {
+	entries := t.Entries()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Prefix.Addr() != entries[j].Prefix.Addr() {
+			return entries[i].Prefix.Addr() < entries[j].Prefix.Addr()
+		}
+		return entries[i].Prefix.Bits() < entries[j].Prefix.Bits()
+	})
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", e.Prefix, e.AS); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDump builds a table from WriteDump's format. Blank lines and
+// '#'-prefixed comments are ignored; duplicate prefixes keep the last
+// origin (as a re-announcement would).
+func ReadDump(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("prefixtable: dump line %d: want 'prefix as', got %q", lineNo, line)
+		}
+		p, err := netaddr.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("prefixtable: dump line %d: %w", lineNo, err)
+		}
+		as, err := strconv.Atoi(fields[1])
+		if err != nil || as < 0 {
+			return nil, fmt.Errorf("prefixtable: dump line %d: bad AS %q", lineNo, fields[1])
+		}
+		if err := t.Announce(p, as); err != nil {
+			return nil, fmt.Errorf("prefixtable: dump line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prefixtable: read dump: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,111 @@
+package prefixtable
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	orig, err := Generate(GenConfig{NumAS: 100, NumPrefixes: 2000, AnnouncedFraction: 0.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), orig.Len())
+	}
+	a, b := orig.Entries(), back.Entries()
+	key := func(e Entry) string { return e.Prefix.String() }
+	sort.Slice(a, func(i, j int) bool { return key(a[i]) < key(a[j]) })
+	sort.Slice(b, func(i, j int) bool { return key(b[i]) < key(b[j]) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadDumpFormat(t *testing.T) {
+	in := `# a comment
+
+10.0.0.0/8 7018
+10.0.0.0/8 3356
+192.168.0.0/16 64512
+`
+	tbl, err := ReadDump(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicate keeps last)", tbl.Len())
+	}
+	e, ok := tbl.Lookup(mustPfx(t, "10.0.0.0/8").Addr())
+	if !ok || e.AS != 3356 {
+		t.Errorf("duplicate prefix: got %+v, want last origin 3356", e)
+	}
+}
+
+func TestReadDumpErrors(t *testing.T) {
+	cases := []string{
+		"10.0.0.0/8",         // missing AS
+		"10.0.0.0/8 x",       // bad AS
+		"10.0.0.0/8 -5",      // negative AS
+		"10.0.0.0/99 1",      // bad prefix
+		"10.0.0.0/8 1 extra", // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ReadDump(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadDump(%q) should fail", in)
+		}
+	}
+}
+
+func TestWriteDumpDeterministicOrder(t *testing.T) {
+	tbl := New()
+	for _, s := range []string{"20.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"} {
+		if err := tbl.Announce(mustPfx(t, s), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "10.0.0.0/8 1\n10.0.0.0/16 1\n20.0.0.0/8 1\n"
+	if buf.String() != want {
+		t.Errorf("dump = %q, want %q", buf.String(), want)
+	}
+}
+
+func FuzzReadDump(f *testing.F) {
+	f.Add("10.0.0.0/8 1\n")
+	f.Add("# comment\n\n10.0.0.0/8 1\n10.0.0.0/8 2\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		tbl, err := ReadDump(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip.
+		var buf bytes.Buffer
+		if err := tbl.WriteDump(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatalf("canonical dump does not re-parse: %v", err)
+		}
+		if back.Len() != tbl.Len() {
+			t.Fatalf("round trip changed length %d to %d", tbl.Len(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package prefixtable_test
+
+import (
+	"fmt"
+
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+)
+
+// Example shows longest-prefix matching and the deputy search that
+// backs Algorithm 1's hole handling.
+func Example() {
+	t := prefixtable.New()
+	_ = t.Announce(netaddr.MustPrefix(netaddr.AddrFromOctets(10, 0, 0, 0), 8), 100)
+	_ = t.Announce(netaddr.MustPrefix(netaddr.AddrFromOctets(10, 42, 0, 0), 16), 200)
+
+	a, _ := netaddr.ParseAddr("10.42.7.7")
+	e, _ := t.Lookup(a)
+	fmt.Println("LPM owner:", e.AS)
+
+	// 11.0.0.1 is a hole; the deputy is the announced prefix nearest in
+	// IP (XOR) distance.
+	hole, _ := netaddr.ParseAddr("11.0.0.1")
+	deputy, _, _ := t.Nearest(hole)
+	fmt.Println("deputy owner:", deputy.AS)
+	// Output:
+	// LPM owner: 200
+	// deputy owner: 100
+}

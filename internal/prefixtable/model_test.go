@@ -1,0 +1,139 @@
+package prefixtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmap/internal/netaddr"
+)
+
+// refModel is an oracle implementation of the prefix table: a flat slice
+// scanned by brute force.
+type refModel struct {
+	entries map[string]Entry
+}
+
+func newRefModel() *refModel {
+	return &refModel{entries: make(map[string]Entry)}
+}
+
+func (m *refModel) announce(p netaddr.Prefix, as int) {
+	m.entries[p.String()] = Entry{Prefix: p, AS: as}
+}
+
+func (m *refModel) withdraw(p netaddr.Prefix) bool {
+	if _, ok := m.entries[p.String()]; !ok {
+		return false
+	}
+	delete(m.entries, p.String())
+	return true
+}
+
+func (m *refModel) lookup(a netaddr.Addr) (Entry, bool) {
+	best := Entry{}
+	found := false
+	for _, e := range m.entries {
+		if e.Prefix.Contains(a) && (!found || e.Prefix.Bits() > best.Prefix.Bits()) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// TestTableMatchesModelRandomOps drives the trie and the oracle through
+// the same random operation sequences (testing/quick generates the
+// seeds) and checks LPM agreement on random probes after every step.
+func TestTableMatchesModelRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := New()
+		model := newRefModel()
+		var live []netaddr.Prefix
+
+		for step := 0; step < 120; step++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.55:
+				p, err := netaddr.NewPrefix(netaddr.Addr(rng.Uint32()), rng.Intn(33))
+				if err != nil {
+					return false
+				}
+				as := rng.Intn(50)
+				if err := tbl.Announce(p, as); err != nil {
+					return false
+				}
+				model.announce(p, as)
+				live = append(live, p)
+			default:
+				i := rng.Intn(len(live))
+				got := tbl.Withdraw(live[i])
+				want := model.withdraw(live[i])
+				if got != want {
+					t.Logf("seed %d: withdraw(%v) = %v, model %v", seed, live[i], got, want)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if tbl.Len() != len(model.entries) {
+				t.Logf("seed %d: Len %d vs model %d", seed, tbl.Len(), len(model.entries))
+				return false
+			}
+			for probe := 0; probe < 8; probe++ {
+				a := netaddr.Addr(rng.Uint32())
+				got, gok := tbl.Lookup(a)
+				want, wok := model.lookup(a)
+				if gok != wok {
+					t.Logf("seed %d: Lookup(%v) ok=%v, model %v", seed, a, gok, wok)
+					return false
+				}
+				if gok && (got.Prefix != want.Prefix || got.AS != want.AS) {
+					t.Logf("seed %d: Lookup(%v) = %+v, model %+v", seed, a, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoverageMatchesSampling cross-checks AnnouncedFraction and
+// ShareByAS against Monte-Carlo sampling of the live table.
+func TestCoverageMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tbl := New()
+	for i := 0; i < 300; i++ {
+		p, err := netaddr.NewPrefix(netaddr.Addr(rng.Uint32()), 2+rng.Intn(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Announce(p, i%20); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const samples = 200000
+	covered := 0
+	hostedByAS := make(map[int]int)
+	for i := 0; i < samples; i++ {
+		a := netaddr.Addr(rng.Uint32())
+		if e, ok := tbl.Lookup(a); ok {
+			covered++
+			hostedByAS[e.AS]++
+		}
+	}
+	empirical := float64(covered) / samples
+	if got := tbl.AnnouncedFraction(); got < empirical-0.01 || got > empirical+0.01 {
+		t.Errorf("AnnouncedFraction = %.4f, sampling says %.4f", got, empirical)
+	}
+
+	shares := tbl.ShareByAS()
+	for as, share := range shares {
+		emp := float64(hostedByAS[as]) / samples
+		if diff := share - emp; diff > 0.01 || diff < -0.01 {
+			t.Errorf("AS %d share = %.4f, sampling says %.4f", as, share, emp)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package prefixtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmap/internal/netaddr"
+)
+
+func mustPfx(t *testing.T, s string) netaddr.Prefix {
+	t.Helper()
+	p, err := netaddr.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnnounceLookup(t *testing.T) {
+	tbl := New()
+	if err := tbl.Announce(mustPfx(t, "10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(mustPfx(t, "10.1.0.0/16"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(mustPfx(t, "192.168.0.0/16"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tbl.Len())
+	}
+
+	tests := []struct {
+		addr   string
+		wantAS int
+		wantOK bool
+	}{
+		{"10.2.3.4", 1, true}, // covered by /8 only
+		{"10.1.3.4", 2, true}, // most specific /16 wins
+		{"192.168.9.9", 3, true},
+		{"11.0.0.1", 0, false}, // hole
+		{"172.16.0.1", 0, false},
+	}
+	for _, tt := range tests {
+		a, err := netaddr.ParseAddr(tt.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok := tbl.Lookup(a)
+		if ok != tt.wantOK {
+			t.Errorf("Lookup(%s) ok=%v, want %v", tt.addr, ok, tt.wantOK)
+			continue
+		}
+		if ok && e.AS != tt.wantAS {
+			t.Errorf("Lookup(%s) AS=%d, want %d", tt.addr, e.AS, tt.wantAS)
+		}
+	}
+}
+
+func TestAnnounceNegativeAS(t *testing.T) {
+	tbl := New()
+	if err := tbl.Announce(mustPfx(t, "10.0.0.0/8"), -1); err == nil {
+		t.Error("negative AS should be rejected")
+	}
+}
+
+func TestReannounceOverwritesOrigin(t *testing.T) {
+	tbl := New()
+	p := mustPfx(t, "8.0.0.0/8")
+	if err := tbl.Announce(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after re-announce", tbl.Len())
+	}
+	e, ok := tbl.Lookup(p.Addr())
+	if !ok || e.AS != 9 {
+		t.Errorf("Lookup = (%+v, %v), want AS 9", e, ok)
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	tbl := New()
+	p8 := mustPfx(t, "10.0.0.0/8")
+	p16 := mustPfx(t, "10.1.0.0/16")
+	if err := tbl.Announce(p8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(p16, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if !tbl.Withdraw(p16) {
+		t.Fatal("Withdraw(/16) should succeed")
+	}
+	if tbl.Withdraw(p16) {
+		t.Fatal("double Withdraw should report false")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	a, _ := netaddr.ParseAddr("10.1.3.4")
+	e, ok := tbl.Lookup(a)
+	if !ok || e.AS != 1 {
+		t.Errorf("after withdrawal, Lookup falls back to /8: got (%+v, %v)", e, ok)
+	}
+
+	if !tbl.Withdraw(p8) {
+		t.Fatal("Withdraw(/8) should succeed")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(a); ok {
+		t.Error("empty table should not match")
+	}
+	if tbl.Withdraw(mustPfx(t, "99.0.0.0/8")) {
+		t.Error("withdrawing never-announced prefix should report false")
+	}
+}
+
+func TestWithdrawReusesStorage(t *testing.T) {
+	tbl := New()
+	p := mustPfx(t, "10.0.0.0/24")
+	for i := 0; i < 100; i++ {
+		if err := tbl.Announce(p, i); err != nil {
+			t.Fatal(err)
+		}
+		if !tbl.Withdraw(p) {
+			t.Fatal("withdraw failed")
+		}
+	}
+	// 1 root + 24 path nodes is the steady-state allocation; churn must
+	// not grow it unboundedly.
+	if len(tbl.nodes) > 64 {
+		t.Errorf("node arena grew to %d across announce/withdraw churn", len(tbl.nodes))
+	}
+}
+
+func TestNearestEmptyTable(t *testing.T) {
+	tbl := New()
+	if _, _, ok := tbl.Nearest(0); ok {
+		t.Error("Nearest on empty table must report !ok")
+	}
+}
+
+func TestNearestExactWhenCovered(t *testing.T) {
+	tbl := New()
+	if err := tbl.Announce(mustPfx(t, "10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := netaddr.ParseAddr("10.5.6.7")
+	e, closest, ok := tbl.Nearest(a)
+	if !ok || e.AS != 1 {
+		t.Fatalf("Nearest = (%+v, %v)", e, ok)
+	}
+	if closest != a {
+		t.Errorf("closest address inside covering prefix should be the address itself, got %v", closest)
+	}
+}
+
+// bruteNearest scans every announced prefix for the true minimum IP
+// distance.
+func bruteNearest(tbl *Table, a netaddr.Addr) (Entry, uint32) {
+	var best Entry
+	bestDist := ^uint32(0)
+	found := false
+	for _, e := range tbl.Entries() {
+		if d := e.Prefix.DistanceTo(a); !found || d < bestDist {
+			best, bestDist, found = e, d, true
+		}
+	}
+	return best, bestDist
+}
+
+func TestNearestMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := New()
+	for i := 0; i < 500; i++ {
+		bits := 4 + rng.Intn(25) // /4../28
+		p, err := netaddr.NewPrefix(netaddr.Addr(rng.Uint32()), bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Announce(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := netaddr.Addr(rng.Uint32())
+		e, closest, ok := tbl.Nearest(a)
+		if !ok {
+			t.Fatal("Nearest !ok on non-empty table")
+		}
+		_, wantDist := bruteNearest(tbl, a)
+		gotDist := e.Prefix.DistanceTo(a)
+		if gotDist != wantDist {
+			t.Fatalf("addr %v: Nearest dist %d (prefix %v), brute force %d",
+				a, gotDist, e.Prefix, wantDist)
+		}
+		if !e.Prefix.Contains(closest) {
+			t.Fatalf("closest %v not inside %v", closest, e.Prefix)
+		}
+		if a.Distance(closest) != gotDist {
+			t.Fatalf("closest %v distance %d != prefix distance %d",
+				closest, a.Distance(closest), gotDist)
+		}
+	}
+}
+
+func TestNearestAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl := New()
+	var live []netaddr.Prefix
+	for round := 0; round < 300; round++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			p, err := netaddr.NewPrefix(netaddr.Addr(rng.Uint32()), 6+rng.Intn(20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.Announce(p, round); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		} else {
+			i := rng.Intn(len(live))
+			tbl.Withdraw(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		a := netaddr.Addr(rng.Uint32())
+		e, _, ok := tbl.Nearest(a)
+		if !ok {
+			t.Fatal("Nearest !ok with live prefixes")
+		}
+		if _, wantDist := bruteNearest(tbl, a); e.Prefix.DistanceTo(a) != wantDist {
+			t.Fatalf("round %d: Nearest dist %d != brute %d", round, e.Prefix.DistanceTo(a), wantDist)
+		}
+	}
+}
+
+func TestAnnouncedFraction(t *testing.T) {
+	tbl := New()
+	if got := tbl.AnnouncedFraction(); got != 0 {
+		t.Fatalf("empty fraction = %v", got)
+	}
+	if err := tbl.Announce(mustPfx(t, "0.0.0.0/1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.AnnouncedFraction(); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	// Overlapping announcement must not double count.
+	if err := tbl.Announce(mustPfx(t, "0.0.0.0/2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.AnnouncedFraction(); got != 0.5 {
+		t.Fatalf("fraction with nested prefix = %v, want 0.5", got)
+	}
+	if err := tbl.Announce(mustPfx(t, "128.0.0.0/2"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.AnnouncedFraction(); got != 0.75 {
+		t.Fatalf("fraction = %v, want 0.75", got)
+	}
+}
+
+func TestShareByAS(t *testing.T) {
+	tbl := New()
+	if err := tbl.Announce(mustPfx(t, "0.0.0.0/1"), 1); err != nil { // half the space
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(mustPfx(t, "0.0.0.0/2"), 2); err != nil { // quarter, carved out of AS 1
+		t.Fatal(err)
+	}
+	shares := tbl.ShareByAS()
+	if got := shares[1]; got != 0.25 {
+		t.Errorf("AS 1 share = %v, want 0.25 (most-specific-wins carve-out)", got)
+	}
+	if got := shares[2]; got != 0.25 {
+		t.Errorf("AS 2 share = %v, want 0.25", got)
+	}
+	if _, ok := shares[3]; ok {
+		t.Error("AS 3 should be absent")
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	tbl := New()
+	want := map[string]int{
+		"10.0.0.0/8":     1,
+		"10.1.0.0/16":    2,
+		"192.168.0.0/16": 3,
+		"8.8.8.0/24":     4,
+	}
+	for s, as := range want {
+		if err := tbl.Announce(mustPfx(t, s), as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tbl.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("Entries len = %d, want %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if want[e.Prefix.String()] != e.AS {
+			t.Errorf("entry %v AS=%d, want %d", e.Prefix, e.AS, want[e.Prefix.String()])
+		}
+	}
+}
+
+func TestLookupDefaultRoute(t *testing.T) {
+	tbl := New()
+	if err := tbl.Announce(mustPfx(t, "0.0.0.0/0"), 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint32{0, 1 << 31, ^uint32(0)} {
+		e, ok := tbl.Lookup(netaddr.Addr(v))
+		if !ok || e.AS != 7 {
+			t.Errorf("default route should match %v", netaddr.Addr(v))
+		}
+	}
+}
+
+func TestSlash32(t *testing.T) {
+	tbl := New()
+	a, _ := netaddr.ParseAddr("1.2.3.4")
+	p, err := netaddr.NewPrefix(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := tbl.Lookup(a); !ok || e.AS != 1 {
+		t.Error("/32 should match its own address")
+	}
+	if _, ok := tbl.Lookup(a + 1); ok {
+		t.Error("/32 should not match the neighbour")
+	}
+	e, _, ok := tbl.Nearest(a + 1)
+	if !ok || e.Prefix != p {
+		t.Errorf("Nearest(neighbour) = %+v, want the /32", e)
+	}
+	if !tbl.Withdraw(p) {
+		t.Error("withdraw /32 failed")
+	}
+}

@@ -1,0 +1,239 @@
+// Package server runs a DMap mapping node over TCP: the process an AS
+// border gateway would co-locate with its router to host its share of the
+// global GUID→NA table. It substitutes for the paper's GENI prototype
+// (§VII) and makes the library deployable beyond simulation.
+//
+// The node is deliberately dumb, exactly as DMap intends: it stores and
+// serves whatever mappings hash to it. All placement intelligence (the K
+// hash functions, Algorithm 1, replica selection) lives in the client,
+// because any participant can derive placements locally from the shared
+// prefix table.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+// Node is a TCP mapping server. Create with New, start with Serve or
+// Start, stop with Close.
+type Node struct {
+	store  *store.Store
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts served operations.
+type Stats struct {
+	Inserts int64
+	Lookups int64
+	Hits    int64
+	Deletes int64
+	Errors  int64
+}
+
+// New creates a node around st (a fresh store if nil). logger may be nil
+// to discard logs.
+func New(st *store.Store, logger *log.Logger) *Node {
+	if st == nil {
+		st = store.New()
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Node{
+		store:  st,
+		logger: logger,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Store returns the node's mapping store.
+func (n *Node) Store() *store.Store { return n.store }
+
+// Stats returns a snapshot of operation counters.
+func (n *Node) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+// Start listens on addr ("host:port", ":0" for ephemeral) and serves in
+// the background. It returns the bound address.
+func (n *Node) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return "", errors.New("server: node already closed")
+	}
+	n.listener = ln
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.acceptLoop(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+			n.mu.Lock()
+			delete(n.conns, conn)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// handlers to drain.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.listener
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) countErr() {
+	n.statsMu.Lock()
+	n.stats.Errors++
+	n.statsMu.Unlock()
+}
+
+// serveConn processes frames until the peer disconnects. The protocol is
+// strictly request/response per connection; clients pipeline by opening
+// several connections.
+func (n *Node) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var out []byte
+	for {
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.logger.Printf("read %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		out = out[:0]
+		var respType wire.MsgType
+		switch t {
+		case wire.MsgInsert:
+			e, _, err := wire.DecodeEntry(payload)
+			if err != nil {
+				n.countErr()
+				n.logger.Printf("bad insert from %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			if _, err := n.store.Put(e); err != nil {
+				n.countErr()
+				n.logger.Printf("put: %v", err)
+				return
+			}
+			n.statsMu.Lock()
+			n.stats.Inserts++
+			n.statsMu.Unlock()
+			respType = wire.MsgInsertAck
+
+		case wire.MsgLookup:
+			g, _, err := wire.DecodeGUID(payload)
+			if err != nil {
+				n.countErr()
+				return
+			}
+			e, ok := n.store.Get(g)
+			n.statsMu.Lock()
+			n.stats.Lookups++
+			if ok {
+				n.stats.Hits++
+			}
+			n.statsMu.Unlock()
+			out, err = wire.AppendLookupResp(out, wire.LookupResp{Found: ok, Entry: e})
+			if err != nil {
+				n.countErr()
+				return
+			}
+			respType = wire.MsgLookupResp
+
+		case wire.MsgDelete:
+			g, _, err := wire.DecodeGUID(payload)
+			if err != nil {
+				n.countErr()
+				return
+			}
+			existed := n.store.Delete(g)
+			n.statsMu.Lock()
+			n.stats.Deletes++
+			n.statsMu.Unlock()
+			flag := byte(0)
+			if existed {
+				flag = 1
+			}
+			out = append(out, flag)
+			respType = wire.MsgDeleteAck
+
+		case wire.MsgPing:
+			respType = wire.MsgPong
+
+		default:
+			n.countErr()
+			n.logger.Printf("unknown frame %v from %s", t, conn.RemoteAddr())
+			return
+		}
+		if err := wire.WriteFrame(conn, respType, out); err != nil {
+			n.logger.Printf("write %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}

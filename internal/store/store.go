@@ -1,0 +1,175 @@
+// Package store implements the per-AS mapping store: the table of
+// GUID→NA entries an autonomous system hosts on behalf of the global
+// DMap service.
+//
+// Entries are versioned with a monotonically increasing sequence number so
+// that delayed or reordered updates from a mobile host never roll a
+// mapping back (§III-D2), and carry up to MaxNAs locators to support
+// multi-homed devices (§IV-A). The store also does the §IV-A storage
+// accounting used by the overhead experiment.
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+)
+
+// MaxNAs is the maximum number of locators per mapping (paper §IV-A:
+// "each associated with a maximum of 5 NAs, accounting for multi-homed
+// devices").
+const MaxNAs = 5
+
+// NA is a network address (locator): the attachment point of a GUID. AS
+// is the dense AS index hosting the attachment; Addr is the routable
+// address within it.
+type NA struct {
+	AS   int
+	Addr netaddr.Addr
+}
+
+// Entry is one GUID→NA mapping.
+type Entry struct {
+	GUID guid.GUID
+	// NAs lists current attachment points, most preferred first.
+	NAs []NA
+	// Version is the host-issued sequence number; higher wins.
+	Version uint64
+	// Meta carries the paper's 32 bits of per-mapping metadata (type of
+	// service, priority, ...).
+	Meta uint32
+}
+
+// SizeBits returns the §IV-A wire/storage size of the entry:
+// 160-bit GUID + 32 bits per NA + 32 bits of metadata.
+func (e Entry) SizeBits() int {
+	return guid.Size*8 + 32*len(e.NAs) + 32
+}
+
+// Validate checks structural constraints.
+func (e Entry) Validate() error {
+	if e.GUID.IsZero() {
+		return fmt.Errorf("store: zero GUID")
+	}
+	if len(e.NAs) == 0 {
+		return fmt.Errorf("store: entry for %s has no NAs", e.GUID.Short())
+	}
+	if len(e.NAs) > MaxNAs {
+		return fmt.Errorf("store: entry for %s has %d NAs, max %d", e.GUID.Short(), len(e.NAs), MaxNAs)
+	}
+	for _, na := range e.NAs {
+		if na.AS < 0 {
+			return fmt.Errorf("store: entry for %s has negative AS index", e.GUID.Short())
+		}
+	}
+	return nil
+}
+
+// clone deep-copies e so callers cannot alias internal state.
+func (e Entry) clone() Entry {
+	nas := make([]NA, len(e.NAs))
+	copy(nas, e.NAs)
+	e.NAs = nas
+	return e
+}
+
+// Store is a thread-safe per-AS mapping table. The zero value is not
+// usable; call New.
+type Store struct {
+	mu sync.RWMutex
+	m  map[guid.GUID]Entry
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{m: make(map[guid.GUID]Entry)}
+}
+
+// Put inserts or updates the mapping for e.GUID. An update with a version
+// not greater than the stored one is ignored (stale), preserving
+// freshest-wins semantics under reordered delivery. It reports whether
+// the entry was applied.
+func (s *Store) Put(e Entry) (bool, error) {
+	if err := e.Validate(); err != nil {
+		return false, err
+	}
+	e = e.clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[e.GUID]; ok && e.Version <= old.Version {
+		return false, nil
+	}
+	s.m[e.GUID] = e
+	return true, nil
+}
+
+// Get returns a copy of the mapping for g.
+func (s *Store) Get(g guid.GUID) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[g]
+	if !ok {
+		return Entry{}, false
+	}
+	return e.clone(), true
+}
+
+// Delete removes the mapping for g, reporting whether it existed.
+func (s *Store) Delete(g guid.GUID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[g]; !ok {
+		return false
+	}
+	delete(s.m, g)
+	return true
+}
+
+// Len returns the number of hosted mappings.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// SizeBits returns the total §IV-A storage footprint of the store.
+func (s *Store) SizeBits() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, e := range s.m {
+		total += int64(e.SizeBits())
+	}
+	return total
+}
+
+// Range calls fn on a copy of every entry until fn returns false.
+// Mutating the store from fn deadlocks; collect first instead.
+func (s *Store) Range(fn func(Entry) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.m {
+		if !fn(e.clone()) {
+			return
+		}
+	}
+}
+
+// Extract removes and returns all entries whose GUID satisfies pred. It
+// implements the orphan-mapping migration of §III-D1: when an AS
+// withdraws a prefix, the entries hashed to it are extracted and shipped
+// to the deputy AS.
+func (s *Store) Extract(pred func(guid.GUID) bool) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for g, e := range s.m {
+		if pred(g) {
+			out = append(out, e) // already isolated: removed below
+			delete(s.m, g)
+		}
+	}
+	return out
+}

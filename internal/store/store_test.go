@@ -1,0 +1,210 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+)
+
+func entry(name string, version uint64, ases ...int) Entry {
+	nas := make([]NA, len(ases))
+	for i, as := range ases {
+		nas[i] = NA{AS: as, Addr: netaddr.AddrFromOctets(10, 0, 0, byte(i))}
+	}
+	return Entry{GUID: guid.New(name), NAs: nas, Version: version}
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	e := entry("laptop", 1, 7)
+	applied, err := s.Put(e)
+	if err != nil || !applied {
+		t.Fatalf("Put = (%v, %v)", applied, err)
+	}
+	got, ok := s.Get(e.GUID)
+	if !ok {
+		t.Fatal("Get missed")
+	}
+	if got.NAs[0].AS != 7 || got.Version != 1 {
+		t.Errorf("Get = %+v", got)
+	}
+	if _, ok := s.Get(guid.New("other")); ok {
+		t.Error("Get(other) should miss")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := New()
+	cases := []Entry{
+		{},                              // zero GUID
+		{GUID: guid.New("g")},           // no NAs
+		entry("g", 1, 1, 2, 3, 4, 5, 6), // too many NAs
+		{GUID: guid.New("g"), NAs: []NA{{AS: -1}}}, // negative AS
+	}
+	for i, e := range cases {
+		if _, err := s.Put(e); err == nil {
+			t.Errorf("case %d: Put(%+v) should fail", i, e)
+		}
+	}
+	if s.Len() != 0 {
+		t.Errorf("failed puts must not store: Len = %d", s.Len())
+	}
+}
+
+func TestPutVersioning(t *testing.T) {
+	s := New()
+	g := guid.New("phone")
+	if _, err := s.Put(entry("phone", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Stale update (lower version) rejected.
+	applied, err := s.Put(entry("phone", 4, 2))
+	if err != nil || applied {
+		t.Fatalf("stale Put = (%v, %v), want (false, nil)", applied, err)
+	}
+	// Equal version also rejected (idempotent redelivery).
+	if applied, _ := s.Put(entry("phone", 5, 2)); applied {
+		t.Fatal("equal-version Put should not apply")
+	}
+	got, _ := s.Get(g)
+	if got.NAs[0].AS != 1 {
+		t.Errorf("stale update overwrote entry: %+v", got)
+	}
+	// Newer version applies.
+	if applied, _ := s.Put(entry("phone", 6, 3)); !applied {
+		t.Fatal("newer Put should apply")
+	}
+	got, _ = s.Get(g)
+	if got.NAs[0].AS != 3 || got.Version != 6 {
+		t.Errorf("after update: %+v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	e := entry("x", 1, 1)
+	if _, err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Delete(e.GUID) {
+		t.Error("Delete should report true")
+	}
+	if s.Delete(e.GUID) {
+		t.Error("second Delete should report false")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	e := entry("y", 1, 1, 2)
+	if _, err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(e.GUID)
+	got.NAs[0].AS = 999
+	again, _ := s.Get(e.GUID)
+	if again.NAs[0].AS == 999 {
+		t.Error("Get must return a copy, not shared state")
+	}
+	// The caller's slice must not alias the store either.
+	e.NAs[1].AS = 888
+	again, _ = s.Get(e.GUID)
+	if again.NAs[1].AS == 888 {
+		t.Error("Put must copy the caller's NAs")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	// §IV-A: 160 + 32×5 + 32 = 352 bits with 5 NAs.
+	e := entry("z", 1, 1, 2, 3, 4, 5)
+	if got := e.SizeBits(); got != 352 {
+		t.Errorf("SizeBits = %d, want 352", got)
+	}
+	s := New()
+	if _, err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(entry("w", 1, 1)); err != nil { // 160+32+32 = 224
+		t.Fatal(err)
+	}
+	if got := s.SizeBits(); got != 352+224 {
+		t.Errorf("store SizeBits = %d, want %d", got, 352+224)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New()
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		if _, err := s.Put(entry(n, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	s.Range(func(Entry) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("Range visited %d, want 3", count)
+	}
+	count = 0
+	s.Range(func(Entry) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early-stop Range visited %d, want 1", count)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	s := New()
+	keep := entry("keep", 1, 1)
+	move1 := entry("move1", 1, 2)
+	move2 := entry("move2", 1, 3)
+	for _, e := range []Entry{keep, move1, move2} {
+		if _, err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := s.Extract(func(g guid.GUID) bool { return g != keep.GUID })
+	if len(moved) != 2 {
+		t.Fatalf("Extract returned %d entries, want 2", len(moved))
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after Extract = %d, want 1", s.Len())
+	}
+	if _, ok := s.Get(keep.GUID); !ok {
+		t.Error("kept entry missing")
+	}
+	if _, ok := s.Get(move1.GUID); ok {
+		t.Error("extracted entry still present")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := string(rune('a' + (i % 26)))
+				if _, err := s.Put(entry(name, uint64(w*1000+i), w)); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Get(guid.New(name))
+				s.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 26 {
+		t.Errorf("Len = %d, want 26", s.Len())
+	}
+}

@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DistCache memoizes Dijkstra distance vectors per source AS with LRU
+// eviction, bounding memory while serving the event-driven simulator's
+// out-of-order latency queries. It is safe for concurrent use.
+type DistCache struct {
+	g   *Graph
+	cap int
+
+	mu  sync.Mutex
+	lru *list.List // of *cacheEntry, front = most recent
+	m   map[int]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	src  int
+	dist []Micros
+}
+
+// NewDistCache returns a cache holding up to capacity distance vectors
+// (each NumAS × 8 bytes). capacity must be positive.
+func NewDistCache(g *Graph, capacity int) (*DistCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("topology: cache capacity must be positive, got %d", capacity)
+	}
+	return &DistCache{
+		g:   g,
+		cap: capacity,
+		lru: list.New(),
+		m:   make(map[int]*list.Element, capacity),
+	}, nil
+}
+
+// vector returns the Dijkstra vector from src, computing it on miss.
+func (c *DistCache) vector(src int) []Micros {
+	c.mu.Lock()
+	if el, ok := c.m[src]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		dist := el.Value.(*cacheEntry).dist
+		c.mu.Unlock()
+		return dist
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock; duplicate work on a race is harmless.
+	dist := make([]Micros, c.g.NumAS())
+	c.g.Dijkstra(src, dist)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[src]; ok { // raced with another filler
+		return el.Value.(*cacheEntry).dist
+	}
+	if c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).src)
+	}
+	c.m[src] = c.lru.PushFront(&cacheEntry{src: src, dist: dist})
+	return dist
+}
+
+// OneWay returns the end-to-end one-way latency from AS s to AS t.
+func (c *DistCache) OneWay(s, t int) Micros {
+	if s == t {
+		return c.g.Intra(s)
+	}
+	return c.g.OneWay(s, t, c.vector(s))
+}
+
+// RTT returns the round-trip latency between AS s and AS t.
+func (c *DistCache) RTT(s, t int) Micros {
+	ow := c.OneWay(s, t)
+	if ow == InfMicros {
+		return InfMicros
+	}
+	return 2 * ow
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *DistCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,117 @@
+package topology
+
+import "sort"
+
+// Jellyfish is the layer decomposition of §V-A: the core is the maximal
+// clique around the highest-degree node; Shell-j holds intermediate nodes
+// (degree > 1) at core distance j; Hang-j holds leaf nodes (degree 1) at
+// core distance j+1; Layer(j) = Shell-j ∪ Hang-(j−1).
+type Jellyfish struct {
+	// Core lists the AS indices of Shell-0 (the maximal clique).
+	Core []int
+	// LayerOf maps each AS to its layer index; -1 if unreachable.
+	LayerOf []int
+	// LayerFractions is r_j = |Layer(j)| / n, the input to the §V bound.
+	LayerFractions []float64
+}
+
+// NumLayers returns N, the number of layers.
+func (j *Jellyfish) NumLayers() int { return len(j.LayerFractions) }
+
+// DecomposeJellyfish computes the Jellyfish layering of g.
+func DecomposeJellyfish(g *Graph) *Jellyfish {
+	n := g.NumAS()
+	// Root: the highest-degree node.
+	root := 0
+	for i := 1; i < n; i++ {
+		if g.Degree(i) > g.Degree(root) {
+			root = i
+		}
+	}
+
+	// Greedy maximal clique containing the root: consider the root's
+	// neighbours in decreasing degree order, adding each that is adjacent
+	// to every current member. (Finding the maximum clique is NP-hard;
+	// the greedy maximal clique is the standard Jellyfish construction.)
+	neigh := make([]int, 0, g.Degree(root))
+	g.Neighbors(root, func(to int, _ Micros) { neigh = append(neigh, to) })
+	sort.Slice(neigh, func(a, b int) bool {
+		if g.Degree(neigh[a]) != g.Degree(neigh[b]) {
+			return g.Degree(neigh[a]) > g.Degree(neigh[b])
+		}
+		return neigh[a] < neigh[b]
+	})
+	core := []int{root}
+	for _, cand := range neigh {
+		ok := true
+		for _, member := range core {
+			if !g.hasEdge(cand, member) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			core = append(core, cand)
+		}
+	}
+
+	// BFS distance-to-core.
+	distToCore := make([]int, n)
+	for i := range distToCore {
+		distToCore[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for _, c := range core {
+		distToCore[c] = 0
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		g.Neighbors(cur, func(to int, _ Micros) {
+			if distToCore[to] < 0 {
+				distToCore[to] = distToCore[cur] + 1
+				queue = append(queue, to)
+			}
+		})
+	}
+
+	// Layer assignment: Shell-j = degree>1 at distance j; Hang-j =
+	// degree 1 at distance j+1; Layer(j) = Shell-j ∪ Hang-(j−1);
+	// Layer(0) = Shell-0 (the core itself).
+	layerOf := make([]int, n)
+	maxLayer := 0
+	for i := 0; i < n; i++ {
+		d := distToCore[i]
+		if d < 0 {
+			layerOf[i] = -1
+			continue
+		}
+		var layer int
+		switch {
+		case d == 0:
+			layer = 0
+		case g.Degree(i) > 1:
+			layer = d // Shell-d ⊂ Layer(d)
+		default:
+			layer = d - 1 + 1 // Hang-(d−1) ⊂ Layer(d−1+1) = Layer(d)
+		}
+		layerOf[i] = layer
+		if layer > maxLayer {
+			maxLayer = layer
+		}
+	}
+
+	fractions := make([]float64, maxLayer+1)
+	for _, l := range layerOf {
+		if l >= 0 {
+			fractions[l]++
+		}
+	}
+	for i := range fractions {
+		fractions[i] /= float64(n)
+	}
+
+	sort.Ints(core)
+	return &Jellyfish{Core: core, LayerOf: layerOf, LayerFractions: fractions}
+}

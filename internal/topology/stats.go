@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GraphStats summarizes a generated topology against the aggregates of
+// the DIMES dataset it substitutes for (§IV-B1), so any run can document
+// how faithful its world is.
+type GraphStats struct {
+	NumAS    int
+	NumLinks int
+
+	// Degree distribution.
+	MeanDegree   float64
+	MaxDegree    int
+	Degree1Count int // Jellyfish "hang" nodes
+
+	// Latency distributions in milliseconds.
+	MedianLinkMs  float64
+	P95LinkMs     float64
+	MedianIntraMs float64
+	P95IntraMs    float64
+	MaxIntraMs    float64
+
+	// Jellyfish decomposition.
+	CoreSize       int
+	NumLayers      int
+	LayerFractions []float64
+
+	// Geography.
+	NumRegions          int
+	SameRegionLinkShare float64
+}
+
+// ComputeStats gathers the summary (O(V + E) plus the layer
+// decomposition's BFS).
+func ComputeStats(g *Graph) GraphStats {
+	st := GraphStats{
+		NumAS:    g.NumAS(),
+		NumLinks: g.NumLinks(),
+	}
+
+	linkLats := make([]float64, 0, g.NumLinks())
+	intraLats := make([]float64, 0, g.NumAS())
+	regions := make(map[int]bool)
+	sameRegion := 0
+	for as := 0; as < g.NumAS(); as++ {
+		deg := g.Degree(as)
+		if deg > st.MaxDegree {
+			st.MaxDegree = deg
+		}
+		if deg == 1 {
+			st.Degree1Count++
+		}
+		intraLats = append(intraLats, g.Intra(as).Millis())
+		regions[g.Region(as)] = true
+		g.Neighbors(as, func(to int, lat Micros) {
+			if to < as {
+				return
+			}
+			linkLats = append(linkLats, lat.Millis())
+			if g.Region(as) == g.Region(to) {
+				sameRegion++
+			}
+		})
+	}
+	st.MeanDegree = 2 * float64(g.NumLinks()) / float64(g.NumAS())
+	st.NumRegions = len(regions)
+	if g.NumLinks() > 0 {
+		st.SameRegionLinkShare = float64(sameRegion) / float64(g.NumLinks())
+	}
+
+	sort.Float64s(linkLats)
+	sort.Float64s(intraLats)
+	st.MedianLinkMs = percentileOf(linkLats, 50)
+	st.P95LinkMs = percentileOf(linkLats, 95)
+	st.MedianIntraMs = percentileOf(intraLats, 50)
+	st.P95IntraMs = percentileOf(intraLats, 95)
+	if n := len(intraLats); n > 0 {
+		st.MaxIntraMs = intraLats[n-1]
+	}
+
+	jf := DecomposeJellyfish(g)
+	st.CoreSize = len(jf.Core)
+	st.NumLayers = jf.NumLayers()
+	st.LayerFractions = jf.LayerFractions
+	return st
+}
+
+// percentileOf reads the p-th percentile from a sorted slice.
+func percentileOf(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// String renders the summary next to the DIMES reference values.
+func (s GraphStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ASs: %d (paper: 26424), links: %d (paper: 90267)\n", s.NumAS, s.NumLinks)
+	fmt.Fprintf(&b, "degree: mean %.2f, max %d, degree-1 hangs %d (%.1f%%)\n",
+		s.MeanDegree, s.MaxDegree, s.Degree1Count, 100*float64(s.Degree1Count)/float64(s.NumAS))
+	fmt.Fprintf(&b, "link latency: median %.1f ms, p95 %.1f ms\n", s.MedianLinkMs, s.P95LinkMs)
+	fmt.Fprintf(&b, "intra-AS latency: median %.1f ms (paper: 3.5), p95 %.1f ms, max %.0f ms (paper tail: 2300)\n",
+		s.MedianIntraMs, s.P95IntraMs, s.MaxIntraMs)
+	fmt.Fprintf(&b, "jellyfish: core %d, %d layers, fractions", s.CoreSize, s.NumLayers)
+	for _, r := range s.LayerFractions {
+		fmt.Fprintf(&b, " %.3f", r)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "regions: %d, same-region links %.1f%%\n", s.NumRegions, 100*s.SameRegionLinkShare)
+	return b.String()
+}

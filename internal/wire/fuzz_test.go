@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"dmap/internal/netaddr"
+	"dmap/internal/store"
+)
+
+// FuzzDecodeEntry hardens the wire decoder against arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode canonically.
+func FuzzDecodeEntry(f *testing.F) {
+	seed, _ := AppendEntry(nil, store.Entry{
+		GUID:    [20]byte{1, 2, 3},
+		NAs:     []store.NA{{AS: 7, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: 9,
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, rest, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatal("rest longer than input")
+		}
+		enc, err := AppendEntry(nil, e)
+		if err != nil {
+			t.Fatalf("decoded entry fails validation on re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data[:len(data)-len(rest)]) {
+			t.Fatal("re-encoding differs from accepted bytes")
+		}
+	})
+}
+
+// FuzzDecodeLookupResp must never panic on arbitrary bytes.
+func FuzzDecodeLookupResp(f *testing.F) {
+	ok, _ := AppendLookupResp(nil, LookupResp{})
+	f.Add(ok)
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeLookupResp(data)
+	})
+}
+
+// FuzzReadFrame must never panic or over-allocate on hostile streams.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, MsgPing, []byte("x"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadFrame(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,203 @@
+// Package wire defines the binary protocol spoken between DMap resolver
+// nodes and clients: length-prefixed frames carrying fixed-layout
+// messages, encoded with encoding/binary. The layout mirrors the §IV-A
+// storage accounting: a mapping entry is the 160-bit GUID, a version, 32
+// bits of metadata and up to five 64-bit NAs (32-bit AS index + 32-bit
+// address).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/store"
+)
+
+// MsgType tags a frame.
+type MsgType byte
+
+// Frame types.
+const (
+	MsgInsert MsgType = iota + 1 // entry → ack; also used for updates
+	MsgInsertAck
+	MsgLookup     // guid → lookup resp
+	MsgLookupResp // found flag + entry
+	MsgDelete     // guid → delete ack
+	MsgDeleteAck  // existed flag
+	MsgPing       // empty → pong
+	MsgPong
+)
+
+// String names the frame type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgInsert:
+		return "insert"
+	case MsgInsertAck:
+		return "insert-ack"
+	case MsgLookup:
+		return "lookup"
+	case MsgLookupResp:
+		return "lookup-resp"
+	case MsgDelete:
+		return "delete"
+	case MsgDeleteAck:
+		return "delete-ack"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// MaxFrame bounds a frame's payload, defending the decoder against
+// hostile lengths.
+const MaxFrame = 16 * 1024
+
+// Frame errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("wire: truncated message")
+)
+
+// WriteFrame writes one frame: uint32 payload length, type byte, payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, rejecting oversized payloads before
+// allocating.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// AppendEntry encodes a mapping entry:
+// GUID(20) ‖ version(8) ‖ meta(4) ‖ naCount(1) ‖ naCount × (AS(4) ‖ addr(4)).
+func AppendEntry(dst []byte, e store.Entry) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	dst = append(dst, e.GUID[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, e.Version)
+	dst = binary.BigEndian.AppendUint32(dst, e.Meta)
+	dst = append(dst, byte(len(e.NAs)))
+	for _, na := range e.NAs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(na.AS))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(na.Addr))
+	}
+	return dst, nil
+}
+
+// DecodeEntry decodes an entry and returns the remaining bytes.
+func DecodeEntry(b []byte) (store.Entry, []byte, error) {
+	const fixed = guid.Size + 8 + 4 + 1
+	if len(b) < fixed {
+		return store.Entry{}, nil, ErrTruncated
+	}
+	var e store.Entry
+	copy(e.GUID[:], b[:guid.Size])
+	b = b[guid.Size:]
+	e.Version = binary.BigEndian.Uint64(b)
+	e.Meta = binary.BigEndian.Uint32(b[8:])
+	n := int(b[12])
+	b = b[13:]
+	if n == 0 || n > store.MaxNAs {
+		return store.Entry{}, nil, fmt.Errorf("wire: NA count %d out of range", n)
+	}
+	if len(b) < 8*n {
+		return store.Entry{}, nil, ErrTruncated
+	}
+	e.NAs = make([]store.NA, n)
+	for i := 0; i < n; i++ {
+		e.NAs[i] = store.NA{
+			AS:   int(binary.BigEndian.Uint32(b)),
+			Addr: netaddr.Addr(binary.BigEndian.Uint32(b[4:])),
+		}
+		b = b[8:]
+	}
+	if err := e.Validate(); err != nil {
+		return store.Entry{}, nil, err
+	}
+	return e, b, nil
+}
+
+// AppendGUID encodes a bare GUID.
+func AppendGUID(dst []byte, g guid.GUID) []byte {
+	return append(dst, g[:]...)
+}
+
+// DecodeGUID decodes a bare GUID and returns the remaining bytes.
+func DecodeGUID(b []byte) (guid.GUID, []byte, error) {
+	if len(b) < guid.Size {
+		return guid.GUID{}, nil, ErrTruncated
+	}
+	var g guid.GUID
+	copy(g[:], b[:guid.Size])
+	return g, b[guid.Size:], nil
+}
+
+// LookupResp is the body of a MsgLookupResp frame.
+type LookupResp struct {
+	Found bool
+	Entry store.Entry
+}
+
+// AppendLookupResp encodes a lookup response.
+func AppendLookupResp(dst []byte, r LookupResp) ([]byte, error) {
+	if !r.Found {
+		return append(dst, 0), nil
+	}
+	dst = append(dst, 1)
+	return AppendEntry(dst, r.Entry)
+}
+
+// DecodeLookupResp decodes a lookup response.
+func DecodeLookupResp(b []byte) (LookupResp, error) {
+	if len(b) < 1 {
+		return LookupResp{}, ErrTruncated
+	}
+	switch b[0] {
+	case 0:
+		return LookupResp{}, nil
+	case 1:
+		e, _, err := DecodeEntry(b[1:])
+		if err != nil {
+			return LookupResp{}, err
+		}
+		return LookupResp{Found: true, Entry: e}, nil
+	default:
+		return LookupResp{}, fmt.Errorf("wire: bad found flag %d", b[0])
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload generates the traffic that drives the evaluation:
+// Mandelbrot-Zipf GUID popularity (Eq. 1 of the paper, following [26],
+// [27]) and end-node-weighted source-AS selection, so that "more lookup
+// requests are generated from more densely populated areas" (§VI).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MandelbrotZipf samples object ranks with probability
+//
+//	p(k) = H / (k + q)^α,  H = 1 / Σ_{k=1..N} 1/(k+q)^α
+//
+// with α controlling skewness and q flattening the head (paper values
+// α = 1.02, q = 100).
+type MandelbrotZipf struct {
+	n     int
+	alpha float64
+	q     float64
+	cdf   []float64
+}
+
+// Paper parameter values (§IV-B1, following Saleh & Hefeeda [27]).
+const (
+	DefaultAlpha = 1.02
+	DefaultQ     = 100.0
+)
+
+// NewMandelbrotZipf builds a sampler over ranks [0, n).
+func NewMandelbrotZipf(n int, alpha, q float64) (*MandelbrotZipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: population size must be positive, got %d", n)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("workload: alpha must be positive, got %g", alpha)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("workload: q must be non-negative, got %g", q)
+	}
+	z := &MandelbrotZipf{n: n, alpha: alpha, q: q, cdf: make([]float64, n)}
+	var sum float64
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1)+q, alpha)
+		z.cdf[k] = sum
+	}
+	for k := range z.cdf {
+		z.cdf[k] /= sum
+	}
+	z.cdf[n-1] = 1
+	return z, nil
+}
+
+// N returns the population size.
+func (z *MandelbrotZipf) N() int { return z.n }
+
+// Prob returns p(k) for 0-based rank k.
+func (z *MandelbrotZipf) Prob(k int) float64 {
+	if k < 0 || k >= z.n {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// Sample draws a 0-based rank.
+func (z *MandelbrotZipf) Sample(rng *rand.Rand) int {
+	return sort.SearchFloat64s(z.cdf, rng.Float64())
+}
+
+// WeightedSampler draws indices proportionally to fixed non-negative
+// weights (used for end-node-weighted source ASs).
+type WeightedSampler struct {
+	cdf []float64
+}
+
+// NewWeightedSampler builds a sampler over len(weights) indices. At least
+// one weight must be positive and none may be negative or non-finite.
+func NewWeightedSampler(weights []float64) (*WeightedSampler, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("workload: no weights")
+	}
+	cdf := make([]float64, len(weights))
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("workload: bad weight %g at index %d", w, i)
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("workload: all weights are zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[len(cdf)-1] = 1
+	return &WeightedSampler{cdf: cdf}, nil
+}
+
+// Sample draws an index.
+func (s *WeightedSampler) Sample(rng *rand.Rand) int {
+	return sort.SearchFloat64s(s.cdf, rng.Float64())
+}
+
+// Len returns the number of indices.
+func (s *WeightedSampler) Len() int { return len(s.cdf) }
+
+// EventKind labels a trace event (§IV-B1: "three types of events: GUID
+// inserts, GUID updates and GUID lookups").
+type EventKind int
+
+// Event kinds.
+const (
+	Insert EventKind = iota + 1
+	Update
+	Lookup
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Lookup:
+		return "lookup"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one workload element: at Time (abstract units), SrcAS performs
+// Kind on the GUID with index GUIDIndex.
+type Event struct {
+	Time      float64
+	Kind      EventKind
+	GUIDIndex int
+	SrcAS     int
+}
+
+// TraceConfig parameterizes Generate.
+type TraceConfig struct {
+	// NumGUIDs is the GUID population; each is inserted once from a
+	// weighted-random home AS.
+	NumGUIDs int
+	// NumLookups queries drawn from the Mandelbrot-Zipf popularity.
+	NumLookups int
+	// UpdatesPerGUID appends that many re-attachment updates per GUID
+	// (0 for the pure lookup experiments of Figures 4–6).
+	UpdatesPerGUID int
+	// Alpha, Q are the Mandelbrot-Zipf parameters; zero values select the
+	// paper defaults.
+	Alpha, Q float64
+	// SourceWeights are the per-AS end-node weights.
+	SourceWeights []float64
+	// Seed fixes the PRNG.
+	Seed int64
+}
+
+// Trace is a generated workload: Inserts (and updates) define mapping
+// state; Lookups measure it. HomeAS[i] is the AS where GUID i was last
+// attached.
+type Trace struct {
+	Inserts []Event
+	Lookups []Event
+	HomeAS  []int
+}
+
+// Generate builds a reproducible trace per cfg. Lookup sources and GUID
+// homes are both drawn from SourceWeights; lookup targets follow the
+// popularity law over GUID indices (rank == index: GUID 0 is the most
+// popular).
+func Generate(cfg TraceConfig) (*Trace, error) {
+	if cfg.NumGUIDs <= 0 {
+		return nil, fmt.Errorf("workload: NumGUIDs must be positive, got %d", cfg.NumGUIDs)
+	}
+	if cfg.NumLookups < 0 || cfg.UpdatesPerGUID < 0 {
+		return nil, fmt.Errorf("workload: negative event counts")
+	}
+	alpha, q := cfg.Alpha, cfg.Q
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	if q == 0 {
+		q = DefaultQ
+	}
+	src, err := NewWeightedSampler(cfg.SourceWeights)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := NewMandelbrotZipf(cfg.NumGUIDs, alpha, q)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tr := &Trace{
+		Inserts: make([]Event, 0, cfg.NumGUIDs*(1+cfg.UpdatesPerGUID)),
+		Lookups: make([]Event, 0, cfg.NumLookups),
+		HomeAS:  make([]int, cfg.NumGUIDs),
+	}
+	now := 0.0
+	for i := 0; i < cfg.NumGUIDs; i++ {
+		home := src.Sample(rng)
+		tr.HomeAS[i] = home
+		tr.Inserts = append(tr.Inserts, Event{Time: now, Kind: Insert, GUIDIndex: i, SrcAS: home})
+		now++
+		for u := 0; u < cfg.UpdatesPerGUID; u++ {
+			home = src.Sample(rng)
+			tr.HomeAS[i] = home
+			tr.Inserts = append(tr.Inserts, Event{Time: now, Kind: Update, GUIDIndex: i, SrcAS: home})
+			now++
+		}
+	}
+	for i := 0; i < cfg.NumLookups; i++ {
+		tr.Lookups = append(tr.Lookups, Event{
+			Time:      now,
+			Kind:      Lookup,
+			GUIDIndex: pop.Sample(rng),
+			SrcAS:     src.Sample(rng),
+		})
+		now++
+	}
+	return tr, nil
+}
