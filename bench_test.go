@@ -8,6 +8,8 @@
 package dmap_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -165,6 +167,36 @@ func BenchmarkBaselines(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineWorkers sweeps the evaluation engine's worker count on
+// the Fig. 4 workload. Results are bit-identical at every setting
+// (internal/engine's determinism guarantee); only wall-clock differs.
+// On a single-core host the sweep documents the engine's overhead
+// neutrality instead of its speedup.
+func BenchmarkEngineWorkers(b *testing.B) {
+	w := world(b)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunLatency(w, experiments.LatencyConfig{
+					Ks: []int{1, 3, 5}, NumGUIDs: 1000, NumLookups: 10000,
+					LocalReplica: true, Seed: int64(i), Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.PerK[5].N() != 10000 {
+					b.Fatal("short run")
+				}
+			}
+		})
 	}
 }
 

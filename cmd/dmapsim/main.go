@@ -37,6 +37,7 @@ func run(args []string) error {
 		lookups    = fs.Int("lookups", 1000000, "lookup count for latency experiments")
 		seed       = fs.Int64("seed", 1, "PRNG seed")
 		k          = fs.Int("k", 5, "replication factor for single-K experiments")
+		workers    = fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS, 1 = serial reference)")
 		cdfPoints  = fs.Int("cdf", 0, "also print an n-point CDF per series")
 		hist       = fs.Bool("hist", false, "also print an ASCII latency histogram per series")
 	)
@@ -104,7 +105,7 @@ func run(args []string) error {
 	case "fig4", "table1":
 		res, err := experiments.RunLatency(w, experiments.LatencyConfig{
 			Ks: []int{1, 3, 5}, NumGUIDs: *guids, NumLookups: *lookups,
-			LocalReplica: true, Seed: *seed,
+			LocalReplica: true, Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -118,7 +119,7 @@ func run(args []string) error {
 		for _, rate := range []float64{0, 0.05, 0.10} {
 			res, err := experiments.RunLatency(w, experiments.LatencyConfig{
 				Ks: []int{*k}, NumGUIDs: *guids, NumLookups: *lookups,
-				LocalReplica: true, MissRate: rate, Seed: *seed,
+				LocalReplica: true, MissRate: rate, Seed: *seed, Workers: *workers,
 			})
 			if err != nil {
 				return err
@@ -142,7 +143,7 @@ func run(args []string) error {
 
 	case "update":
 		res, err := experiments.RunUpdate(w, experiments.UpdateConfig{
-			Ks: []int{1, 3, 5}, NumUpdates: *guids, Seed: *seed,
+			Ks: []int{1, 3, 5}, NumUpdates: *guids, Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -158,7 +159,8 @@ func run(args []string) error {
 
 	case "queryload":
 		res, err := experiments.RunQueryLoad(w, experiments.QueryLoadConfig{
-			Ks: []int{1, 3, 5}, NumGUIDs: *guids, NumLookups: *lookups, Seed: *seed,
+			Ks: []int{1, 3, 5}, NumGUIDs: *guids, NumLookups: *lookups,
+			Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -173,6 +175,7 @@ func run(args []string) error {
 			WithdrawPerSec: 0.2,
 			AnnouncePerSec: 0.2,
 			Seed:           *seed,
+			Workers:        *workers,
 		})
 		if err != nil {
 			return err
@@ -198,7 +201,7 @@ func run(args []string) error {
 			TTLs: []topology.Micros{
 				0, 1_000_000, 10_000_000, 60_000_000, 600_000_000,
 			},
-			Seed: *seed,
+			Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -216,7 +219,8 @@ func run(args []string) error {
 
 	case "baselines":
 		res, err := experiments.RunBaselines(w, experiments.BaselinesConfig{
-			K: *k, NumGUIDs: *guids, NumLookups: *lookups, Seed: *seed,
+			K: *k, NumGUIDs: *guids, NumLookups: *lookups,
+			Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -232,7 +236,7 @@ func run(args []string) error {
 		}{{"lowest-RTT", core.SelectLowestRTT}, {"least-hops", core.SelectLeastHops}} {
 			res, err := experiments.RunLatency(w, experiments.LatencyConfig{
 				Ks: []int{*k}, NumGUIDs: *guids, NumLookups: *lookups,
-				LocalReplica: true, Selection: sel.pol, Seed: *seed,
+				LocalReplica: true, Selection: sel.pol, Seed: *seed, Workers: *workers,
 			})
 			if err != nil {
 				return err
@@ -246,7 +250,7 @@ func run(args []string) error {
 		for _, local := range []bool{true, false} {
 			res, err := experiments.RunLatency(w, experiments.LatencyConfig{
 				Ks: []int{*k}, NumGUIDs: *guids, NumLookups: *lookups,
-				LocalReplica: local, Seed: *seed,
+				LocalReplica: local, Seed: *seed, Workers: *workers,
 			})
 			if err != nil {
 				return err
@@ -270,7 +274,7 @@ func run(args []string) error {
 		fmt.Println("# Ablation A5: hash-to-AS-number variant (K=5)")
 		res, err := experiments.RunLatency(w, experiments.LatencyConfig{
 			Ks: []int{*k}, NumGUIDs: *guids, NumLookups: *lookups,
-			LocalReplica: true, HashToASNumbers: true, Seed: *seed,
+			LocalReplica: true, HashToASNumbers: true, Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err
@@ -290,7 +294,7 @@ func run(args []string) error {
 		ks := []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20}
 		res, err := experiments.RunLatency(w, experiments.LatencyConfig{
 			Ks: ks, NumGUIDs: *guids, NumLookups: *lookups,
-			LocalReplica: true, Seed: *seed,
+			LocalReplica: true, Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err

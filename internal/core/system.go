@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dmap/internal/guid"
 	"dmap/internal/netaddr"
@@ -46,14 +48,24 @@ type SystemConfig struct {
 }
 
 // System is an in-memory DMap deployment: one mapping store per AS plus
-// the protocol logic that moves entries between them. All mutating
-// methods are unsynchronized with respect to each other; drive a System
-// from one goroutine (the simulator) or wrap it (the server does).
+// the protocol logic that moves entries between them. Insert, Update,
+// Lookup, Delete and the read-only accessors are safe for concurrent
+// use: per-AS stores are allocated lazily behind atomic pointers with
+// striped locks, and each store serializes its own map. The BGP-churn
+// protocol methods (WithdrawPrefix, AnnouncePrefix) mutate the shared
+// prefix table and must still be serialized with respect to placement
+// reads — drive churn from one goroutine, as the simulator does.
 type System struct {
 	res          *Resolver
-	stores       []*store.Store
+	stores       []atomic.Pointer[store.Store]
+	allocMu      [storeStripes]sync.Mutex // guards lazy store allocation only
 	localReplica bool
 }
+
+// storeStripes is the number of allocation-lock stripes. Allocation is a
+// one-time event per AS, so contention only matters during warm-up; 64
+// stripes keep even a GOMAXPROCS-wide insert storm from serializing.
+const storeStripes = 64
 
 // NewSystem builds a deployment.
 func NewSystem(cfg SystemConfig) (*System, error) {
@@ -65,7 +77,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	return &System{
 		res:          cfg.Resolver,
-		stores:       make([]*store.Store, cfg.NumAS),
+		stores:       make([]atomic.Pointer[store.Store], cfg.NumAS),
 		localReplica: cfg.LocalReplica,
 	}, nil
 }
@@ -76,12 +88,28 @@ func (s *System) Resolver() *Resolver { return s.res }
 // NumAS returns the AS index space size.
 func (s *System) NumAS() int { return len(s.stores) }
 
-// storeAt returns (allocating if needed) the mapping store of as.
+// loadStore returns the mapping store of as, or nil if none has been
+// allocated yet. Safe for concurrent use.
+func (s *System) loadStore(as int) *store.Store {
+	return s.stores[as].Load()
+}
+
+// storeAt returns (allocating if needed) the mapping store of as. The
+// fast path is one atomic load; allocation double-checks under the AS's
+// stripe lock so concurrent callers agree on a single store.
 func (s *System) storeAt(as int) *store.Store {
-	if s.stores[as] == nil {
-		s.stores[as] = store.New()
+	if st := s.stores[as].Load(); st != nil {
+		return st
 	}
-	return s.stores[as]
+	mu := &s.allocMu[as%storeStripes]
+	mu.Lock()
+	defer mu.Unlock()
+	if st := s.stores[as].Load(); st != nil {
+		return st
+	}
+	st := store.New()
+	s.stores[as].Store(st)
+	return st
 }
 
 // Store exposes the mapping store of as (allocating it if needed), for
@@ -98,17 +126,18 @@ func (s *System) LocalReplicaEnabled() bool { return s.localReplica }
 
 // StoreLen returns the number of mappings hosted at as (0 if none).
 func (s *System) StoreLen(as int) int {
-	if s.stores[as] == nil {
+	st := s.loadStore(as)
+	if st == nil {
 		return 0
 	}
-	return s.stores[as].Len()
+	return st.Len()
 }
 
 // HostedCounts returns the per-AS hosted mapping counts (for NLR).
 func (s *System) HostedCounts() map[int]int {
 	out := make(map[int]int)
-	for as, st := range s.stores {
-		if st != nil && st.Len() > 0 {
+	for as := range s.stores {
+		if st := s.loadStore(as); st != nil && st.Len() > 0 {
 			out[as] = st.Len()
 		}
 	}
@@ -155,12 +184,12 @@ func (s *System) Delete(g guid.GUID, srcAS int) (int, error) {
 	}
 	removed := 0
 	for _, p := range placements {
-		if s.stores[p.AS] != nil && s.stores[p.AS].Delete(g) {
+		if st := s.loadStore(p.AS); st != nil && st.Delete(g) {
 			removed++
 		}
 	}
-	if s.localReplica && srcAS >= 0 && srcAS < len(s.stores) && s.stores[srcAS] != nil {
-		if s.stores[srcAS].Delete(g) {
+	if s.localReplica && srcAS >= 0 && srcAS < len(s.stores) {
+		if st := s.loadStore(srcAS); st != nil && st.Delete(g) {
 			removed++
 		}
 	}
@@ -271,10 +300,12 @@ func (s *System) Lookup(g guid.GUID, srcAS int, lm LatencyModel, opts LookupOpti
 	// The parallel local lookup (if the requester's AS holds a copy).
 	localRTT := topology.Micros(-1)
 	var localEntry store.Entry
-	if s.localReplica && s.stores[srcAS] != nil {
-		if e, ok := s.stores[srcAS].Get(g); ok {
-			localRTT = lm.RTT(srcAS, srcAS)
-			localEntry = e
+	if s.localReplica {
+		if st := s.loadStore(srcAS); st != nil {
+			if e, ok := st.Get(g); ok {
+				localRTT = lm.RTT(srcAS, srcAS)
+				localEntry = e
+			}
 		}
 	}
 
@@ -289,10 +320,11 @@ func (s *System) Lookup(g guid.GUID, srcAS int, lm LatencyModel, opts LookupOpti
 			elapsed += c.rtt
 		default:
 			e, ok := func() (store.Entry, bool) {
-				if s.stores[c.as] == nil {
+				st := s.loadStore(c.as)
+				if st == nil {
 					return store.Entry{}, false
 				}
-				return s.stores[c.as].Get(g)
+				return st.Get(g)
 			}()
 			if !ok {
 				// Genuine miss (e.g. never inserted here): costs an RTT
@@ -350,7 +382,8 @@ func (s *System) VerifyConsistency() (ConsistencyReport, error) {
 
 	// Collect the union of stored GUIDs and who holds them.
 	holders := make(map[guid.GUID]map[int]uint64) // guid → AS → version
-	for as, st := range s.stores {
+	for as := range s.stores {
+		st := s.loadStore(as)
 		if st == nil {
 			continue
 		}
@@ -384,7 +417,7 @@ func (s *System) VerifyConsistency() (ConsistencyReport, error) {
 		if s.localReplica {
 			for as := range byAS {
 				var e store.Entry
-				if st := s.stores[as]; st != nil {
+				if st := s.loadStore(as); st != nil {
 					e, _ = st.Get(g)
 				}
 				for _, na := range e.NAs {
@@ -418,7 +451,7 @@ func (s *System) WithdrawPrefix(p netaddr.Prefix, owner int) (int, error) {
 	}
 
 	var orphans []store.Entry
-	if st := s.stores[owner]; st != nil {
+	if st := s.loadStore(owner); st != nil {
 		orphans = st.Extract(func(g guid.GUID) bool {
 			// The mapping is orphaned if one of its placements selected
 			// this AS via an address inside p.
@@ -490,7 +523,7 @@ func (s *System) RepairMiss(g guid.GUID, announced netaddr.Prefix, owner int) (b
 		if err != nil {
 			return false, err
 		}
-		if st := s.stores[deputy.AS]; st != nil {
+		if st := s.loadStore(deputy.AS); st != nil {
 			if e, ok := st.Get(g); ok {
 				if _, err := s.storeAt(owner).Put(e); err != nil {
 					return false, err

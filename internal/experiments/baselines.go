@@ -8,6 +8,7 @@ import (
 	"dmap/internal/analytical"
 	"dmap/internal/core"
 	"dmap/internal/dht"
+	"dmap/internal/engine"
 	"dmap/internal/guid"
 	"dmap/internal/stats"
 	"dmap/internal/topology"
@@ -27,6 +28,9 @@ type BaselinesConfig struct {
 	CacheCapacity int
 	// Seed fixes the workload.
 	Seed int64
+	// Workers bounds the evaluation parallelism (0 = GOMAXPROCS, 1 =
+	// serial reference); results are identical for every setting.
+	Workers int
 }
 
 // BaselineRow is one scheme's latency/hop digest.
@@ -99,51 +103,96 @@ func RunBaselines(w *World, cfg BaselinesConfig) (*BaselinesResult, error) {
 		home.Register(g, trace.HomeAS[gi])
 	}
 
+	// Group lookups by source AS: one engine unit per source. All four
+	// schemes share the concurrent sharded DistCache — Chord's multi-hop
+	// paths pull vectors for intermediate ASs, so the cache, not a
+	// per-unit scratch vector, is the right distance oracle here. RTTs
+	// are pure functions of the graph, so cache interleaving cannot
+	// change any value, and hop counts are integers summed exactly in
+	// float64, so the source-order merge is bit-identical at every
+	// worker count.
+	bySrc := make(map[int][]int)
+	for i, ev := range trace.Lookups {
+		bySrc[ev.SrcAS] = append(bySrc[ev.SrcAS], i)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+
+	type baselineUnit struct {
+		dmap, chord, oneHop, home *stats.Collector
+		chordHops, oneHopHops     float64
+	}
+	units, err := engine.MapNoScratch(cfg.Workers, len(srcs),
+		func(u int) (baselineUnit, error) {
+			src := srcs[u]
+			lookups := bySrc[src]
+			unit := baselineUnit{
+				dmap:   stats.NewCollector(len(lookups)),
+				chord:  stats.NewCollector(len(lookups)),
+				oneHop: stats.NewCollector(len(lookups)),
+				home:   stats.NewCollector(len(lookups)),
+			}
+			for _, li := range lookups {
+				gi := trace.Lookups[li].GUIDIndex
+
+				// DMap: closest of K replicas, single overlay hop.
+				best := topology.InfMicros
+				for _, as := range placements[gi] {
+					if rtt := cache.RTT(src, as); rtt < best {
+						best = rtt
+					}
+				}
+				unit.dmap.Add(best.Millis())
+
+				// Chord: recursive route to the owner, direct reply.
+				path, err := chord.LookupPath(src, guids[gi])
+				if err != nil {
+					return baselineUnit{}, err
+				}
+				var lat topology.Micros
+				for i := 1; i < len(path); i++ {
+					lat += cache.OneWay(path[i-1], path[i])
+				}
+				lat += cache.OneWay(path[len(path)-1], src)
+				unit.chord.Add(lat.Millis())
+				unit.chordHops += float64(len(path) - 1)
+
+				// One-hop DHT: direct to the single owner.
+				opath, err := oneHop.LookupPath(src, guids[gi])
+				if err != nil {
+					return baselineUnit{}, err
+				}
+				unit.oneHop.Add(cache.RTT(src, opath[len(opath)-1]).Millis())
+				unit.oneHopHops += float64(len(opath) - 1)
+
+				// Home agent: always the fixed home AS.
+				hpath, err := home.LookupPath(src, guids[gi])
+				if err != nil {
+					return baselineUnit{}, err
+				}
+				unit.home.Add(cache.RTT(src, hpath[len(hpath)-1]).Millis())
+			}
+			return unit, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	dmapCol := stats.NewCollector(cfg.NumLookups)
 	chordCol := stats.NewCollector(cfg.NumLookups)
 	oneHopCol := stats.NewCollector(cfg.NumLookups)
 	homeCol := stats.NewCollector(cfg.NumLookups)
 	var chordHops, oneHopHops float64
-
-	for _, ev := range trace.Lookups {
-		src, gi := ev.SrcAS, ev.GUIDIndex
-
-		// DMap: closest of K replicas, single overlay hop.
-		best := topology.InfMicros
-		for _, as := range placements[gi] {
-			if rtt := cache.RTT(src, as); rtt < best {
-				best = rtt
-			}
-		}
-		dmapCol.Add(best.Millis())
-
-		// Chord: recursive route to the owner, direct reply.
-		path, err := chord.LookupPath(src, guids[gi])
-		if err != nil {
-			return nil, err
-		}
-		var lat topology.Micros
-		for i := 1; i < len(path); i++ {
-			lat += cache.OneWay(path[i-1], path[i])
-		}
-		lat += cache.OneWay(path[len(path)-1], src)
-		chordCol.Add(lat.Millis())
-		chordHops += float64(len(path) - 1)
-
-		// One-hop DHT: direct to the single owner.
-		opath, err := oneHop.LookupPath(src, guids[gi])
-		if err != nil {
-			return nil, err
-		}
-		oneHopCol.Add(cache.RTT(src, opath[len(opath)-1]).Millis())
-		oneHopHops += float64(len(opath) - 1)
-
-		// Home agent: always the fixed home AS.
-		hpath, err := home.LookupPath(src, guids[gi])
-		if err != nil {
-			return nil, err
-		}
-		homeCol.Add(cache.RTT(src, hpath[len(hpath)-1]).Millis())
+	for _, u := range units {
+		dmapCol.Merge(u.dmap)
+		chordCol.Merge(u.chord)
+		oneHopCol.Merge(u.oneHop)
+		homeCol.Merge(u.home)
+		chordHops += u.chordHops
+		oneHopHops += u.oneHopHops
 	}
 
 	n := float64(cfg.NumLookups)

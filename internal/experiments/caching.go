@@ -9,6 +9,7 @@ import (
 
 	"dmap/internal/cache"
 	"dmap/internal/core"
+	"dmap/internal/engine"
 	"dmap/internal/guid"
 	"dmap/internal/stats"
 	"dmap/internal/store"
@@ -37,6 +38,9 @@ type CachingConfig struct {
 	CacheCapacity int
 	// Seed fixes workloads and staleness sampling.
 	Seed int64
+	// Workers bounds the evaluation parallelism (0 = GOMAXPROCS, 1 =
+	// serial reference); results are identical for every setting.
+	Workers int
 }
 
 // CachingRow is one TTL's outcome.
@@ -55,7 +59,9 @@ type CachingResult struct {
 // RunCaching evaluates per-AS query caching on top of DMap. A cache hit
 // answers at intra-AS latency; the mapping is stale if its GUID moved
 // after the cache fill, which happens with probability
-// 1 − exp(−rate·age) under Poisson mobility.
+// 1 − exp(−rate·age) under Poisson mobility. Caches are per source AS,
+// so each source is an independent engine work unit with its own
+// staleness-sampling seed.
 func RunCaching(w *World, cfg CachingConfig) (*CachingResult, error) {
 	if cfg.K <= 0 || cfg.NumGUIDs <= 0 || cfg.NumLookups <= 0 {
 		return nil, fmt.Errorf("experiments: invalid caching workload")
@@ -119,52 +125,71 @@ func RunCaching(w *World, cfg CachingConfig) (*CachingResult, error) {
 	sort.Ints(sources)
 
 	res := &CachingResult{Rows: make([]CachingRow, 0, len(cfg.TTLs))}
-	dist := make([]topology.Micros, w.NumAS())
 
+	type cachingUnit struct {
+		col         *stats.Collector
+		hits, stale int64
+	}
 	for _, ttl := range cfg.TTLs {
-		col := stats.NewCollector(cfg.NumLookups)
-		staleRng := rand.New(rand.NewSource(cfg.Seed + int64(ttl)%7919 + 5))
-		var hits, stale int64
-
-		for _, src := range sources {
-			w.Graph.Dijkstra(src, dist)
-			var cc *cache.Cache
-			if ttl > 0 {
-				cc, err = cache.New(capacity, ttl)
-				if err != nil {
-					return nil, err
+		ttl := ttl
+		units, err := engine.Map(cfg.Workers, len(sources),
+			func() []topology.Micros { return make([]topology.Micros, w.NumAS()) },
+			func(u int, dist []topology.Micros) (cachingUnit, error) {
+				src := sources[u]
+				lookups := bySrc[src]
+				w.Graph.Dijkstra(src, dist)
+				unit := cachingUnit{col: stats.NewCollector(len(lookups))}
+				staleRng := rand.New(rand.NewSource(cfg.Seed + int64(ttl)%7919 + 5 + int64(src)*104729))
+				var cc *cache.Cache
+				if ttl > 0 {
+					var err error
+					cc, err = cache.New(capacity, ttl)
+					if err != nil {
+						return cachingUnit{}, err
+					}
 				}
-			}
-			for _, li := range bySrc[src] {
-				ev := trace.Lookups[li]
-				now := times[li]
-				g := guid.FromUint64(uint64(ev.GUIDIndex) + 1)
+				for _, li := range lookups {
+					ev := trace.Lookups[li]
+					now := times[li]
+					g := guid.FromUint64(uint64(ev.GUIDIndex) + 1)
 
-				if cc != nil {
-					if _, cachedAt, ok := cc.Get(g, now); ok {
-						hits++
-						col.Add((2 * w.Graph.Intra(src)).Millis())
-						// Poisson mobility: stale with p = 1 − e^(−λ·age).
-						age := float64(now-cachedAt) / 1e6
-						if staleRng.Float64() < 1-math.Exp(-cfg.UpdateRatePerSec*age) {
-							stale++
+					if cc != nil {
+						if _, cachedAt, ok := cc.Get(g, now); ok {
+							unit.hits++
+							unit.col.Add((2 * w.Graph.Intra(src)).Millis())
+							// Poisson mobility: stale with p = 1 − e^(−λ·age).
+							age := float64(now-cachedAt) / 1e6
+							if staleRng.Float64() < 1-math.Exp(-cfg.UpdateRatePerSec*age) {
+								unit.stale++
+							}
+							continue
 						}
-						continue
+					}
+					best := topology.InfMicros
+					for _, as := range placements[ev.GUIDIndex] {
+						if rtt := w.Graph.RTT(src, int(as), dist); rtt < best {
+							best = rtt
+						}
+					}
+					unit.col.Add(best.Millis())
+					if cc != nil {
+						// The experiment measures latency and staleness, not
+						// payloads; an empty entry keeps the cache cheap.
+						cc.Put(g, store.Entry{}, now)
 					}
 				}
-				best := topology.InfMicros
-				for _, as := range placements[ev.GUIDIndex] {
-					if rtt := w.Graph.RTT(src, int(as), dist); rtt < best {
-						best = rtt
-					}
-				}
-				col.Add(best.Millis())
-				if cc != nil {
-					// The experiment measures latency and staleness, not
-					// payloads; an empty entry keeps the cache cheap.
-					cc.Put(g, store.Entry{}, now)
-				}
-			}
+				return unit, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+
+		col := stats.NewCollector(cfg.NumLookups)
+		var hits, stale int64
+		for _, u := range units {
+			col.Merge(u.col)
+			hits += u.hits
+			stale += u.stale
 		}
 		res.Rows = append(res.Rows, CachingRow{
 			TTL:       ttl,

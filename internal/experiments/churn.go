@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dmap/internal/core"
+	"dmap/internal/engine"
 	"dmap/internal/guid"
 	"dmap/internal/netaddr"
 	"dmap/internal/nodesim"
@@ -31,6 +32,12 @@ type ChurnSimConfig struct {
 	WithdrawPerSec float64
 	AnnouncePerSec float64
 	Seed           int64
+	// Workers bounds the parallelism of the post-run announce-repair
+	// sweep (0 = GOMAXPROCS, 1 = serial reference). The timed simulation
+	// itself is inherently serial — event interleaving is the experiment
+	// — so only the sweep parallelizes; results are identical for every
+	// setting.
+	Workers int
 }
 
 // ChurnSimResult reports protocol behaviour under live churn.
@@ -168,17 +175,26 @@ func RunChurnSim(w *World, cfg ChurnSimConfig) (*ChurnSimResult, error) {
 	// Settle the lazy announce-repair: in production each orphan is
 	// pulled on its first post-announcement query (§III-D1); here we
 	// sweep so the post-run audit reflects the repaired steady state.
+	// Within one announce event the sweep fans out over GUIDs on the
+	// engine: RepairMiss touches only its own GUID's placement, the
+	// store layer is concurrency-safe, and whether a given GUID repairs
+	// does not depend on any other GUID, so the summed count is exact at
+	// every worker count. Events themselves stay ordered — a later
+	// announcement can re-home mappings the earlier one repaired.
 	for _, ev := range churn {
 		if ev.Kind != prefixtable.ChurnAnnounce {
 			continue
 		}
-		for gi := 0; gi < cfg.NumGUIDs; gi++ {
-			g := guid.FromUint64(uint64(gi) + 1)
-			repaired, err := sys.RepairMiss(g, ev.Prefix.Prefix, ev.Prefix.AS)
-			if err != nil {
-				return nil, err
-			}
-			if repaired {
+		repaired, err := engine.MapNoScratch(cfg.Workers, cfg.NumGUIDs,
+			func(gi int) (bool, error) {
+				g := guid.FromUint64(uint64(gi) + 1)
+				return sys.RepairMiss(g, ev.Prefix.Prefix, ev.Prefix.AS)
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range repaired {
+			if r {
 				res.Repaired++
 			}
 		}

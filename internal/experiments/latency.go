@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dmap/internal/core"
+	"dmap/internal/engine"
 	"dmap/internal/guid"
 	"dmap/internal/stats"
 	"dmap/internal/topology"
@@ -37,6 +38,11 @@ type LatencyConfig struct {
 	HashToASNumbers bool
 	// Seed fixes workload generation and failure sampling.
 	Seed int64
+	// Workers bounds the evaluation parallelism: grouped-by-source work
+	// units spread over this many engine workers. 0 means GOMAXPROCS; 1
+	// is the serial reference path. Results are bit-identical for every
+	// setting (see internal/engine).
+	Workers int
 }
 
 // LatencyResult holds per-K round-trip-time distributions in
@@ -53,7 +59,10 @@ type LatencyResult struct {
 //
 // Queries are evaluated grouped by source AS — one Dijkstra per distinct
 // source — which is exact for these experiments because lookups are
-// mutually independent (DESIGN.md, "Scale strategy").
+// mutually independent (DESIGN.md, "Scale strategy"). The groups are the
+// engine's work units: they run on cfg.Workers workers with per-worker
+// scratch vectors, per-(K, source) seeded miss sampling, and a merge in
+// source order, so every worker count yields bit-identical results.
 func RunLatency(w *World, cfg LatencyConfig) (*LatencyResult, error) {
 	if len(cfg.Ks) == 0 {
 		return nil, fmt.Errorf("experiments: no K values")
@@ -124,64 +133,95 @@ func RunLatency(w *World, cfg LatencyConfig) (*LatencyResult, error) {
 		placements[gi] = ass
 	}
 
-	type kState struct {
-		k         int
+	// One engine unit per distinct source: one Dijkstra serves every K.
+	type unitK struct {
 		col       *stats.Collector
-		rng       *rand.Rand
 		localHits int
 		retries   int
 	}
-	states := make([]*kState, len(cfg.Ks))
-	for i, k := range cfg.Ks {
-		states[i] = &kState{
-			k:   k,
-			col: stats.NewCollector(cfg.NumLookups),
-			rng: rand.New(rand.NewSource(cfg.Seed + int64(k)*7919)),
-		}
+	type latencyScratch struct {
+		dist    []topology.Micros
+		hops    []int32
+		replica []int
+		cands   []lookupCand
 	}
-
-	dist := make([]topology.Micros, w.NumAS())
-	var hops []int32
-	if cfg.Selection == core.SelectLeastHops {
-		hops = make([]int32, w.NumAS())
-	}
-	replicaBuf := make([]int, maxK)
-	scratch := make([]lookupCand, maxK)
-
-	// One Dijkstra per distinct source serves every K.
-	for _, src := range sources {
-		w.Graph.Dijkstra(src, dist)
-		if hops != nil {
-			w.Graph.HopBFS(src, hops)
-		}
-		for _, li := range bySrc[src] {
-			ev := trace.Lookups[li]
-			all := placements[ev.GUIDIndex]
-			localAS := localASFor(cfg, trace, ev.GUIDIndex)
-			for _, st := range states {
-				replicas := replicaBuf[:st.k]
-				for i := range replicas {
-					replicas[i] = int(all[i])
-				}
-				rtt, usedLocal, extra := evalLookup(w.Graph, src, replicas, dist, hops, scratch, evalOpts{
-					localAS:  localAS,
-					missRate: cfg.MissRate,
-					rng:      st.rng,
-				})
-				st.col.Add(rtt.Millis())
-				if usedLocal {
-					st.localHits++
-				}
-				st.retries += extra
+	needHops := cfg.Selection == core.SelectLeastHops
+	units, err := engine.Map(cfg.Workers, len(sources),
+		func() *latencyScratch {
+			sc := &latencyScratch{
+				dist:    make([]topology.Micros, w.NumAS()),
+				replica: make([]int, maxK),
+				cands:   make([]lookupCand, maxK),
 			}
-		}
+			if needHops {
+				sc.hops = make([]int32, w.NumAS())
+			}
+			return sc
+		},
+		func(u int, sc *latencyScratch) ([]unitK, error) {
+			src := sources[u]
+			lookups := bySrc[src]
+			w.Graph.Dijkstra(src, sc.dist)
+			if sc.hops != nil {
+				w.Graph.HopBFS(src, sc.hops)
+			}
+			out := make([]unitK, len(cfg.Ks))
+			for i, k := range cfg.Ks {
+				st := &out[i]
+				st.col = stats.NewCollector(len(lookups))
+				var rng *rand.Rand
+				if cfg.MissRate > 0 {
+					rng = rand.New(rand.NewSource(missSeed(cfg.Seed, k, src)))
+				}
+				for _, li := range lookups {
+					ev := trace.Lookups[li]
+					all := placements[ev.GUIDIndex]
+					replicas := sc.replica[:k]
+					for r := range replicas {
+						replicas[r] = int(all[r])
+					}
+					rtt, usedLocal, extra := evalLookup(w.Graph, src, replicas, sc.dist, sc.hops, sc.cands, evalOpts{
+						localAS:  localASFor(cfg, trace, ev.GUIDIndex),
+						missRate: cfg.MissRate,
+						rng:      rng,
+					})
+					st.col.Add(rtt.Millis())
+					if usedLocal {
+						st.localHits++
+					}
+					st.retries += extra
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, st := range states {
-		res.PerK[st.k] = st.col
-		res.LocalHits[st.k] = st.localHits
-		res.Retries[st.k] = st.retries
+
+	// Deterministic merge: per-unit collectors concatenate in source
+	// order, so sample order — and every float statistic computed from
+	// it — is independent of how workers interleaved.
+	for i, k := range cfg.Ks {
+		col := stats.NewCollector(cfg.NumLookups)
+		localHits, retries := 0, 0
+		for _, u := range units {
+			col.Merge(u[i].col)
+			localHits += u[i].localHits
+			retries += u[i].retries
+		}
+		res.PerK[k] = col
+		res.LocalHits[k] = localHits
+		res.Retries[k] = retries
 	}
 	return res, nil
+}
+
+// missSeed derives the per-(K, source) miss-sampling seed. Seeding each
+// unit independently — instead of drawing from one stream shared across
+// sources — is what lets the engine evaluate sources in any order and
+// still produce bit-identical results at every worker count.
+func missSeed(seed int64, k, src int) int64 {
+	return seed + int64(k)*7919 + int64(src)*104729 + 1
 }
 
 func localASFor(cfg LatencyConfig, trace *workload.Trace, guidIdx int) int {

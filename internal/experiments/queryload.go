@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dmap/internal/core"
+	"dmap/internal/engine"
 	"dmap/internal/guid"
 	"dmap/internal/stats"
 	"dmap/internal/topology"
@@ -26,6 +27,9 @@ type QueryLoadConfig struct {
 	NumGUIDs   int
 	NumLookups int
 	Seed       int64
+	// Workers bounds the evaluation parallelism (0 = GOMAXPROCS, 1 =
+	// serial reference); results are identical for every setting.
+	Workers int
 }
 
 // QueryLoadRow summarizes one K.
@@ -69,7 +73,6 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 	}
 
 	res := &QueryLoadResult{Rows: make([]QueryLoadRow, 0, len(cfg.Ks))}
-	dist := make([]topology.Micros, w.NumAS())
 
 	for _, k := range cfg.Ks {
 		resolver, err := core.NewResolver(guid.MustHasher(k, 0), w.Table, 0)
@@ -90,7 +93,8 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 			placements[gi] = ass
 		}
 
-		// Group by source so closest-replica selection reuses Dijkstra.
+		// Group by source so closest-replica selection reuses Dijkstra;
+		// each source group is one engine work unit.
 		bySrc := make(map[int][]int)
 		for i, ev := range trace.Lookups {
 			bySrc[ev.SrcAS] = append(bySrc[ev.SrcAS], i)
@@ -101,18 +105,31 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 		}
 		sort.Ints(srcs)
 
-		served := make(map[int]int, w.NumAS())
-		for _, src := range srcs {
-			w.Graph.Dijkstra(src, dist)
-			for _, li := range bySrc[src] {
-				gi := trace.Lookups[li].GUIDIndex
-				best, bestRTT := -1, topology.InfMicros
-				for _, as := range placements[gi] {
-					if rtt := w.Graph.RTT(src, int(as), dist); rtt < bestRTT {
-						best, bestRTT = int(as), rtt
+		units, err := engine.Map(cfg.Workers, len(srcs),
+			func() []topology.Micros { return make([]topology.Micros, w.NumAS()) },
+			func(u int, dist []topology.Micros) (map[int]int, error) {
+				src := srcs[u]
+				w.Graph.Dijkstra(src, dist)
+				served := make(map[int]int)
+				for _, li := range bySrc[src] {
+					gi := trace.Lookups[li].GUIDIndex
+					best, bestRTT := -1, topology.InfMicros
+					for _, as := range placements[gi] {
+						if rtt := w.Graph.RTT(src, int(as), dist); rtt < bestRTT {
+							best, bestRTT = int(as), rtt
+						}
 					}
+					served[best]++
 				}
-				served[best]++
+				return served, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		served := make(map[int]int, w.NumAS())
+		for _, u := range units {
+			for as, n := range u {
+				served[as] += n
 			}
 		}
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dmap/internal/core"
+	"dmap/internal/engine"
 	"dmap/internal/guid"
 	"dmap/internal/stats"
 	"dmap/internal/topology"
@@ -25,6 +26,9 @@ type UpdateConfig struct {
 	NumUpdates int
 	// Seed fixes the workload.
 	Seed int64
+	// Workers bounds the evaluation parallelism (0 = GOMAXPROCS, 1 =
+	// serial reference); results are identical for every setting.
+	Workers int
 }
 
 // UpdateResult holds the per-K update-latency distributions (ms) and the
@@ -39,7 +43,8 @@ type UpdateResult struct {
 const HandoffBudgetMs = 500.0
 
 // RunUpdate measures insert/update completion latency: the maximum RTT
-// over the K replicas of each GUID, evaluated grouped by source AS.
+// over the K replicas of each GUID, evaluated grouped by source AS on
+// the parallel engine (one Dijkstra per distinct source per unit).
 func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
 	if len(cfg.Ks) == 0 {
 		return nil, fmt.Errorf("experiments: no K values")
@@ -66,53 +71,75 @@ func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
 	}
 
 	// Each update i touches GUID i from a weighted-random source AS.
-	type ev struct {
-		guidIdx int
-		src     int
-	}
+	// Group events by source — the engine's work units — preserving
+	// GUID order within each group.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	events := make([]ev, cfg.NumUpdates)
-	for i := range events {
-		events[i] = ev{guidIdx: i + 1, src: src.Sample(rng)}
+	bySrc := make(map[int][]int) // src → guid indices (1-based)
+	for i := 0; i < cfg.NumUpdates; i++ {
+		s := src.Sample(rng)
+		bySrc[s] = append(bySrc[s], i+1)
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].src < events[j].src })
+	sources := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		sources = append(sources, s)
+	}
+	sort.Ints(sources)
+
+	type updateScratch struct {
+		dist      []topology.Micros
+		replicaAS []int
+	}
+	units, err := engine.Map(cfg.Workers, len(sources),
+		func() *updateScratch {
+			return &updateScratch{
+				dist:      make([]topology.Micros, w.NumAS()),
+				replicaAS: make([]int, maxK),
+			}
+		},
+		func(u int, sc *updateScratch) ([]*stats.Collector, error) {
+			s := sources[u]
+			guids := bySrc[s]
+			w.Graph.Dijkstra(s, sc.dist)
+			cols := make([]*stats.Collector, len(cfg.Ks))
+			for i := range cols {
+				cols[i] = stats.NewCollector(len(guids))
+			}
+			for _, gi := range guids {
+				g := guid.FromUint64(uint64(gi))
+				for r := 0; r < maxK; r++ {
+					p, err := resolver.PlaceReplica(g, r)
+					if err != nil {
+						return nil, err
+					}
+					sc.replicaAS[r] = p.AS
+				}
+				for i, k := range cfg.Ks {
+					var max topology.Micros
+					for r := 0; r < k; r++ {
+						if rtt := w.Graph.RTT(s, sc.replicaAS[r], sc.dist); rtt > max {
+							max = rtt
+						}
+					}
+					cols[i].Add(max.Millis())
+				}
+			}
+			return cols, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &UpdateResult{
 		PerK:         make(map[int]*stats.Collector, len(cfg.Ks)),
 		WithinBudget: make(map[int]float64, len(cfg.Ks)),
 	}
-	for _, k := range cfg.Ks {
-		res.PerK[k] = stats.NewCollector(cfg.NumUpdates)
-	}
-
-	dist := make([]topology.Micros, w.NumAS())
-	lastSrc := -1
-	replicaAS := make([]int, maxK)
-	for _, e := range events {
-		if e.src != lastSrc {
-			w.Graph.Dijkstra(e.src, dist)
-			lastSrc = e.src
+	for i, k := range cfg.Ks {
+		col := stats.NewCollector(cfg.NumUpdates)
+		for _, u := range units {
+			col.Merge(u[i])
 		}
-		g := guid.FromUint64(uint64(e.guidIdx))
-		for r := 0; r < maxK; r++ {
-			p, err := resolver.PlaceReplica(g, r)
-			if err != nil {
-				return nil, err
-			}
-			replicaAS[r] = p.AS
-		}
-		for _, k := range cfg.Ks {
-			var max topology.Micros
-			for r := 0; r < k; r++ {
-				if rtt := w.Graph.RTT(e.src, replicaAS[r], dist); rtt > max {
-					max = rtt
-				}
-			}
-			res.PerK[k].Add(max.Millis())
-		}
-	}
-	for _, k := range cfg.Ks {
-		res.WithinBudget[k] = res.PerK[k].FractionBelow(HandoffBudgetMs)
+		res.PerK[k] = col
+		res.WithinBudget[k] = col.FractionBelow(HandoffBudgetMs)
 	}
 	return res, nil
 }

@@ -17,6 +17,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"dmap/internal/store"
 	"dmap/internal/wire"
@@ -28,14 +29,21 @@ type Node struct {
 	store  *store.Store
 	logger *log.Logger
 
+	// mu guards listener lifecycle state only: listener, conns and
+	// closed. Request handling never takes it — the store has its own
+	// locking and the counters are atomics — so a slow accept or Close
+	// cannot stall in-flight operations.
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 
-	statsMu sync.Mutex
-	stats   Stats
+	inserts atomic.Int64
+	lookups atomic.Int64
+	hits    atomic.Int64
+	deletes atomic.Int64
+	errors  atomic.Int64
 }
 
 // Stats counts served operations.
@@ -66,11 +74,18 @@ func New(st *store.Store, logger *log.Logger) *Node {
 // Store returns the node's mapping store.
 func (n *Node) Store() *store.Store { return n.store }
 
-// Stats returns a snapshot of operation counters.
+// Stats returns a snapshot of operation counters. Each counter is read
+// atomically; the snapshot as a whole is not a single instant, which is
+// fine for monitoring (e.g. Hits may momentarily exceed what Lookups
+// implies by at most the number of in-flight requests).
 func (n *Node) Stats() Stats {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	return n.stats
+	return Stats{
+		Inserts: n.inserts.Load(),
+		Lookups: n.lookups.Load(),
+		Hits:    n.hits.Load(),
+		Deletes: n.deletes.Load(),
+		Errors:  n.errors.Load(),
+	}
 }
 
 // Start listens on addr ("host:port", ":0" for ephemeral) and serves in
@@ -133,11 +148,17 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	ln := n.listener
+	conns := make([]net.Conn, 0, len(n.conns))
 	for c := range n.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	n.mu.Unlock()
 
+	// Close outside the lock: handler goroutines removing themselves
+	// from conns never wait behind a slow Close.
+	for _, c := range conns {
+		c.Close()
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -147,9 +168,7 @@ func (n *Node) Close() error {
 }
 
 func (n *Node) countErr() {
-	n.statsMu.Lock()
-	n.stats.Errors++
-	n.statsMu.Unlock()
+	n.errors.Add(1)
 }
 
 // serveConn processes frames until the peer disconnects. The protocol is
@@ -181,9 +200,7 @@ func (n *Node) serveConn(conn net.Conn) {
 				n.logger.Printf("put: %v", err)
 				return
 			}
-			n.statsMu.Lock()
-			n.stats.Inserts++
-			n.statsMu.Unlock()
+			n.inserts.Add(1)
 			respType = wire.MsgInsertAck
 
 		case wire.MsgLookup:
@@ -193,12 +210,10 @@ func (n *Node) serveConn(conn net.Conn) {
 				return
 			}
 			e, ok := n.store.Get(g)
-			n.statsMu.Lock()
-			n.stats.Lookups++
+			n.lookups.Add(1)
 			if ok {
-				n.stats.Hits++
+				n.hits.Add(1)
 			}
-			n.statsMu.Unlock()
 			out, err = wire.AppendLookupResp(out, wire.LookupResp{Found: ok, Entry: e})
 			if err != nil {
 				n.countErr()
@@ -213,9 +228,7 @@ func (n *Node) serveConn(conn net.Conn) {
 				return
 			}
 			existed := n.store.Delete(g)
-			n.statsMu.Lock()
-			n.stats.Deletes++
-			n.statsMu.Unlock()
+			n.deletes.Add(1)
 			flag := byte(0)
 			if existed {
 				flag = 1

@@ -7,13 +7,26 @@ import (
 )
 
 // DistCache memoizes Dijkstra distance vectors per source AS with LRU
-// eviction, bounding memory while serving the event-driven simulator's
-// out-of-order latency queries. It is safe for concurrent use.
+// eviction, bounding memory while serving out-of-order latency queries
+// from the event-driven simulator and the parallel evaluation engine.
+//
+// The cache is sharded by source AS: each shard has its own lock, LRU
+// list and slice of the total capacity, so concurrent workers resolving
+// different sources never contend on a single mutex (the old
+// single-lock design was the hot-path contention point of every
+// multi-hop baseline run). It is safe for concurrent use.
 type DistCache struct {
-	g   *Graph
-	cap int
+	g      *Graph
+	shards []distShard
+}
 
+// maxDistShards bounds the shard count; capacities smaller than this
+// get one slot per shard.
+const maxDistShards = 16
+
+type distShard struct {
 	mu  sync.Mutex
+	cap int
 	lru *list.List // of *cacheEntry, front = most recent
 	m   map[int]*list.Element
 
@@ -26,47 +39,62 @@ type cacheEntry struct {
 }
 
 // NewDistCache returns a cache holding up to capacity distance vectors
-// (each NumAS × 8 bytes). capacity must be positive.
+// (each NumAS × 8 bytes), split evenly across the shards. capacity must
+// be positive.
 func NewDistCache(g *Graph, capacity int) (*DistCache, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("topology: cache capacity must be positive, got %d", capacity)
 	}
-	return &DistCache{
-		g:   g,
-		cap: capacity,
-		lru: list.New(),
-		m:   make(map[int]*list.Element, capacity),
-	}, nil
+	numShards := maxDistShards
+	if capacity < numShards {
+		numShards = capacity
+	}
+	c := &DistCache{g: g, shards: make([]distShard, numShards)}
+	for i := range c.shards {
+		// Distribute the capacity exactly: the first capacity%numShards
+		// shards take one extra slot.
+		sc := capacity / numShards
+		if i < capacity%numShards {
+			sc++
+		}
+		c.shards[i] = distShard{
+			cap: sc,
+			lru: list.New(),
+			m:   make(map[int]*list.Element, sc),
+		}
+	}
+	return c, nil
 }
 
 // vector returns the Dijkstra vector from src, computing it on miss.
 func (c *DistCache) vector(src int) []Micros {
-	c.mu.Lock()
-	if el, ok := c.m[src]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
+	sh := &c.shards[src%len(c.shards)]
+	sh.mu.Lock()
+	if el, ok := sh.m[src]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits++
 		dist := el.Value.(*cacheEntry).dist
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return dist
 	}
-	c.misses++
-	c.mu.Unlock()
+	sh.misses++
+	sh.mu.Unlock()
 
 	// Compute outside the lock; duplicate work on a race is harmless.
 	dist := make([]Micros, c.g.NumAS())
 	c.g.Dijkstra(src, dist)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[src]; ok { // raced with another filler
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[src]; ok { // raced with another filler
 		return el.Value.(*cacheEntry).dist
 	}
-	if c.lru.Len() >= c.cap {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).src)
+	if sh.lru.Len() >= sh.cap {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.m, oldest.Value.(*cacheEntry).src)
 	}
-	c.m[src] = c.lru.PushFront(&cacheEntry{src: src, dist: dist})
+	sh.m[src] = sh.lru.PushFront(&cacheEntry{src: src, dist: dist})
 	return dist
 }
 
@@ -87,9 +115,14 @@ func (c *DistCache) RTT(s, t int) Micros {
 	return 2 * ow
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts summed over all shards.
 func (c *DistCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		sh.mu.Unlock()
+	}
+	return hits, misses
 }

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repository check: vet everything, then run the concurrency-sensitive
+# packages under the race detector. The engine's determinism guarantee
+# (internal/engine) only holds if these stay race-clean.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
