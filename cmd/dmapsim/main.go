@@ -6,14 +6,16 @@
 //	dmapsim -experiment fig4 [-scale 26424] [-guids 100000] [-lookups 1000000] [-seed 1]
 //
 // Experiments: fig4, table1, fig5, fig6, fig7, overhead, holes,
-// baselines, ablation-selection, ablation-local, ablation-m,
-// ablation-asnum, ablation-k.
+// baselines, availability, ablation-selection, ablation-local,
+// ablation-m, ablation-asnum, ablation-k.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dmap/internal/core"
@@ -40,6 +42,10 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS, 1 = serial reference)")
 		cdfPoints  = fs.Int("cdf", 0, "also print an n-point CDF per series")
 		hist       = fs.Bool("hist", false, "also print an ASCII latency histogram per series")
+		failFracs  = fs.String("failfracs", "0,0.05,0.10,0.20", "failed-node fractions for the availability sweep (comma-separated)")
+		loss       = fs.Float64("loss", 0, "per-attempt message loss probability for the availability sweep")
+		retries    = fs.Int("retries", 1, "same-replica retransmissions before failover (availability sweep)")
+		timeoutMs  = fs.Int("attempt-timeout-ms", 2000, "per-attempt timeout charged for dead replicas and lost messages")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,6 +223,24 @@ func run(args []string) error {
 		fmt.Println("# §III-B: IP-hole rehash statistics")
 		fmt.Print(res)
 
+	case "availability":
+		fracs, err := parseFracs(*failFracs)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunAvailability(w, experiments.AvailabilityConfig{
+			Ks: []int{1, 3, 5}, FailFracs: fracs,
+			NumGUIDs: *guids, NumLookups: *lookups,
+			Timeout: topology.Micros(*timeoutMs) * 1000,
+			Loss:    *loss, Retries: *retries,
+			Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Availability under node failures: lookup success rate and added latency (§III-D3 failover)")
+		fmt.Print(res)
+
 	case "baselines":
 		res, err := experiments.RunBaselines(w, experiments.BaselinesConfig{
 			K: *k, NumGUIDs: *guids, NumLookups: *lookups,
@@ -320,4 +344,25 @@ func run(args []string) error {
 
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// parseFracs parses a comma-separated list of failure fractions.
+func parseFracs(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad failure fraction %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no failure fractions in %q", s)
+	}
+	return out, nil
 }

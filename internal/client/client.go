@@ -2,6 +2,13 @@
 // derives each GUID's K hosting ASs locally (exactly as a border gateway
 // would, from the shared hash family and prefix table) and talks to the
 // corresponding mapping nodes over TCP.
+//
+// Robustness follows §III-D3 of the paper: every operation runs under a
+// per-operation deadline; each replica is tried with bounded,
+// backoff-paced retries; and on timeout, connection error or an explicit
+// node rejection the operation fails over to the next replica in
+// Algorithm 1's rehash order (the K-th placement may itself be the
+// nearest-deputy fallback — the walk covers it like any other replica).
 package client
 
 import (
@@ -17,52 +24,100 @@ import (
 	"dmap/internal/wire"
 )
 
+// DefaultTimeout bounds each network attempt.
+const DefaultTimeout = 2 * time.Second
+
+// Config tunes the cluster client. The zero value selects every
+// default.
+type Config struct {
+	// Timeout bounds one network attempt (dial + request + response).
+	// ≤ 0 selects DefaultTimeout.
+	Timeout time.Duration
+	// OpDeadline bounds a whole operation across all replicas, retries
+	// and backoffs. ≤ 0 selects 4 × Timeout.
+	OpDeadline time.Duration
+	// Retry is the per-replica retry policy (zero value = defaults).
+	Retry RetryPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.OpDeadline <= 0 {
+		c.OpDeadline = 4 * c.Timeout
+	}
+	c.Retry = c.Retry.withDefaults()
+	return c
+}
+
 // Cluster resolves GUIDs against a set of networked mapping nodes. It is
 // safe for concurrent use.
 type Cluster struct {
 	resolver *core.Resolver
-	timeout  time.Duration
+	cfg      Config
 
 	mu    sync.RWMutex
 	addrs map[int]string // AS index → node address
 
-	pool connPool
+	pool  connPool
+	stats clusterStats
 }
 
-// DefaultTimeout bounds each network operation.
-const DefaultTimeout = 2 * time.Second
-
-// New builds a cluster client. addrs maps AS indices to node "host:port"
-// addresses; ASs without nodes are treated as unreachable. timeout ≤ 0
-// selects DefaultTimeout.
+// New builds a cluster client with default robustness settings. addrs
+// maps AS indices to node "host:port" addresses; ASs without nodes are
+// treated as unreachable. timeout ≤ 0 selects DefaultTimeout.
 func New(resolver *core.Resolver, addrs map[int]string, timeout time.Duration) (*Cluster, error) {
+	return NewWithConfig(resolver, addrs, Config{Timeout: timeout})
+}
+
+// NewWithConfig builds a cluster client with explicit timeout, deadline
+// and retry configuration.
+func NewWithConfig(resolver *core.Resolver, addrs map[int]string, cfg Config) (*Cluster, error) {
 	if resolver == nil {
 		return nil, errors.New("client: nil resolver")
-	}
-	if timeout <= 0 {
-		timeout = DefaultTimeout
 	}
 	m := make(map[int]string, len(addrs))
 	for as, a := range addrs {
 		m[as] = a
 	}
-	return &Cluster{resolver: resolver, timeout: timeout, addrs: m}, nil
+	return &Cluster{resolver: resolver, cfg: cfg.withDefaults(), addrs: m}, nil
 }
 
-// SetNode adds or replaces the node address of an AS.
+// SetNode adds or replaces the node address of an AS (e.g. after a
+// crashed node is revived elsewhere).
 func (c *Cluster) SetNode(as int, addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.addrs[as] = addr
 }
 
+// Stats returns a snapshot of the failure-path counters.
+func (c *Cluster) Stats() Stats { return c.stats.snapshot() }
+
 // Close releases pooled connections.
 func (c *Cluster) Close() {
 	c.pool.closeAll()
 }
 
-// ErrNotFound reports that no reachable replica had the mapping.
-var ErrNotFound = errors.New("client: GUID not found")
+// Operation errors.
+var (
+	// ErrNotFound reports that no reachable replica had the mapping.
+	ErrNotFound = errors.New("client: GUID not found")
+	// ErrDeadline reports that the per-operation deadline expired before
+	// the operation could complete.
+	ErrDeadline = errors.New("client: operation deadline exceeded")
+	// ErrRejected reports an explicit MsgError refusal from a node
+	// (e.g. a draining store). Rejections fail over immediately: the
+	// node answered, so retrying it is pointless.
+	ErrRejected = errors.New("client: request rejected by node")
+)
+
+// errStaleConn marks a pooled connection that died before carrying any
+// response byte: the server closed it while idle. The retry loop
+// replaces it without consuming a policy attempt — the request never
+// reached a live server.
+var errStaleConn = errors.New("client: stale pooled connection")
 
 // Insert stores e at all K replicas in parallel and waits for every
 // reachable replica's ack, returning how many acknowledged. An error is
@@ -77,6 +132,7 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	opDeadline := time.Now().Add(c.cfg.OpDeadline)
 
 	var wg sync.WaitGroup
 	acks := make([]bool, len(placements))
@@ -85,7 +141,7 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t, _, err := c.roundTrip(as, wire.MsgInsert, payload)
+			t, _, err := c.call(as, wire.MsgInsert, payload, opDeadline)
 			acks[i] = err == nil && t == wire.MsgInsertAck
 		}()
 	}
@@ -105,20 +161,27 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 // Update is Insert with a higher version (freshest-wins at each node).
 func (c *Cluster) Update(e store.Entry) (int, error) { return c.Insert(e) }
 
-// Lookup resolves g, trying replicas in placement order and skipping
-// unreachable or missing ones (§III-D3's retry, with the network's
-// timeout standing in for the router-failure timeout).
+// Lookup resolves g, walking replicas in Algorithm 1's placement order:
+// a miss reply, timeout, connection error or rejection moves to the next
+// replica until the per-operation deadline expires (§III-D3).
 func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 	placements, err := c.resolver.Place(g)
 	if err != nil {
 		return store.Entry{}, err
 	}
 	payload := wire.AppendGUID(nil, g)
+	opDeadline := time.Now().Add(c.cfg.OpDeadline)
 	var lastErr error
-	for _, p := range placements {
-		t, body, err := c.roundTrip(p.AS, wire.MsgLookup, payload)
+	for i, p := range placements {
+		t, body, err := c.call(p.AS, wire.MsgLookup, payload, opDeadline)
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, ErrDeadline) {
+				break // out of budget: later replicas cannot be tried either
+			}
+			if i < len(placements)-1 {
+				c.stats.failovers.Add(1)
+			}
 			continue
 		}
 		if t != wire.MsgLookupResp {
@@ -135,6 +198,9 @@ func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 		}
 	}
 	if lastErr != nil {
+		if errors.Is(lastErr, ErrDeadline) {
+			return store.Entry{}, lastErr
+		}
 		return store.Entry{}, fmt.Errorf("%w (last error: %v)", ErrNotFound, lastErr)
 	}
 	return store.Entry{}, ErrNotFound
@@ -150,6 +216,7 @@ func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
 		return store.Entry{}, err
 	}
 	payload := wire.AppendGUID(nil, g)
+	opDeadline := time.Now().Add(c.cfg.OpDeadline)
 
 	type answer struct {
 		entry store.Entry
@@ -160,7 +227,7 @@ func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
 	for _, p := range placements {
 		as := p.AS
 		go func() {
-			t, body, err := c.roundTrip(as, wire.MsgLookup, payload)
+			t, body, err := c.call(as, wire.MsgLookup, payload, opDeadline)
 			if err != nil {
 				results <- answer{err: err}
 				return
@@ -200,10 +267,14 @@ func (c *Cluster) Delete(g guid.GUID) (int, error) {
 		return 0, err
 	}
 	payload := wire.AppendGUID(nil, g)
+	opDeadline := time.Now().Add(c.cfg.OpDeadline)
 	removed := 0
 	for _, p := range placements {
-		t, body, err := c.roundTrip(p.AS, wire.MsgDelete, payload)
+		t, body, err := c.call(p.AS, wire.MsgDelete, payload, opDeadline)
 		if err != nil || t != wire.MsgDeleteAck || len(body) < 1 {
+			if errors.Is(err, ErrDeadline) {
+				break
+			}
 			continue
 		}
 		if body[0] == 1 {
@@ -215,7 +286,7 @@ func (c *Cluster) Delete(g guid.GUID) (int, error) {
 
 // Ping checks liveness of the node serving an AS.
 func (c *Cluster) Ping(as int) error {
-	t, _, err := c.roundTrip(as, wire.MsgPing, nil)
+	t, _, err := c.call(as, wire.MsgPing, nil, time.Now().Add(c.cfg.OpDeadline))
 	if err != nil {
 		return err
 	}
@@ -225,9 +296,12 @@ func (c *Cluster) Ping(as int) error {
 	return nil
 }
 
-// roundTrip performs one request/response against the node of as, using
-// a pooled connection when available.
-func (c *Cluster) roundTrip(as int, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+// call runs the retry policy for one replica: up to MaxAttempts
+// round trips with exponential backoff and deterministic jitter, all
+// inside the operation deadline. A stale pooled connection is replaced
+// without consuming an attempt (once per call); a MsgError reply aborts
+// the retries — the node answered and said no.
+func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.Time) (wire.MsgType, []byte, error) {
 	c.mu.RLock()
 	addr, ok := c.addrs[as]
 	c.mu.RUnlock()
@@ -235,30 +309,93 @@ func (c *Cluster) roundTrip(as int, t wire.MsgType, payload []byte) (wire.MsgTyp
 		return 0, nil, fmt.Errorf("client: no node for AS %d", as)
 	}
 
-	// One retry with a fresh connection covers pooled connections that
-	// the server closed while idle.
-	for attempt := 0; ; attempt++ {
-		conn, fresh, err := c.pool.get(addr, c.timeout)
-		if err != nil {
-			return 0, nil, err
-		}
-		deadline := time.Now().Add(c.timeout)
-		_ = conn.SetDeadline(deadline)
-		if err := wire.WriteFrame(conn, t, payload); err == nil {
-			if rt, body, err := wire.ReadFrame(conn); err == nil {
-				_ = conn.SetDeadline(time.Time{})
-				c.pool.put(addr, conn)
-				return rt, body, nil
-			} else if fresh || attempt > 0 {
-				conn.Close()
-				return 0, nil, err
+	pol := c.cfg.Retry
+	redialed := false
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			pause := pol.Backoff(as, attempt)
+			if remaining := time.Until(opDeadline); pause > remaining {
+				pause = remaining
 			}
-		} else if fresh || attempt > 0 {
-			conn.Close()
-			return 0, nil, err
+			if pause > 0 {
+				time.Sleep(pause)
+			}
+			c.stats.retries.Add(1)
 		}
-		conn.Close() // stale pooled conn: retry once with a fresh dial
+		remaining := time.Until(opDeadline)
+		if remaining <= 0 {
+			c.stats.deadlines.Add(1)
+			if lastErr == nil {
+				return 0, nil, ErrDeadline
+			}
+			return 0, nil, fmt.Errorf("%w (last error: %v)", ErrDeadline, lastErr)
+		}
+		timeout := c.cfg.Timeout
+		if timeout > remaining {
+			timeout = remaining
+		}
+
+		rt, body, err := c.roundTrip(addr, t, payload, timeout)
+		if errors.Is(err, errStaleConn) && !redialed {
+			// Observable replacement of a server-closed idle connection;
+			// does not consume a policy attempt.
+			redialed = true
+			c.stats.redials.Add(1)
+			attempt--
+			continue
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.stats.timeouts.Add(1)
+			}
+			lastErr = err
+			continue
+		}
+		if rt == wire.MsgError {
+			c.stats.rejects.Add(1)
+			reason, derr := wire.DecodeError(body)
+			if derr != nil {
+				reason = "unreadable reason"
+			}
+			return 0, nil, fmt.Errorf("%w: %s", ErrRejected, reason)
+		}
+		return rt, body, nil
 	}
+	return 0, nil, lastErr
+}
+
+// roundTrip performs exactly one request/response against addr, using a
+// pooled connection when available. A pooled connection failing before
+// any response byte yields errStaleConn so the caller can replace it.
+func (c *Cluster) roundTrip(addr string, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+	conn, fresh, err := c.pool.get(addr, timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	if fresh {
+		c.stats.dials.Add(1)
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteFrame(conn, t, payload); err != nil {
+		conn.Close()
+		if !fresh {
+			return 0, nil, fmt.Errorf("%w: %v", errStaleConn, err)
+		}
+		return 0, nil, err
+	}
+	rt, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		if !fresh {
+			return 0, nil, fmt.Errorf("%w: %v", errStaleConn, err)
+		}
+		return 0, nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.pool.put(addr, conn)
+	return rt, body, nil
 }
 
 // connPool keeps one idle connection per address — enough to amortize

@@ -304,3 +304,158 @@ func TestLookupFastest(t *testing.T) {
 		t.Errorf("err = %v, want ErrNotFound", err)
 	}
 }
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond, JitterSeed: 99}.withDefaults()
+	if p.Backoff(3, 1) != 0 {
+		t.Error("first attempt must not pause")
+	}
+	for attempt := 2; attempt <= 8; attempt++ {
+		a := p.Backoff(3, attempt)
+		b := p.Backoff(3, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", attempt, a, b)
+		}
+		grown := p.BaseBackoff << (attempt - 2)
+		if grown <= 0 || grown > p.MaxBackoff {
+			grown = p.MaxBackoff
+		}
+		if a < grown/2 || a > grown {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, a, grown/2, grown)
+		}
+	}
+	// Different seeds decorrelate.
+	q := p
+	q.JitterSeed = 100
+	same := 0
+	for attempt := 2; attempt <= 10; attempt++ {
+		if p.Backoff(1, attempt) == q.Backoff(1, attempt) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Errorf("seeds 99 and 100 agreed on %d/9 backoffs", same)
+	}
+}
+
+func TestStaleRedialIsObservableAndRecovers(t *testing.T) {
+	c, nodes := testCluster(t, 2, 1)
+	e := clusterEntry("stale", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	// Find the replica node and its address, then bounce it: the pooled
+	// connection dies but a fresh node accepts on the same address.
+	placements, err := cResolver(c).Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := placements[0].AS
+	old := nodes[as]
+	st := old.Store()
+	c.mu.RLock()
+	addr := c.addrs[as]
+	c.mu.RUnlock()
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := server.New(st, nil)
+	if _, err := fresh.Start(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { fresh.Close() })
+
+	got, err := c.Lookup(e.GUID)
+	if err != nil {
+		t.Fatalf("lookup across node bounce: %v", err)
+	}
+	if got.GUID != e.GUID {
+		t.Error("wrong entry")
+	}
+	if s := c.Stats(); s.Redials != 1 {
+		t.Errorf("redials = %d, want 1 (stale pooled conn replaced, observably)", s.Redials)
+	}
+}
+
+func TestRetryPolicyCountsRetries(t *testing.T) {
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS: 4, NumPrefixes: 48, AnnouncedFraction: 0.52, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No node listening anywhere: every attempt is refused instantly.
+	addrs := map[int]string{}
+	for as := 0; as < 4; as++ {
+		addrs[as] = "127.0.0.1:1" // reserved port, connection refused
+	}
+	c, err := NewWithConfig(resolver, addrs, Config{
+		Timeout:    200 * time.Millisecond,
+		OpDeadline: 2 * time.Second,
+		Retry:      RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.Lookup(guid.New("nobody-home")); err == nil {
+		t.Fatal("lookup against dead cluster should fail")
+	}
+	if s := c.Stats(); s.Retries != 2 {
+		t.Errorf("retries = %d, want MaxAttempts-1 = 2", s.Retries)
+	}
+}
+
+func TestDrainingNodeRejectsAndClientFailsOver(t *testing.T) {
+	c, nodes := testCluster(t, 20, 3)
+	e := clusterEntry("drained", 1)
+	placements, err := cResolver(c).Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the first replica: inserts there are refused with MsgError,
+	// the other two replicas still ack.
+	nodes[placements[0].AS].Drain()
+	acks, err := c.Insert(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicas can collide on an AS; the drained AS may host several.
+	if acks == 0 || acks >= 3 {
+		t.Errorf("acks = %d, want in [1, 2]", acks)
+	}
+	if s := c.Stats(); s.Rejects == 0 {
+		t.Error("drain rejection not counted")
+	}
+	// Reads are unaffected; the entry resolves via the live replicas.
+	if _, err := c.Lookup(e.GUID); err != nil {
+		t.Fatalf("lookup with drained replica: %v", err)
+	}
+	// After resuming, writes reach the first replica again.
+	nodes[placements[0].AS].Resume()
+	if _, err := c.Update(clusterEntry("drained", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nodes[placements[0].AS].Store().Get(e.GUID); !ok {
+		t.Error("resumed node missed the update")
+	}
+}
+
+func TestOperationDeadline(t *testing.T) {
+	c, _ := testCluster(t, 8, 3)
+	// An already-expired budget: the first call aborts before any
+	// network attempt.
+	c.cfg.OpDeadline = -time.Second
+	_, err := c.Lookup(guid.New("no-time"))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if s := c.Stats(); s.Deadlines == 0 {
+		t.Error("deadline abort not counted")
+	}
+}

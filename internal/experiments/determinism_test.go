@@ -108,3 +108,13 @@ func TestChurnSimDeterministicAcrossWorkers(t *testing.T) {
 		})
 	})
 }
+
+func TestAvailabilityDeterministicAcrossWorkers(t *testing.T) {
+	w := testWorld(t)
+	// Loss > 0 and several failure fractions make this the non-trivial
+	// fault plan: every cell draws from its per-(K, failFrac, source)
+	// seeded stream, the hardest part of the guarantee.
+	workerSweep(t, "RunAvailability", func(workers int) (any, error) {
+		return RunAvailability(w, availConfig(workers))
+	})
+}

@@ -1,0 +1,126 @@
+package nodesim
+
+import (
+	"fmt"
+	"testing"
+
+	"dmap/internal/simnet"
+)
+
+// These tests drive simnet's fault plan through the full protocol stack:
+// a crash window at the network layer must look exactly like a crashed
+// mapping server to the querier (§III-D3), and a lossy plan must leave
+// the discrete-event run bit-reproducible.
+
+func TestFaultPlanCrashLooksLikeDeadReplica(t *testing.T) {
+	d, _ := testDeployment(t, 2, false)
+	e := entryFor("netcrash", 1, 7)
+	if err := d.Insert(7, e, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+
+	// The querier tries replicas in RTT order; crash the nearer one at
+	// the network layer (not via d.Crash — the node code is healthy, the
+	// network just eats everything addressed to it).
+	placements, err := d.System().Resolver().Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = 99
+	first := placements[0].AS
+	if d.rtt(src, placements[1].AS) < d.rtt(src, first) {
+		first = placements[1].AS
+	}
+	if err := d.Network().SetFaults(&simnet.FaultPlan{
+		Crashes: []simnet.CrashWindow{{Node: first}}, // Until ≤ From: down forever
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var res *LookupResult
+	if err := d.Lookup(src, e.GUID, func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil || !res.Found {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (timeout then failover)", res.Attempts)
+	}
+	if res.Latency < DefaultTimeout {
+		t.Errorf("latency %v should include the %v timeout", res.Latency, DefaultTimeout)
+	}
+	if res.ServedBy == first {
+		t.Error("served by the crashed replica")
+	}
+	if d.Network().FaultStats().CrashDrops == 0 {
+		t.Error("no crash drops recorded")
+	}
+
+	// Healing the network restores single-attempt lookups.
+	if err := d.Network().SetFaults(nil); err != nil {
+		t.Fatal(err)
+	}
+	res = nil
+	if err := d.Lookup(src, e.GUID, func(r LookupResult) { res = &r }); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if res == nil || !res.Found || res.Attempts != 1 {
+		t.Fatalf("post-heal result = %+v, want 1-attempt hit", res)
+	}
+}
+
+// runLossyWorkload inserts a population and runs lookups under a lossy
+// fault plan, returning a printable transcript of every outcome.
+func runLossyWorkload(t *testing.T) (string, simnet.FaultStats) {
+	t.Helper()
+	d, _ := testDeployment(t, 3, false)
+	for i := 0; i < 20; i++ {
+		e := entryFor(fmt.Sprintf("g%d", i), 1, i)
+		if err := d.Insert(i, e, func(InsertResult) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sim().Run(0)
+
+	if err := d.Network().SetFaults(&simnet.FaultPlan{
+		Seed: 12345,
+		Loss: 0.25,
+		Crashes: []simnet.CrashWindow{
+			{Node: 3, From: d.Sim().Now(), Until: d.Sim().Now() + 10_000_000},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	transcript := ""
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := d.Lookup((i*7)%d.System().NumAS(), entryFor(fmt.Sprintf("g%d", i), 1, i).GUID,
+			func(r LookupResult) {
+				transcript += fmt.Sprintf("%d: found=%v attempts=%d servedBy=%d lat=%d\n",
+					i, r.Found, r.Attempts, r.ServedBy, r.Latency)
+			}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sim().Run(0)
+	return transcript, d.Network().FaultStats()
+}
+
+func TestFaultPlanDeterministicThroughProtocol(t *testing.T) {
+	t1, s1 := runLossyWorkload(t)
+	t2, s2 := runLossyWorkload(t)
+	if t1 != t2 {
+		t.Errorf("lossy runs diverged:\n--- run 1\n%s--- run 2\n%s", t1, t2)
+	}
+	if s1 != s2 {
+		t.Errorf("fault stats diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Lost == 0 {
+		t.Error("loss plan dropped nothing; workload too small?")
+	}
+}

@@ -128,6 +128,11 @@ func NewDeployment(sys *core.System, sim *simnet.Sim, oracle simnet.LatencyOracl
 // Sim returns the underlying scheduler.
 func (d *Deployment) Sim() *simnet.Sim { return d.net.Sim() }
 
+// Network returns the underlying simnet, e.g. to install a
+// simnet.FaultPlan (loss, delay, crash windows, partitions) under the
+// deployment's protocol traffic.
+func (d *Deployment) Network() *simnet.Network { return d.net }
+
 // System returns the underlying DMap system.
 func (d *Deployment) System() *core.System { return d.sys }
 

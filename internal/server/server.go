@@ -39,11 +39,18 @@ type Node struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// draining rejects writes with a MsgError reply instead of serving
+	// them — the §III-D1 migration posture: a node about to hand off its
+	// share keeps answering lookups but refuses new state.
+	draining atomic.Bool
+
 	inserts atomic.Int64
 	lookups atomic.Int64
 	hits    atomic.Int64
 	deletes atomic.Int64
 	errors  atomic.Int64
+	rejects atomic.Int64
+	badReqs atomic.Int64
 }
 
 // Stats counts served operations.
@@ -52,7 +59,12 @@ type Stats struct {
 	Lookups int64
 	Hits    int64
 	Deletes int64
-	Errors  int64
+	// Errors counts internal failures (store errors, unknown frames).
+	Errors int64
+	// Rejects counts writes refused while draining.
+	Rejects int64
+	// BadRequests counts malformed frames answered with MsgError.
+	BadRequests int64
 }
 
 // New creates a node around st (a fresh store if nil). logger may be nil
@@ -80,13 +92,27 @@ func (n *Node) Store() *store.Store { return n.store }
 // implies by at most the number of in-flight requests).
 func (n *Node) Stats() Stats {
 	return Stats{
-		Inserts: n.inserts.Load(),
-		Lookups: n.lookups.Load(),
-		Hits:    n.hits.Load(),
-		Deletes: n.deletes.Load(),
-		Errors:  n.errors.Load(),
+		Inserts:     n.inserts.Load(),
+		Lookups:     n.lookups.Load(),
+		Hits:        n.hits.Load(),
+		Deletes:     n.deletes.Load(),
+		Errors:      n.errors.Load(),
+		Rejects:     n.rejects.Load(),
+		BadRequests: n.badReqs.Load(),
 	}
 }
+
+// Drain switches the node into read-only mode: lookups and pings are
+// served, inserts and deletes are answered with a MsgError frame so
+// clients fail over to another replica immediately instead of hanging
+// into their timeout. Use before withdrawing the node's share.
+func (n *Node) Drain() { n.draining.Store(true) }
+
+// Resume ends draining.
+func (n *Node) Resume() { n.draining.Store(false) }
+
+// Draining reports whether the node is in read-only mode.
+func (n *Node) Draining() bool { return n.draining.Load() }
 
 // Start listens on addr ("host:port", ":0" for ephemeral) and serves in
 // the background. It returns the bound address.
@@ -171,6 +197,13 @@ func (n *Node) countErr() {
 	n.errors.Add(1)
 }
 
+// replyErrAndClose best-effort answers a broken request with a MsgError
+// frame so the peer learns why instead of watching its timeout expire;
+// the caller closes the connection (the stream may be desynchronized).
+func (n *Node) replyErrAndClose(conn net.Conn, reason string) {
+	_ = wire.WriteFrame(conn, wire.MsgError, wire.AppendError(nil, reason))
+}
+
 // serveConn processes frames until the peer disconnects. The protocol is
 // strictly request/response per connection; clients pipeline by opening
 // several connections.
@@ -189,16 +222,25 @@ func (n *Node) serveConn(conn net.Conn) {
 		var respType wire.MsgType
 		switch t {
 		case wire.MsgInsert:
+			if n.draining.Load() {
+				n.rejects.Add(1)
+				respType, out = wire.MsgError, wire.AppendError(out, "draining: writes refused")
+				break
+			}
 			e, _, err := wire.DecodeEntry(payload)
 			if err != nil {
-				n.countErr()
+				n.badReqs.Add(1)
 				n.logger.Printf("bad insert from %s: %v", conn.RemoteAddr(), err)
+				n.replyErrAndClose(conn, "malformed insert")
 				return
 			}
 			if _, err := n.store.Put(e); err != nil {
+				// A store-level refusal (validation) is the peer's fault;
+				// reject the request without tearing down the connection.
 				n.countErr()
 				n.logger.Printf("put: %v", err)
-				return
+				respType, out = wire.MsgError, wire.AppendError(out, "store rejected entry")
+				break
 			}
 			n.inserts.Add(1)
 			respType = wire.MsgInsertAck
@@ -206,7 +248,8 @@ func (n *Node) serveConn(conn net.Conn) {
 		case wire.MsgLookup:
 			g, _, err := wire.DecodeGUID(payload)
 			if err != nil {
-				n.countErr()
+				n.badReqs.Add(1)
+				n.replyErrAndClose(conn, "malformed lookup")
 				return
 			}
 			e, ok := n.store.Get(g)
@@ -222,9 +265,15 @@ func (n *Node) serveConn(conn net.Conn) {
 			respType = wire.MsgLookupResp
 
 		case wire.MsgDelete:
+			if n.draining.Load() {
+				n.rejects.Add(1)
+				respType, out = wire.MsgError, wire.AppendError(out, "draining: writes refused")
+				break
+			}
 			g, _, err := wire.DecodeGUID(payload)
 			if err != nil {
-				n.countErr()
+				n.badReqs.Add(1)
+				n.replyErrAndClose(conn, "malformed delete")
 				return
 			}
 			existed := n.store.Delete(g)
@@ -242,6 +291,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		default:
 			n.countErr()
 			n.logger.Printf("unknown frame %v from %s", t, conn.RemoteAddr())
+			n.replyErrAndClose(conn, "unknown frame type")
 			return
 		}
 		if err := wire.WriteFrame(conn, respType, out); err != nil {

@@ -113,13 +113,21 @@ func TestMalformedFrameClosesConnection(t *testing.T) {
 	conn := dial(t, addr)
 
 	// An insert frame with garbage payload must not crash the node; the
-	// connection is closed and the error counted.
+	// peer gets a MsgError explaining why, then the (desynchronized)
+	// connection is closed and the bad request counted.
 	if err := wire.WriteFrame(conn, wire.MsgInsert, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	typ, body, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgError {
+		t.Fatalf("want MsgError reply, got (%v, %v)", typ, err)
+	}
+	if reason, err := wire.DecodeError(body); err != nil || reason == "" {
+		t.Fatalf("error reason = (%q, %v)", reason, err)
+	}
 	if _, _, err := wire.ReadFrame(conn); err == nil {
-		t.Fatal("expected closed connection")
+		t.Fatal("expected closed connection after the error reply")
 	}
 	// The node still serves new connections.
 	conn2 := dial(t, addr)
@@ -129,7 +137,7 @@ func TestMalformedFrameClosesConnection(t *testing.T) {
 	if typ, _, err := wire.ReadFrame(conn2); err != nil || typ != wire.MsgPong {
 		t.Fatalf("node dead after malformed frame: (%v, %v)", typ, err)
 	}
-	if n.Stats().Errors == 0 {
+	if n.Stats().BadRequests == 0 {
 		t.Error("malformed frame should be counted")
 	}
 }
@@ -141,8 +149,79 @@ func TestUnknownFrameType(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	if typ, _, err := wire.ReadFrame(conn); err != nil || typ != wire.MsgError {
+		t.Fatalf("want MsgError reply, got (%v, %v)", typ, err)
+	}
 	if _, _, err := wire.ReadFrame(conn); err == nil {
 		t.Fatal("unknown frame should close the connection")
+	}
+}
+
+func TestDrainRejectsWritesServesReads(t *testing.T) {
+	n, addr := startNode(t)
+	conn := dial(t, addr)
+
+	// Seed one entry while healthy.
+	payload, err := wire.AppendEntry(nil, testEntry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.MsgInsert, payload); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := wire.ReadFrame(conn); err != nil || typ != wire.MsgInsertAck {
+		t.Fatalf("healthy insert: (%v, %v)", typ, err)
+	}
+
+	n.Drain()
+	if !n.Draining() {
+		t.Fatal("Draining() false after Drain()")
+	}
+
+	// Writes are rejected with MsgError on a live connection — no hang,
+	// no disconnect.
+	if err := wire.WriteFrame(conn, wire.MsgInsert, payload); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	typ, body, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgError {
+		t.Fatalf("draining insert: (%v, %v), want MsgError", typ, err)
+	}
+	if reason, _ := wire.DecodeError(body); reason == "" {
+		t.Error("empty drain reason")
+	}
+	if err := wire.WriteFrame(conn, wire.MsgDelete, wire.AppendGUID(nil, testEntry().GUID)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err = wire.ReadFrame(conn); err != nil || typ != wire.MsgError {
+		t.Fatalf("draining delete: (%v, %v), want MsgError", typ, err)
+	}
+
+	// Reads still served on the same connection.
+	if err := wire.WriteFrame(conn, wire.MsgLookup, wire.AppendGUID(nil, testEntry().GUID)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgLookupResp {
+		t.Fatalf("draining lookup: (%v, %v)", typ, err)
+	}
+	resp, err := wire.DecodeLookupResp(body)
+	if err != nil || !resp.Found {
+		t.Fatalf("draining lookup lost the entry: (%+v, %v)", resp, err)
+	}
+
+	if st := n.Stats(); st.Rejects != 2 {
+		t.Errorf("rejects = %d, want 2", st.Rejects)
+	}
+
+	// Resume restores writes.
+	n.Resume()
+	if err := wire.WriteFrame(conn, wire.MsgInsert, payload); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := wire.ReadFrame(conn); err != nil || typ != wire.MsgInsertAck {
+		t.Fatalf("post-resume insert: (%v, %v)", typ, err)
 	}
 }
 

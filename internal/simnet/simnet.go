@@ -179,6 +179,7 @@ type Network struct {
 	oracle  LatencyOracle
 	nodes   []Handler
 	dropped int
+	faults  *faultState // nil = fault-free (see faults.go)
 }
 
 // NewNetwork wires a network of n AS-nodes onto sim.
@@ -212,13 +213,27 @@ func (n *Network) Dropped() int { return n.dropped }
 
 // Send schedules delivery of payload from AS from to AS to after the
 // topology's one-way latency. Messages to unbound nodes are counted and
-// dropped (a crashed router, §III-D3).
+// dropped (a crashed router, §III-D3). With a fault plan installed
+// (SetFaults), loss, partitions and a crashed sender kill the message at
+// send time, extra delay and jitter stretch the latency, and a crashed
+// receiver loses it at delivery time.
 func (n *Network) Send(from, to int, payload interface{}) error {
 	if from < 0 || from >= len(n.nodes) || to < 0 || to >= len(n.nodes) {
 		return fmt.Errorf("simnet: send %d→%d out of range", from, to)
 	}
 	delay := n.oracle.OneWay(from, to)
+	if n.faults != nil {
+		extra, drop := n.faults.outcome(n.sim.now, from, to)
+		if drop {
+			return nil
+		}
+		delay += extra
+	}
 	return n.sim.After(delay, func() {
+		if n.faults != nil && n.faults.down(to, n.sim.now) {
+			n.faults.stats.CrashDrops++
+			return
+		}
 		h := n.nodes[to]
 		if h == nil {
 			n.dropped++

@@ -47,6 +47,68 @@ func FuzzDecodeLookupResp(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrame covers the full frame path the server and client run
+// on every message: header + payload via ReadFrame, then the per-type
+// payload decoder. It must never panic, never read past the frame it
+// accepted, and accepted frames must round-trip canonically through
+// WriteFrame.
+func FuzzDecodeFrame(f *testing.F) {
+	var seed bytes.Buffer
+	entry, _ := AppendEntry(nil, store.Entry{
+		GUID:    [20]byte{9},
+		NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(198, 51, 100, 7)}},
+		Version: 3,
+	})
+	_ = WriteFrame(&seed, MsgInsert, entry)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	_ = WriteFrame(&seed, MsgLookup, AppendGUID(nil, [20]byte{1}))
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	resp, _ := AppendLookupResp(nil, LookupResp{})
+	_ = WriteFrame(&seed, MsgLookupResp, resp)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	_ = WriteFrame(&seed, MsgError, AppendError(nil, "draining"))
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	f.Add([]byte{0, 0, 0, 0, byte(MsgPing)})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	f.Add(bytes.Repeat([]byte{7}, 300))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		if want := 5 + len(payload); consumed != want {
+			t.Fatalf("ReadFrame consumed %d bytes, want header+payload = %d", consumed, want)
+		}
+		// Canonical round trip: re-encoding the accepted frame must
+		// reproduce the consumed bytes exactly.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("accepted frame fails re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatal("re-encoded frame differs from accepted bytes")
+		}
+		// The per-type payload decoders must be panic-free on whatever
+		// the framing layer hands them.
+		switch typ {
+		case MsgInsert:
+			_, _, _ = DecodeEntry(payload)
+		case MsgLookup, MsgDelete:
+			_, _, _ = DecodeGUID(payload)
+		case MsgLookupResp:
+			_, _ = DecodeLookupResp(payload)
+		case MsgError:
+			_, _ = DecodeError(payload)
+		}
+	})
+}
+
 // FuzzReadFrame must never panic or over-allocate on hostile streams.
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer

@@ -30,6 +30,7 @@ const (
 	MsgDeleteAck  // existed flag
 	MsgPing       // empty → pong
 	MsgPong
+	MsgError // UTF-8 reason; a node rejecting a request instead of hanging
 )
 
 // String names the frame type.
@@ -51,6 +52,8 @@ func (t MsgType) String() string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgError:
+		return "error"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -166,6 +169,26 @@ func DecodeGUID(b []byte) (guid.GUID, []byte, error) {
 	var g guid.GUID
 	copy(g[:], b[:guid.Size])
 	return g, b[guid.Size:], nil
+}
+
+// MaxErrorLen bounds a MsgError reason string.
+const MaxErrorLen = 256
+
+// AppendError encodes a MsgError body, truncating oversized reasons.
+func AppendError(dst []byte, reason string) []byte {
+	if len(reason) > MaxErrorLen {
+		reason = reason[:MaxErrorLen]
+	}
+	return append(dst, reason...)
+}
+
+// DecodeError decodes a MsgError body. Oversized payloads are rejected
+// rather than truncated: an honest node never sends one.
+func DecodeError(b []byte) (string, error) {
+	if len(b) > MaxErrorLen {
+		return "", fmt.Errorf("wire: error reason %d bytes exceeds %d", len(b), MaxErrorLen)
+	}
+	return string(b), nil
 }
 
 // LookupResp is the body of a MsgLookupResp frame.

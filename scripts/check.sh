@@ -1,10 +1,15 @@
 #!/bin/sh
 # Repository check: vet everything, then run the concurrency-sensitive
 # packages under the race detector. The engine's determinism guarantee
-# (internal/engine) only holds if these stay race-clean.
+# (internal/engine) only holds if these stay race-clean, and the
+# networked stack (client failover, server drain, the chaos test) is
+# only trustworthy under -race. Running the wire tests also replays the
+# checked-in fuzz seed corpus (FuzzDecodeFrame et al.).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
+go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
+go test -race ./internal/server/... ./internal/client/...
