@@ -12,12 +12,14 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"dmap/internal/client"
 	"dmap/internal/core"
 	"dmap/internal/dht"
 	"dmap/internal/experiments"
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/netaddr"
 	"dmap/internal/nodesim"
 	"dmap/internal/prefixtable"
@@ -295,6 +297,26 @@ func BenchmarkStorePutGet(b *testing.B) {
 	}
 }
 
+// BenchmarkStorePutGetInstrumented is BenchmarkStorePutGet with the
+// store's metrics instrumentation attached; scripts/bench.sh smoke
+// asserts the pair stays within the observability overhead budget
+// (<5%, DESIGN.md §6).
+func BenchmarkStorePutGetInstrumented(b *testing.B) {
+	s := store.New()
+	s.Instrument(metrics.NewRegistry(), "store")
+	nas := []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := guid.FromUint64(uint64(i%1024) + 1)
+		if _, err := s.Put(store.Entry{GUID: g, NAs: nas, Version: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := s.Get(g); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
 // BenchmarkWireEntryRoundTrip measures encode+decode of a 5-NA entry.
 func BenchmarkWireEntryRoundTrip(b *testing.B) {
 	e := store.Entry{GUID: guid.New("wire"), Version: 1}
@@ -311,6 +333,73 @@ func BenchmarkWireEntryRoundTrip(b *testing.B) {
 		if _, _, err := wire.DecodeEntry(enc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWireEntryRoundTripInstrumented adds exactly the per-op
+// instrumentation the server wraps around the wire path — two clock
+// reads and one histogram observation — so the smoke gate measures the
+// true marginal cost of observing a request.
+func BenchmarkWireEntryRoundTripInstrumented(b *testing.B) {
+	e := store.Entry{GUID: guid.New("wire"), Version: 1}
+	for i := 0; i < 5; i++ {
+		e.NAs = append(e.NAs, store.NA{AS: i, Addr: netaddr.Addr(i)})
+	}
+	h := metrics.NewRegistry().Histogram("wire.roundtrip_us")
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		enc, err := wire.AppendEntry(buf[:0], e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.DecodeEntry(enc); err != nil {
+			b.Fatal(err)
+		}
+		h.ObserveSince(start)
+	}
+}
+
+// BenchmarkMetricsCounter measures one hot-path counter increment.
+func BenchmarkMetricsCounter(b *testing.B) {
+	c := metrics.NewRegistry().Counter("bench.ops")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkMetricsHistogramObserve measures one hot-path histogram
+// observation (bucket search + atomics), the unit of cost every
+// instrumented operation pays.
+func BenchmarkMetricsHistogramObserve(b *testing.B) {
+	h := metrics.NewRegistry().Histogram("bench.lat_us")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xffff))
+	}
+}
+
+// BenchmarkMetricsRequestOverhead measures exactly what the server adds
+// to one served request: two clock reads, one histogram observation and
+// two counter increments. scripts/bench.sh smoke divides this by
+// BenchmarkTCPLookup (a real served wire round trip) to assert the
+// wire-path observability budget (<5%, DESIGN.md §6).
+func BenchmarkMetricsRequestOverhead(b *testing.B) {
+	reg := metrics.NewRegistry()
+	lookups := reg.Counter("bench.lookups")
+	hits := reg.Counter("bench.hits")
+	h := reg.Histogram("bench.op_us")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		lookups.Inc()
+		hits.Inc()
+		h.ObserveSince(start)
 	}
 }
 

@@ -1,19 +1,27 @@
 // Command dmapnode runs the networked DMap stack.
 //
-// Serve one mapping node (the per-AS role):
+// Serve one mapping node (the per-AS role), optionally with a debug
+// endpoint exposing live metrics (counters, p50/p95/p99 latency
+// histograms) and pprof:
 //
-//	dmapnode serve -addr :4500
+//	dmapnode serve -addr :4500 -debug-addr :6060
+//	curl :6060/debug/metrics            # text
+//	curl ':6060/debug/metrics?format=json'
+//	go tool pprof http://:6060/debug/pprof/profile
 //
 // Or run a self-contained demo cluster: n nodes on loopback, a shared
 // synthetic prefix table, inserts and lookups through the real TCP path:
 //
-//	dmapnode demo -nodes 8 -k 3 -objects 100
+//	dmapnode demo -nodes 8 -k 3 -objects 100 -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,11 +30,31 @@ import (
 	"dmap/internal/client"
 	"dmap/internal/core"
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/netaddr"
 	"dmap/internal/prefixtable"
 	"dmap/internal/server"
 	"dmap/internal/store"
 )
+
+// startDebugServer serves reg on /debug/metrics plus the pprof suite on
+// addr, returning the bound address and a shutdown func.
+func startDebugServer(addr string, reg *metrics.Registry) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", metrics.Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -51,6 +79,7 @@ func main() {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":4500", "listen address")
+	debugAddr := fs.String("debug-addr", "", "debug HTTP address serving /debug/metrics and /debug/pprof (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +89,15 @@ func serve(args []string) error {
 		return err
 	}
 	fmt.Printf("mapping node listening on %s\n", bound)
+	if *debugAddr != "" {
+		dbgBound, stop, err := startDebugServer(*debugAddr, node.Metrics())
+		if err != nil {
+			node.Close()
+			return err
+		}
+		defer stop()
+		fmt.Printf("debug endpoint on http://%s/debug/metrics\n", dbgBound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -71,10 +109,11 @@ func serve(args []string) error {
 func demo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
 	var (
-		nodes   = fs.Int("nodes", 8, "number of mapping nodes (ASs)")
-		k       = fs.Int("k", 3, "replication factor")
-		objects = fs.Int("objects", 100, "objects to insert and look up")
-		seed    = fs.Int64("seed", 1, "prefix table seed")
+		nodes       = fs.Int("nodes", 8, "number of mapping nodes (ASs)")
+		k           = fs.Int("k", 3, "replication factor")
+		objects     = fs.Int("objects", 100, "objects to insert and look up")
+		seed        = fs.Int64("seed", 1, "prefix table seed")
+		showMetrics = fs.Bool("metrics", false, "print client and server metrics snapshots after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +191,16 @@ func demo(args []string) error {
 		st := s.Stats()
 		fmt.Printf("  AS %2d @ %s: %4d mappings, %d lookups served (%d hits)\n",
 			as, addrs[as], s.Store().Len(), st.Lookups, st.Hits)
+	}
+	if *showMetrics {
+		fmt.Println("\n# client metrics")
+		if err := c.Metrics().Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("\n# AS 0 server metrics")
+		if err := srvs[0].Metrics().Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

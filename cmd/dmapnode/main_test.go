@@ -1,9 +1,24 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dmap/internal/client"
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/metrics"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+)
 
 func TestDemoRoundTrip(t *testing.T) {
-	if err := demo([]string{"-nodes", "4", "-k", "2", "-objects", "20"}); err != nil {
+	if err := demo([]string{"-nodes", "4", "-k", "2", "-objects", "20", "-metrics"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,5 +36,95 @@ func TestDemoValidation(t *testing.T) {
 	}
 	if err := demo([]string{"-bogus"}); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+// TestDebugMetricsEndpoint drives a live mapping node over real TCP and
+// then scrapes /debug/metrics, checking that the served text exposes
+// the per-op counters and latency quantiles.
+func TestDebugMetricsEndpoint(t *testing.T) {
+	node := server.New(nil, nil)
+	addr, err := node.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	dbgAddr, stop, err := startDebugServer("127.0.0.1:0", node.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// One insert + two lookups through the real wire path.
+	tbl := prefixtable.New()
+	p, err := netaddr.NewPrefix(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.New(resolver, map[int]string{0: addr}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	e := store.Entry{
+		GUID:    guid.New("debug-metrics"),
+		NAs:     []store.NA{{AS: 0, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: 1,
+	}
+	if _, err := cl.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Lookup(e.GUID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get("http://" + dbgAddr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"counter server.inserts 1",
+		"counter server.lookups 2",
+		"counter server.hits 2",
+		"hist server.op.lookup_us count=2",
+		"p50=", "p95=", "p99=",
+		"gauge store.size 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/debug/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// JSON view decodes into a snapshot with the same counters.
+	resp2, err := http.Get("http://" + dbgAddr + "/debug/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.lookups"] != 2 {
+		t.Errorf("json server.lookups = %d, want 2", snap.Counters["server.lookups"])
+	}
+	if h := snap.Histograms["server.op.lookup_us"]; h.Count != 2 || h.Quantile(95) <= 0 {
+		t.Errorf("json lookup histogram wrong: %+v", h)
 	}
 }

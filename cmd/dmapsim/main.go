@@ -20,6 +20,7 @@ import (
 
 	"dmap/internal/core"
 	"dmap/internal/experiments"
+	"dmap/internal/metrics"
 	"dmap/internal/topology"
 )
 
@@ -33,22 +34,33 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dmapsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "fig4", "which experiment to run")
-		scale      = fs.Int("scale", 26424, "number of ASs (26424 = paper scale)")
-		guids      = fs.Int("guids", 100000, "GUID population for latency experiments")
-		lookups    = fs.Int("lookups", 1000000, "lookup count for latency experiments")
-		seed       = fs.Int64("seed", 1, "PRNG seed")
-		k          = fs.Int("k", 5, "replication factor for single-K experiments")
-		workers    = fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS, 1 = serial reference)")
-		cdfPoints  = fs.Int("cdf", 0, "also print an n-point CDF per series")
-		hist       = fs.Bool("hist", false, "also print an ASCII latency histogram per series")
-		failFracs  = fs.String("failfracs", "0,0.05,0.10,0.20", "failed-node fractions for the availability sweep (comma-separated)")
-		loss       = fs.Float64("loss", 0, "per-attempt message loss probability for the availability sweep")
-		retries    = fs.Int("retries", 1, "same-replica retransmissions before failover (availability sweep)")
-		timeoutMs  = fs.Int("attempt-timeout-ms", 2000, "per-attempt timeout charged for dead replicas and lost messages")
+		experiment  = fs.String("experiment", "fig4", "which experiment to run")
+		scale       = fs.Int("scale", 26424, "number of ASs (26424 = paper scale)")
+		guids       = fs.Int("guids", 100000, "GUID population for latency experiments")
+		lookups     = fs.Int("lookups", 1000000, "lookup count for latency experiments")
+		seed        = fs.Int64("seed", 1, "PRNG seed")
+		k           = fs.Int("k", 5, "replication factor for single-K experiments")
+		workers     = fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS, 1 = serial reference)")
+		cdfPoints   = fs.Int("cdf", 0, "also print an n-point CDF per series")
+		hist        = fs.Bool("hist", false, "also print an ASCII latency histogram per series")
+		failFracs   = fs.String("failfracs", "0,0.05,0.10,0.20", "failed-node fractions for the availability sweep (comma-separated)")
+		loss        = fs.Float64("loss", 0, "per-attempt message loss probability for the availability sweep")
+		retries     = fs.Int("retries", 1, "same-replica retransmissions before failover (availability sweep)")
+		timeoutMs   = fs.Int("attempt-timeout-ms", 2000, "per-attempt timeout charged for dead replicas and lost messages")
+		showMetrics = fs.Bool("metrics", false, "print a metrics snapshot (engine occupancy, unit latency, driver gauges) after the experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// printSnap dumps the process-wide registry once the experiment has
+	// finished populating it (the engine reports unit latency and
+	// occupancy; some drivers add gauges of their own).
+	printSnap := func() {
+		if !*showMetrics {
+			return
+		}
+		fmt.Println("\n# metrics (deterministic values only are stable across runs)")
+		_ = metrics.Default.Snapshot().WriteText(os.Stdout)
 	}
 
 	// Experiments that need no world.
@@ -60,6 +72,7 @@ func run(args []string) error {
 		}
 		fmt.Println("# Figure 7: analytical RTT upper bound vs replicas")
 		fmt.Print(res)
+		printSnap()
 		return nil
 	case "overhead":
 		res, err := experiments.RunOverhead(*scale, 5e9, *k, 100)
@@ -68,6 +81,7 @@ func run(args []string) error {
 		}
 		fmt.Println("# §IV-A storage and traffic overhead")
 		fmt.Print(res)
+		printSnap()
 		return nil
 	}
 
@@ -214,6 +228,11 @@ func run(args []string) error {
 		}
 		fmt.Println("# §VII extension: per-AS query caching (latency vs staleness)")
 		fmt.Print(res)
+		for _, row := range res.Rows {
+			name := fmt.Sprintf("caching.ttl_%gs", float64(row.TTL)/1e6)
+			metrics.Default.Gauge(name + ".hit_rate").Set(row.HitRate)
+			metrics.Default.Gauge(name + ".stale_rate").Set(row.StaleRate)
+		}
 
 	case "holes":
 		res, err := experiments.RunHoles(w, 1, 10, *guids)
@@ -341,6 +360,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	printSnap()
 
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

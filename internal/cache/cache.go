@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/store"
 	"dmap/internal/topology"
 )
@@ -122,6 +123,19 @@ type Stats struct {
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{Hits: c.hits, Misses: c.misses, Expired: c.expired}
+}
+
+// PublishTo copies the cache's counters and size into reg as gauges
+// under prefix (e.g. "cache" → "cache.hits", "cache.size"). The cache
+// is single-goroutine by design, so this snapshot-style publication —
+// called from the owning goroutine at a quiescent point — is how its
+// numbers reach a concurrently scraped registry.
+func (c *Cache) PublishTo(reg *metrics.Registry, prefix string) {
+	reg.Gauge(prefix + ".hits").Set(float64(c.hits))
+	reg.Gauge(prefix + ".misses").Set(float64(c.misses))
+	reg.Gauge(prefix + ".expired").Set(float64(c.expired))
+	reg.Gauge(prefix + ".size").Set(float64(c.Len()))
+	reg.Gauge(prefix + ".hit_rate").Set(c.HitRate())
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any access.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/netaddr"
 	"dmap/internal/store"
 	"dmap/internal/topology"
@@ -149,5 +150,29 @@ func TestManyEntriesStayBounded(t *testing.T) {
 	}
 	if c.Len() > 32 {
 		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestPublishTo(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c, err := New(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := guid.New("pub")
+	c.Get(g, 0) // miss
+	c.Put(g, store.Entry{}, 0)
+	c.Get(g, 1) // hit
+	c.PublishTo(reg, "cache")
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"cache.hits":     1,
+		"cache.misses":   1,
+		"cache.size":     1,
+		"cache.hit_rate": 0.5,
+	} {
+		if got := snap.Gauges[name]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
 	}
 }

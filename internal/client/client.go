@@ -20,6 +20,7 @@ import (
 
 	"dmap/internal/core"
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/store"
 	"dmap/internal/wire"
 )
@@ -60,8 +61,50 @@ type Cluster struct {
 	mu    sync.RWMutex
 	addrs map[int]string // AS index → node address
 
-	pool  connPool
-	stats clusterStats
+	pool connPool
+	m    clusterMetrics
+}
+
+// clusterMetrics holds the client's resolved metric handles. The
+// counters double as the Stats() snapshot source, so the failure-path
+// numbers in tests, dmapnode demo output and /debug/metrics are one
+// set of books (no bespoke atomics on the side).
+type clusterMetrics struct {
+	reg       *metrics.Registry
+	dials     *metrics.Counter
+	redials   *metrics.Counter
+	retries   *metrics.Counter
+	failovers *metrics.Counter
+	rejects   *metrics.Counter
+	timeouts  *metrics.Counter
+	deadlines *metrics.Counter
+	// attempt is the per-attempt round-trip latency (µs), including
+	// timed-out and failed attempts — the distribution §III-D3's
+	// failover math is about.
+	attempt *metrics.Histogram
+	// Per-operation end-to-end latency (µs) across all replicas,
+	// retries and backoffs, successful or not.
+	opInsert *metrics.Histogram
+	opLookup *metrics.Histogram
+	opDelete *metrics.Histogram
+}
+
+func newClusterMetrics() clusterMetrics {
+	reg := metrics.NewRegistry()
+	return clusterMetrics{
+		reg:       reg,
+		dials:     reg.Counter("client.dials"),
+		redials:   reg.Counter("client.redials"),
+		retries:   reg.Counter("client.retries"),
+		failovers: reg.Counter("client.failovers"),
+		rejects:   reg.Counter("client.rejects"),
+		timeouts:  reg.Counter("client.timeouts"),
+		deadlines: reg.Counter("client.deadlines"),
+		attempt:   reg.Histogram("client.attempt_us"),
+		opInsert:  reg.Histogram("client.op.insert_us"),
+		opLookup:  reg.Histogram("client.op.lookup_us"),
+		opDelete:  reg.Histogram("client.op.delete_us"),
+	}
 }
 
 // New builds a cluster client with default robustness settings. addrs
@@ -81,7 +124,9 @@ func NewWithConfig(resolver *core.Resolver, addrs map[int]string, cfg Config) (*
 	for as, a := range addrs {
 		m[as] = a
 	}
-	return &Cluster{resolver: resolver, cfg: cfg.withDefaults(), addrs: m}, nil
+	c := &Cluster{resolver: resolver, cfg: cfg.withDefaults(), addrs: m, m: newClusterMetrics()}
+	c.m.reg.GaugeFunc("client.pool.idle", func() float64 { return float64(c.pool.idleLen()) })
+	return c, nil
 }
 
 // SetNode adds or replaces the node address of an AS (e.g. after a
@@ -92,8 +137,23 @@ func (c *Cluster) SetNode(as int, addr string) {
 	c.addrs[as] = addr
 }
 
-// Stats returns a snapshot of the failure-path counters.
-func (c *Cluster) Stats() Stats { return c.stats.snapshot() }
+// Stats returns a snapshot of the failure-path counters (the same
+// counters Metrics exposes).
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Dials:     c.m.dials.Value(),
+		Redials:   c.m.redials.Value(),
+		Retries:   c.m.retries.Value(),
+		Failovers: c.m.failovers.Value(),
+		Rejects:   c.m.rejects.Value(),
+		Timeouts:  c.m.timeouts.Value(),
+		Deadlines: c.m.deadlines.Value(),
+	}
+}
+
+// Metrics returns the cluster's registry: failure-path counters,
+// per-attempt and per-operation latency histograms, and pool gauges.
+func (c *Cluster) Metrics() *metrics.Registry { return c.m.reg }
 
 // Close releases pooled connections.
 func (c *Cluster) Close() {
@@ -132,7 +192,9 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	opDeadline := time.Now().Add(c.cfg.OpDeadline)
+	opStart := time.Now()
+	opDeadline := opStart.Add(c.cfg.OpDeadline)
+	defer c.m.opInsert.ObserveSince(opStart)
 
 	var wg sync.WaitGroup
 	acks := make([]bool, len(placements))
@@ -170,7 +232,9 @@ func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 		return store.Entry{}, err
 	}
 	payload := wire.AppendGUID(nil, g)
-	opDeadline := time.Now().Add(c.cfg.OpDeadline)
+	opStart := time.Now()
+	opDeadline := opStart.Add(c.cfg.OpDeadline)
+	defer c.m.opLookup.ObserveSince(opStart)
 	var lastErr error
 	for i, p := range placements {
 		t, body, err := c.call(p.AS, wire.MsgLookup, payload, opDeadline)
@@ -180,7 +244,7 @@ func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 				break // out of budget: later replicas cannot be tried either
 			}
 			if i < len(placements)-1 {
-				c.stats.failovers.Add(1)
+				c.m.failovers.Inc()
 			}
 			continue
 		}
@@ -216,7 +280,9 @@ func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
 		return store.Entry{}, err
 	}
 	payload := wire.AppendGUID(nil, g)
-	opDeadline := time.Now().Add(c.cfg.OpDeadline)
+	opStart := time.Now()
+	opDeadline := opStart.Add(c.cfg.OpDeadline)
+	defer c.m.opLookup.ObserveSince(opStart)
 
 	type answer struct {
 		entry store.Entry
@@ -267,7 +333,9 @@ func (c *Cluster) Delete(g guid.GUID) (int, error) {
 		return 0, err
 	}
 	payload := wire.AppendGUID(nil, g)
-	opDeadline := time.Now().Add(c.cfg.OpDeadline)
+	opStart := time.Now()
+	opDeadline := opStart.Add(c.cfg.OpDeadline)
+	defer c.m.opDelete.ObserveSince(opStart)
 	removed := 0
 	for _, p := range placements {
 		t, body, err := c.call(p.AS, wire.MsgDelete, payload, opDeadline)
@@ -321,11 +389,11 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 			if pause > 0 {
 				time.Sleep(pause)
 			}
-			c.stats.retries.Add(1)
+			c.m.retries.Inc()
 		}
 		remaining := time.Until(opDeadline)
 		if remaining <= 0 {
-			c.stats.deadlines.Add(1)
+			c.m.deadlines.Inc()
 			if lastErr == nil {
 				return 0, nil, ErrDeadline
 			}
@@ -336,25 +404,27 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 			timeout = remaining
 		}
 
+		attemptStart := time.Now()
 		rt, body, err := c.roundTrip(addr, t, payload, timeout)
+		c.m.attempt.ObserveSince(attemptStart)
 		if errors.Is(err, errStaleConn) && !redialed {
 			// Observable replacement of a server-closed idle connection;
 			// does not consume a policy attempt.
 			redialed = true
-			c.stats.redials.Add(1)
+			c.m.redials.Inc()
 			attempt--
 			continue
 		}
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				c.stats.timeouts.Add(1)
+				c.m.timeouts.Inc()
 			}
 			lastErr = err
 			continue
 		}
 		if rt == wire.MsgError {
-			c.stats.rejects.Add(1)
+			c.m.rejects.Inc()
 			reason, derr := wire.DecodeError(body)
 			if derr != nil {
 				reason = "unreadable reason"
@@ -375,7 +445,7 @@ func (c *Cluster) roundTrip(addr string, t wire.MsgType, payload []byte, timeout
 		return 0, nil, err
 	}
 	if fresh {
-		c.stats.dials.Add(1)
+		c.m.dials.Inc()
 	}
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 	if err := wire.WriteFrame(conn, t, payload); err != nil {
@@ -434,6 +504,13 @@ func (p *connPool) put(addr string, conn net.Conn) {
 		return
 	}
 	p.idle[addr] = conn
+}
+
+// idleLen reports the number of idle pooled connections.
+func (p *connPool) idleLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
 }
 
 func (p *connPool) closeAll() {

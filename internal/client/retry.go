@@ -10,7 +10,6 @@
 package client
 
 import (
-	"sync/atomic"
 	"time"
 )
 
@@ -98,27 +97,4 @@ type Stats struct {
 	Timeouts int64
 	// Deadlines counts operations aborted by the per-operation budget.
 	Deadlines int64
-}
-
-// clusterStats is the live atomic form of Stats.
-type clusterStats struct {
-	dials     atomic.Int64
-	redials   atomic.Int64
-	retries   atomic.Int64
-	failovers atomic.Int64
-	rejects   atomic.Int64
-	timeouts  atomic.Int64
-	deadlines atomic.Int64
-}
-
-func (s *clusterStats) snapshot() Stats {
-	return Stats{
-		Dials:     s.dials.Load(),
-		Redials:   s.redials.Load(),
-		Retries:   s.retries.Load(),
-		Failovers: s.failovers.Load(),
-		Rejects:   s.rejects.Load(),
-		Timeouts:  s.timeouts.Load(),
-		Deadlines: s.deadlines.Load(),
-	}
 }

@@ -25,7 +25,49 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dmap/internal/metrics"
 )
+
+// Engine metrics live on metrics.Default (the engine has no natural
+// owner object): unit-latency histogram, busy/wall time counters and a
+// derived occupancy gauge. Instrumentation never touches results —
+// determinism is about outputs, and these are observations.
+var (
+	engOnce    sync.Once
+	engMaps    *metrics.Counter
+	engUnits   *metrics.Counter
+	engBusyUs  *metrics.Counter
+	engWallUs  *metrics.Counter
+	engWorkers *metrics.Gauge
+	engUnitUs  *metrics.Histogram
+)
+
+func engMetrics() {
+	engOnce.Do(func() {
+		reg := metrics.Default
+		engMaps = reg.Counter("engine.maps")
+		engUnits = reg.Counter("engine.units")
+		engBusyUs = reg.Counter("engine.busy_us")
+		engWallUs = reg.Counter("engine.wall_us")
+		engWorkers = reg.Gauge("engine.workers")
+		engUnitUs = reg.Histogram("engine.unit_us")
+		// Occupancy = fraction of worker-time spent evaluating units,
+		// cumulative over all Map calls: busy / (wall × workers).
+		reg.GaugeFunc("engine.occupancy", func() float64 {
+			wall := float64(engWallUs.Value()) * engWorkers.Value()
+			if wall <= 0 {
+				return 0
+			}
+			occ := float64(engBusyUs.Value()) / wall
+			if occ > 1 {
+				occ = 1
+			}
+			return occ
+		})
+	})
+}
 
 // ResolveWorkers maps a Workers configuration value to an actual worker
 // count: n <= 0 selects GOMAXPROCS, anything else is used as given.
@@ -59,10 +101,29 @@ func Map[S, R any](workers, n int, newScratch func() S, eval func(unit int, scra
 	}
 	results := make([]R, n)
 
+	engMetrics()
+	engMaps.Inc()
+	engWorkers.Set(float64(workers))
+	mapStart := time.Now()
+	defer func() {
+		engWallUs.Add(time.Since(mapStart).Microseconds())
+	}()
+	// timedEval wraps eval with per-unit latency accounting; it is the
+	// only difference between the instrumented and bare hot loops.
+	timedEval := func(i int, scratch S) (R, error) {
+		t0 := time.Now()
+		r, err := eval(i, scratch)
+		d := time.Since(t0)
+		engUnits.Inc()
+		engBusyUs.Add(d.Microseconds())
+		engUnitUs.ObserveDuration(d)
+		return r, err
+	}
+
 	if workers == 1 {
 		scratch := newScratch()
 		for i := 0; i < n; i++ {
-			r, err := eval(i, scratch)
+			r, err := timedEval(i, scratch)
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +150,7 @@ func Map[S, R any](workers, n int, newScratch func() S, eval func(unit int, scra
 				if i >= n || failed.Load() {
 					return
 				}
-				r, err := eval(i, scratch)
+				r, err := timedEval(i, scratch)
 				if err != nil {
 					errMu.Lock()
 					if i < errUnit {

@@ -1,0 +1,159 @@
+// Streaming fixed-bucket histogram: the latency-distribution primitive
+// behind the paper's Figures 4–7, reshaped for the live request path.
+// Where internal/stats collects every sample and sorts (exact
+// percentiles, O(n) memory), this histogram keeps one atomic counter
+// per bucket (bounded memory, allocation-free Observe) and answers
+// quantile queries by interpolating within the bucket that holds the
+// target rank — the standard monitoring trade-off.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+func floatToBits(v float64) uint64   { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// DefaultLatencyEdges are the default bucket upper bounds in
+// microseconds: powers of two from 1 µs to ~33.5 s (2^25 µs). The
+// geometric layout keeps relative quantile error bounded (a value is
+// located within a factor-2 bucket) across the six decades between an
+// intra-AS cache hit and a timed-out WAN attempt.
+var DefaultLatencyEdges = func() []float64 {
+	edges := make([]float64, 26)
+	for i := range edges {
+		edges[i] = float64(uint64(1) << uint(i))
+	}
+	return edges
+}()
+
+// Histogram is a concurrent fixed-bucket histogram. Observe is
+// lock-free and allocation-free; create via Registry.Histogram.
+type Histogram struct {
+	edges  []float64 // immutable upper bounds, strictly increasing
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	min    atomic.Uint64 // float64 bits; +Inf when empty
+	max    atomic.Uint64 // float64 bits; -Inf when empty
+}
+
+func newHistogram(edges []float64) *Histogram {
+	if edges == nil {
+		edges = DefaultLatencyEdges
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("metrics: histogram edges must be strictly increasing")
+		}
+	}
+	h := &Histogram{
+		edges:  edges,
+		counts: make([]atomic.Uint64, len(edges)+1), // +1 = overflow bucket
+	}
+	h.resetExtrema()
+	return h
+}
+
+func (h *Histogram) resetExtrema() {
+	h.min.Store(posInfBits)
+	h.max.Store(negInfBits)
+}
+
+const (
+	posInfBits = 0x7FF0000000000000
+	negInfBits = 0xFFF0000000000000
+)
+
+// Observe records one sample. Unit is whatever the histogram's edges
+// are in (microseconds for the default layout).
+func (h *Histogram) Observe(v float64) {
+	// Smallest i with edges[i] >= v; len(edges) = overflow.
+	idx := sort.SearchFloat64s(h.edges, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+	atomicMinFloat(&h.min, v)
+	atomicMaxFloat(&h.max, v)
+}
+
+// ObserveDuration records d in microseconds (the default edge unit).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Nanoseconds()) / 1e3)
+}
+
+// ObserveSince records the time elapsed since t0 in microseconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.ObserveDuration(time.Since(t0))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// reset zeroes the histogram (not atomic with concurrent Observe; see
+// Registry.Reset).
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.resetExtrema()
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Edges:  h.edges, // immutable, shared
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	// Count is rebuilt from the buckets rather than read from h.count so
+	// the snapshot is internally consistent (quantiles walk Counts).
+	s.Sum = floatFromBits(h.sum.Load())
+	if s.Count > 0 {
+		s.Min = floatFromBits(h.min.Load())
+		s.Max = floatFromBits(h.max.Load())
+	}
+	return s
+}
+
+func atomicAddFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := floatToBits(floatFromBits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if floatFromBits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, floatToBits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if floatFromBits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, floatToBits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// HTTP exposure: the /debug/metrics endpoint served by cmd/dmapnode.
+package metrics
+
+import (
+	"net/http"
+)
+
+// Handler serves reg's snapshot: the text encoding by default,
+// JSON with ?format=json (or an application/json Accept header).
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		wantJSON := r.URL.Query().Get("format") == "json" ||
+			r.Header.Get("Accept") == "application/json"
+		if wantJSON {
+			b, err := snap.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+}

@@ -18,7 +18,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dmap/internal/metrics"
 	"dmap/internal/store"
 	"dmap/internal/wire"
 )
@@ -44,13 +46,23 @@ type Node struct {
 	// share keeps answering lookups but refuses new state.
 	draining atomic.Bool
 
-	inserts atomic.Int64
-	lookups atomic.Int64
-	hits    atomic.Int64
-	deletes atomic.Int64
-	errors  atomic.Int64
-	rejects atomic.Int64
-	badReqs atomic.Int64
+	// All operational counters live on the node's metrics registry —
+	// the same numbers Stats() reports are what /debug/metrics serves.
+	// Handles are resolved once in New; the request path never touches
+	// the registry's lock.
+	reg     *metrics.Registry
+	inserts *metrics.Counter
+	lookups *metrics.Counter
+	hits    *metrics.Counter
+	deletes *metrics.Counter
+	errors  *metrics.Counter
+	rejects *metrics.Counter
+	badReqs *metrics.Counter
+	// Per-op service-time histograms (µs): decode + store + encode,
+	// excluding the response write.
+	hInsert *metrics.Histogram
+	hLookup *metrics.Histogram
+	hDelete *metrics.Histogram
 }
 
 // Stats counts served operations.
@@ -76,29 +88,60 @@ func New(st *store.Store, logger *log.Logger) *Node {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Node{
-		store:  st,
-		logger: logger,
-		conns:  make(map[net.Conn]struct{}),
+	reg := metrics.NewRegistry()
+	n := &Node{
+		store:   st,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+		reg:     reg,
+		inserts: reg.Counter("server.inserts"),
+		lookups: reg.Counter("server.lookups"),
+		hits:    reg.Counter("server.hits"),
+		deletes: reg.Counter("server.deletes"),
+		errors:  reg.Counter("server.errors"),
+		rejects: reg.Counter("server.rejects"),
+		badReqs: reg.Counter("server.bad_requests"),
+		hInsert: reg.Histogram("server.op.insert_us"),
+		hLookup: reg.Histogram("server.op.lookup_us"),
+		hDelete: reg.Histogram("server.op.delete_us"),
 	}
+	st.Instrument(reg, "store")
+	reg.GaugeFunc("server.conns", func() float64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return float64(len(n.conns))
+	})
+	reg.GaugeFunc("server.draining", func() float64 {
+		if n.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	return n
 }
 
 // Store returns the node's mapping store.
 func (n *Node) Store() *store.Store { return n.store }
 
+// Metrics returns the node's registry: operation counters, per-op
+// latency histograms and store gauges. Serve it with metrics.Handler
+// (cmd/dmapnode -debug-addr does).
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
 // Stats returns a snapshot of operation counters. Each counter is read
 // atomically; the snapshot as a whole is not a single instant, which is
 // fine for monitoring (e.g. Hits may momentarily exceed what Lookups
-// implies by at most the number of in-flight requests).
+// implies by at most the number of in-flight requests). The counters
+// are the registry's own — Stats and /debug/metrics cannot disagree.
 func (n *Node) Stats() Stats {
 	return Stats{
-		Inserts:     n.inserts.Load(),
-		Lookups:     n.lookups.Load(),
-		Hits:        n.hits.Load(),
-		Deletes:     n.deletes.Load(),
-		Errors:      n.errors.Load(),
-		Rejects:     n.rejects.Load(),
-		BadRequests: n.badReqs.Load(),
+		Inserts:     n.inserts.Value(),
+		Lookups:     n.lookups.Value(),
+		Hits:        n.hits.Value(),
+		Deletes:     n.deletes.Value(),
+		Errors:      n.errors.Value(),
+		Rejects:     n.rejects.Value(),
+		BadRequests: n.badReqs.Value(),
 	}
 }
 
@@ -218,6 +261,7 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		start := time.Now()
 		out = out[:0]
 		var respType wire.MsgType
 		switch t {
@@ -243,6 +287,7 @@ func (n *Node) serveConn(conn net.Conn) {
 				break
 			}
 			n.inserts.Add(1)
+			n.hInsert.ObserveSince(start)
 			respType = wire.MsgInsertAck
 
 		case wire.MsgLookup:
@@ -262,6 +307,7 @@ func (n *Node) serveConn(conn net.Conn) {
 				n.countErr()
 				return
 			}
+			n.hLookup.ObserveSince(start)
 			respType = wire.MsgLookupResp
 
 		case wire.MsgDelete:
@@ -283,6 +329,7 @@ func (n *Node) serveConn(conn net.Conn) {
 				flag = 1
 			}
 			out = append(out, flag)
+			n.hDelete.ObserveSince(start)
 			respType = wire.MsgDeleteAck
 
 		case wire.MsgPing:

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/netaddr"
 )
 
@@ -78,13 +79,39 @@ func (e Entry) clone() Entry {
 // Store is a thread-safe per-AS mapping table. The zero value is not
 // usable; call New.
 type Store struct {
-	mu sync.RWMutex
-	m  map[guid.GUID]Entry
+	mu  sync.RWMutex
+	m   map[guid.GUID]Entry
+	ins *instruments // nil until Instrument; read under mu
+}
+
+// instruments are the store's optional metrics handles. An
+// uninstrumented store pays one nil check per operation; an
+// instrumented one a single uncontended atomic add.
+type instruments struct {
+	puts, stalePuts, gets, hits, deletes *metrics.Counter
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{m: make(map[guid.GUID]Entry)}
+}
+
+// Instrument registers the store's operation counters and size gauge
+// on reg under prefix (e.g. "store" → "store.puts", "store.size").
+// Call once, before serving traffic; re-instrumenting replaces the
+// counters but leaves gauges registered on the previous registry.
+func (s *Store) Instrument(reg *metrics.Registry, prefix string) {
+	ins := &instruments{
+		puts:      reg.Counter(prefix + ".puts"),
+		stalePuts: reg.Counter(prefix + ".stale_puts"),
+		gets:      reg.Counter(prefix + ".gets"),
+		hits:      reg.Counter(prefix + ".hits"),
+		deletes:   reg.Counter(prefix + ".deletes"),
+	}
+	reg.GaugeFunc(prefix+".size", func() float64 { return float64(s.Len()) })
+	s.mu.Lock()
+	s.ins = ins
+	s.mu.Unlock()
 }
 
 // Put inserts or updates the mapping for e.GUID. An update with a version
@@ -98,7 +125,13 @@ func (s *Store) Put(e Entry) (bool, error) {
 	e = e.clone()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ins != nil {
+		s.ins.puts.Inc()
+	}
 	if old, ok := s.m[e.GUID]; ok && e.Version <= old.Version {
+		if s.ins != nil {
+			s.ins.stalePuts.Inc()
+		}
 		return false, nil
 	}
 	s.m[e.GUID] = e
@@ -110,6 +143,12 @@ func (s *Store) Get(g guid.GUID) (Entry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.m[g]
+	if s.ins != nil {
+		s.ins.gets.Inc()
+		if ok {
+			s.ins.hits.Inc()
+		}
+	}
 	if !ok {
 		return Entry{}, false
 	}
@@ -120,6 +159,9 @@ func (s *Store) Get(g guid.GUID) (Entry, bool) {
 func (s *Store) Delete(g guid.GUID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ins != nil {
+		s.ins.deletes.Inc()
+	}
 	if _, ok := s.m[g]; !ok {
 		return false
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dmap/internal/guid"
+	"dmap/internal/metrics"
 	"dmap/internal/netaddr"
 )
 
@@ -206,5 +207,43 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() != 26 {
 		t.Errorf("Len = %d, want 26", s.Len())
+	}
+}
+
+func TestInstrumentedCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New()
+	s.Instrument(reg, "store")
+
+	if _, err := s.Put(entry("a", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(entry("a", 1, 1)); err != nil { // stale
+		t.Fatal(err)
+	}
+	s.Get(entry("a", 1, 1).GUID) // hit
+	s.Get(entry("b", 1, 1).GUID) // miss
+	s.Delete(entry("a", 1, 1).GUID)
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"store.puts":       2,
+		"store.stale_puts": 1,
+		"store.gets":       2,
+		"store.hits":       1,
+		"store.deletes":    1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["store.size"]; got != 0 {
+		t.Errorf("store.size = %g after delete, want 0", got)
+	}
+	if _, err := s.Put(entry("c", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["store.size"]; got != 1 {
+		t.Errorf("store.size = %g, want 1", got)
 	}
 }

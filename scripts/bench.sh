@@ -1,0 +1,101 @@
+#!/bin/sh
+# Benchmark harness.
+#
+#   scripts/bench.sh           # micro-benchmarks -> BENCH_<date>.json
+#   scripts/bench.sh smoke     # CI gate: metrics overhead budget
+#
+# Default mode runs the hot-path micro-benchmarks (hashing, prefix
+# match, placement, wire codec, store ops, metrics primitives) with
+# -benchmem and emits a JSON record per benchmark into BENCH_<date>.json
+# for longitudinal tracking.
+#
+# Smoke mode asserts the observability overhead budget (DESIGN.md §6):
+#   1. store path: BenchmarkStorePutGetInstrumented must be within
+#      BENCH_TOLERANCE_PCT (default 5%) of BenchmarkStorePutGet.
+#   2. wire path: BenchmarkMetricsRequestOverhead (everything the server
+#      adds per served request: two clock reads, one histogram
+#      observation, two counters) must be below BENCH_TOLERANCE_PCT of
+#      BenchmarkTCPLookup, a real served wire round trip.
+# Each benchmark runs -count times; the minimum ns/op is compared (the
+# minimum is the least noisy location statistic for benchmarks).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-micro}"
+tolerance="${BENCH_TOLERANCE_PCT:-5}"
+count="${BENCH_COUNT:-5}"
+benchtime="${BENCH_TIME:-300ms}"
+
+run_bench() {
+    # $1 = anchored benchmark regex
+    go test -run '^$' -bench "$1" -benchmem -count="$count" -benchtime="$benchtime" .
+}
+
+# min_ns <name> <file>: minimum ns/op over all runs of one benchmark.
+min_ns() {
+    awk -v name="$1" '
+        $1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $3 < min) min = $3 }
+        END { if (min == "") { exit 1 }; print min }
+    ' "$2"
+}
+
+case "$mode" in
+micro)
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    run_bench 'BenchmarkHashGUID|BenchmarkLPMLookup|BenchmarkNearestPrefix|BenchmarkPlaceReplica|BenchmarkStorePutGet|BenchmarkWireEntryRoundTrip|BenchmarkPercentile|BenchmarkMetrics' \
+        | tee "$raw"
+    awk -v date="$date_tag" '
+        BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns = $3; bytes = "null"; allocs = "null"
+            for (i = 4; i <= NF; i++) {
+                if ($i == "B/op") bytes = $(i-1)
+                if ($i == "allocs/op") allocs = $(i-1)
+            }
+            if (seen++) printf ",\n"
+            printf "  {\"date\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                date, name, ns, bytes, allocs
+        }
+        END { print "\n]" }
+    ' "$raw" > "$out"
+    echo "wrote $out"
+    ;;
+
+smoke)
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    run_bench '^(BenchmarkStorePutGet|BenchmarkStorePutGetInstrumented|BenchmarkMetricsRequestOverhead|BenchmarkTCPLookup)$' \
+        | tee "$raw"
+
+    store_base=$(min_ns BenchmarkStorePutGet "$raw")
+    store_inst=$(min_ns BenchmarkStorePutGetInstrumented "$raw")
+    req_over=$(min_ns BenchmarkMetricsRequestOverhead "$raw")
+    tcp=$(min_ns BenchmarkTCPLookup "$raw")
+
+    awk -v base="$store_base" -v inst="$store_inst" -v tol="$tolerance" '
+        BEGIN {
+            pct = (inst - base) / base * 100
+            printf "store path: %.1f ns -> %.1f ns (%+.2f%%, budget %s%%)\n", base, inst, pct, tol
+            exit (pct > tol) ? 1 : 0
+        }' || { echo "FAIL: store instrumentation over budget" >&2; exit 1; }
+
+    awk -v over="$req_over" -v tcp="$tcp" -v tol="$tolerance" '
+        BEGIN {
+            pct = over / tcp * 100
+            printf "wire path: %.1f ns overhead on a %.1f ns served round trip (%.2f%%, budget %s%%)\n", over, tcp, pct, tol
+            exit (pct > tol) ? 1 : 0
+        }' || { echo "FAIL: wire-path instrumentation over budget" >&2; exit 1; }
+
+    echo "metrics overhead within budget"
+    ;;
+
+*)
+    echo "usage: $0 [micro|smoke]" >&2
+    exit 2
+    ;;
+esac

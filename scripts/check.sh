@@ -1,15 +1,27 @@
 #!/bin/sh
-# Repository check: vet everything, then run the concurrency-sensitive
-# packages under the race detector. The engine's determinism guarantee
-# (internal/engine) only holds if these stay race-clean, and the
-# networked stack (client failover, server drain, the chaos test) is
-# only trustworthy under -race. Running the wire tests also replays the
-# checked-in fuzz seed corpus (FuzzDecodeFrame et al.).
+# Repository check: build every package (so compile errors in packages
+# without tests fail the check), verify formatting, vet everything, then
+# run the concurrency-sensitive packages under the race detector. The
+# engine's determinism guarantee (internal/engine) only holds if these
+# stay race-clean, and the networked stack (client failover, server
+# drain, the chaos test, the metrics registry) is only trustworthy under
+# -race. Running the wire tests also replays the checked-in fuzz seed
+# corpus (FuzzDecodeFrame et al.).
 set -eux
 
 cd "$(dirname "$0")/.."
 
+go build ./...
+
+# gofmt -l lists unformatted files; any output is a failure.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
 go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
-go test -race ./internal/server/... ./internal/client/...
+go test -race ./internal/server/... ./internal/client/... ./internal/metrics/...
