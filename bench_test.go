@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -545,4 +546,146 @@ func BenchmarkTCPLookup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchLookupCluster starts one mapping node owning the whole address
+// space (K=1, so every lookup is one wire round trip) plus a cluster
+// client with the given transport config, pre-loaded with numGUIDs
+// entries. It is the fixture for the sustained-throughput benchmarks
+// comparing the sequential v1 transport against the multiplexed v2 one.
+func benchLookupCluster(b *testing.B, cfg client.Config, numGUIDs int) (*client.Cluster, []guid.GUID) {
+	b.Helper()
+	tbl := prefixtable.New()
+	p, err := netaddr.NewPrefix(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.Announce(p, 0); err != nil {
+		b.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := server.New(nil, nil)
+	addr, err := node.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { node.Close() })
+	cl, err := client.NewWithConfig(resolver, map[int]string{0: addr}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	gs := make([]guid.GUID, numGUIDs)
+	entries := make([]store.Entry, numGUIDs)
+	for i := range gs {
+		gs[i] = guid.New(fmt.Sprintf("bench-%d", i))
+		entries[i] = store.Entry{
+			GUID:    gs[i],
+			NAs:     []store.NA{{AS: 0, Addr: netaddr.AddrFromOctets(10, 0, byte(i>>8), byte(i))}},
+			Version: 1,
+		}
+	}
+	if _, err := cl.InsertBatch(entries); err != nil {
+		b.Fatal(err)
+	}
+	return cl, gs
+}
+
+// benchConcurrentClients is the 64-client work dispenser: each simulated
+// client pulls lookup indices off a shared atomic counter until b.N
+// operations have been issued, so the measured quantity is sustained
+// cluster throughput, not per-caller latency.
+const benchConcurrentClients = 64
+
+func runConcurrentLookups(b *testing.B, do func(i int) error) {
+	var next int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c := 0; c < benchConcurrentClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= b.N {
+					return
+				}
+				if err := do(i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkLookup64ClientsV1 measures sustained lookups/sec with 64
+// concurrent clients over the sequential v1 transport: the pool keeps
+// one idle conn per address, so most concurrent callers pay a fresh TCP
+// dial per request — the cost the v2 multiplexed transport removes.
+func BenchmarkLookup64ClientsV1(b *testing.B) {
+	cl, gs := benchLookupCluster(b, client.Config{ForceV1: true}, 1024)
+	runConcurrentLookups(b, func(i int) error {
+		_, err := cl.Lookup(gs[i%len(gs)])
+		return err
+	})
+}
+
+// BenchmarkLookup64ClientsV2 is the same workload over the multiplexed
+// v2 transport: all 64 clients pipeline their requests on one shared
+// connection, demultiplexed by request ID.
+func BenchmarkLookup64ClientsV2(b *testing.B) {
+	cl, gs := benchLookupCluster(b, client.Config{}, 1024)
+	runConcurrentLookups(b, func(i int) error {
+		_, err := cl.Lookup(gs[i%len(gs)])
+		return err
+	})
+}
+
+// BenchmarkLookup64ClientsV2Batch adds batching on top of multiplexing:
+// each of the 64 clients resolves blocks of 64 GUIDs per LookupBatch
+// call, so a whole block shares one wire frame. ns/op is still reported
+// per individual GUID resolved.
+func BenchmarkLookup64ClientsV2Batch(b *testing.B) {
+	const block = 64
+	cl, gs := benchLookupCluster(b, client.Config{}, 1024)
+	var next int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c := 0; c < benchConcurrentClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]guid.GUID, 0, block)
+			for {
+				start := int(atomic.AddInt64(&next, block)) - block
+				if start >= b.N {
+					return
+				}
+				n := min(block, b.N-start)
+				batch = batch[:0]
+				for i := start; i < start+n; i++ {
+					batch = append(batch, gs[i%len(gs)])
+				}
+				_, found, err := cl.LookupBatch(batch)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for _, ok := range found {
+					if !ok {
+						b.Error("batch lookup miss")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

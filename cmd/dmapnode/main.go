@@ -113,6 +113,8 @@ func demo(args []string) error {
 		k           = fs.Int("k", 3, "replication factor")
 		objects     = fs.Int("objects", 100, "objects to insert and look up")
 		seed        = fs.Int64("seed", 1, "prefix table seed")
+		batch       = fs.Int("batch", 1, "ops per wire frame: > 1 uses the v2 batched InsertBatch/LookupBatch path")
+		v1          = fs.Bool("v1", false, "force the sequential v1 wire protocol (no multiplexing, no batching upgrade)")
 		showMetrics = fs.Bool("metrics", false, "print client and server metrics snapshots after the run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -150,34 +152,68 @@ func demo(args []string) error {
 	fmt.Printf("started %d mapping nodes, K=%d, %d prefixes (%.0f%% of space announced)\n",
 		*nodes, *k, tbl.Len(), 100*tbl.AnnouncedFraction())
 
-	c, err := client.New(resolver, addrs, 0)
+	c, err := client.NewWithConfig(resolver, addrs, client.Config{ForceV1: *v1})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 
-	start := time.Now()
-	for i := 0; i < *objects; i++ {
-		e := store.Entry{
+	entries := make([]store.Entry, *objects)
+	for i := range entries {
+		entries[i] = store.Entry{
 			GUID:    guid.New(fmt.Sprintf("object-%d", i)),
 			NAs:     []store.NA{{AS: i % *nodes, Addr: netaddr.AddrFromOctets(10, 0, byte(i>>8), byte(i))}},
 			Version: 1,
 		}
-		if _, err := c.Insert(e); err != nil {
-			return fmt.Errorf("insert %d: %w", i, err)
+	}
+
+	start := time.Now()
+	if *batch > 1 {
+		acks, err := c.InsertBatch(entries)
+		if err != nil {
+			return fmt.Errorf("batch insert: %w", err)
+		}
+		for i, n := range acks {
+			if n == 0 {
+				return fmt.Errorf("insert %d: no replica stored it", i)
+			}
+		}
+	} else {
+		for i, e := range entries {
+			if _, err := c.Insert(e); err != nil {
+				return fmt.Errorf("insert %d: %w", i, err)
+			}
 		}
 	}
 	insertDur := time.Since(start)
 
 	start = time.Now()
-	for i := 0; i < *objects; i++ {
-		g := guid.New(fmt.Sprintf("object-%d", i))
-		e, err := c.Lookup(g)
-		if err != nil {
-			return fmt.Errorf("lookup %d: %w", i, err)
+	if *batch > 1 {
+		gs := make([]guid.GUID, *objects)
+		for i := range gs {
+			gs[i] = entries[i].GUID
 		}
-		if want := i % *nodes; e.NAs[0].AS != want {
-			return fmt.Errorf("object %d resolved to AS %d, want %d", i, e.NAs[0].AS, want)
+		got, found, err := c.LookupBatch(gs)
+		if err != nil {
+			return fmt.Errorf("batch lookup: %w", err)
+		}
+		for i := range gs {
+			if !found[i] {
+				return fmt.Errorf("object %d not found", i)
+			}
+			if want := i % *nodes; got[i].NAs[0].AS != want {
+				return fmt.Errorf("object %d resolved to AS %d, want %d", i, got[i].NAs[0].AS, want)
+			}
+		}
+	} else {
+		for i := 0; i < *objects; i++ {
+			e, err := c.Lookup(entries[i].GUID)
+			if err != nil {
+				return fmt.Errorf("lookup %d: %w", i, err)
+			}
+			if want := i % *nodes; e.NAs[0].AS != want {
+				return fmt.Errorf("object %d resolved to AS %d, want %d", i, e.NAs[0].AS, want)
+			}
 		}
 	}
 	lookupDur := time.Since(start)

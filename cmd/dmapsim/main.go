@@ -47,6 +47,7 @@ func run(args []string) error {
 		loss        = fs.Float64("loss", 0, "per-attempt message loss probability for the availability sweep")
 		retries     = fs.Int("retries", 1, "same-replica retransmissions before failover (availability sweep)")
 		timeoutMs   = fs.Int("attempt-timeout-ms", 2000, "per-attempt timeout charged for dead replicas and lost messages")
+		batch       = fs.Int("batch", 1, "modeled v2 batch size for update/queryload wire-frame accounting (1 = sequential v1)")
 		showMetrics = fs.Bool("metrics", false, "print a metrics snapshot (engine occupancy, unit latency, driver gauges) after the experiment")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +165,7 @@ func run(args []string) error {
 	case "update":
 		res, err := experiments.RunUpdate(w, experiments.UpdateConfig{
 			Ks: []int{1, 3, 5}, NumUpdates: *guids, Seed: *seed, Workers: *workers,
+			Batch: *batch,
 		})
 		if err != nil {
 			return err
@@ -180,7 +182,7 @@ func run(args []string) error {
 	case "queryload":
 		res, err := experiments.RunQueryLoad(w, experiments.QueryLoadConfig{
 			Ks: []int{1, 3, 5}, NumGUIDs: *guids, NumLookups: *lookups,
-			Seed: *seed, Workers: *workers,
+			Seed: *seed, Workers: *workers, Batch: *batch,
 		})
 		if err != nil {
 			return err

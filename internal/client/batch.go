@@ -1,0 +1,289 @@
+// Batched cluster operations: many GUIDs per wire frame instead of one
+// round trip per (GUID, replica). This is the client half of the §VI
+// story — millions of mobile-host updates per second are affordable
+// only when the per-message overhead is amortized across a batch (cf.
+// Chung's batch identifier updates, arXiv:0706.0580).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+// InsertBatch stores every entry at its K replicas using batched
+// frames: entries are grouped per replica AS (deduplicating replicas
+// that collide on one AS for the same entry), chunked to wire.MaxBatch
+// and sent in parallel — one frame per (replica AS, chunk) instead of
+// one round trip per (entry, replica). It returns per-entry ack counts:
+// acks[i] is how many replicas stored entries[i]. An error is returned
+// only when nothing was stored anywhere.
+//
+// Against a peer that rejects batch frames as unknown (a pre-v2 node),
+// the chunk transparently degrades to per-entry inserts.
+func (c *Cluster) InsertBatch(entries []store.Entry) ([]int, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	opStart := time.Now()
+	opDeadline := opStart.Add(c.cfg.OpDeadline)
+	defer c.m.opBatchIns.ObserveSince(opStart)
+
+	groups := make(map[int][]int) // replica AS → entry indices
+	for i, e := range entries {
+		placements, err := c.resolver.Place(e.GUID)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[int]bool, len(placements))
+		for _, p := range placements {
+			if seen[p.AS] {
+				continue
+			}
+			seen[p.AS] = true
+			groups[p.AS] = append(groups[p.AS], i)
+		}
+	}
+
+	acks := make([]int32, len(entries))
+	var (
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		lastErr error
+	)
+	for as, idxs := range groups {
+		for start := 0; start < len(idxs); start += wire.MaxBatch {
+			chunk := idxs[start:min(start+wire.MaxBatch, len(idxs))]
+			wg.Add(1)
+			go func(as int, chunk []int) {
+				defer wg.Done()
+				got, err := c.insertChunk(as, entries, chunk, opDeadline)
+				if err != nil {
+					errMu.Lock()
+					lastErr = fmt.Errorf("AS %d: %w", as, err)
+					errMu.Unlock()
+					return
+				}
+				for j, ok := range got {
+					if ok {
+						atomic.AddInt32(&acks[chunk[j]], 1)
+					}
+				}
+			}(as, chunk)
+		}
+	}
+	wg.Wait()
+
+	out := make([]int, len(entries))
+	total := 0
+	for i := range acks {
+		out[i] = int(acks[i])
+		total += out[i]
+	}
+	if total == 0 {
+		if lastErr != nil {
+			return out, fmt.Errorf("client: batch insert: no entry stored anywhere (last: %v)", lastErr)
+		}
+		return out, errors.New("client: batch insert: no entry stored anywhere")
+	}
+	return out, nil
+}
+
+// insertChunk sends one batch-insert frame to one replica AS and
+// returns the per-entry acked flags, degrading to per-entry inserts
+// against peers that do not know the batch frame type.
+func (c *Cluster) insertChunk(as int, entries []store.Entry, idxs []int, opDeadline time.Time) ([]bool, error) {
+	batch := make([]store.Entry, len(idxs))
+	for j, i := range idxs {
+		batch[j] = entries[i]
+	}
+	payload, err := wire.AppendBatchInsert(nil, batch)
+	if err != nil {
+		return nil, err
+	}
+	c.m.batchSize.Observe(float64(len(batch)))
+	t, body, err := c.call(as, wire.MsgBatchInsert, payload, opDeadline)
+	if err != nil {
+		if isUnknownFrameReject(err) {
+			return c.insertChunkPerItem(as, batch, opDeadline)
+		}
+		return nil, err
+	}
+	if t != wire.MsgBatchInsertAck {
+		return nil, fmt.Errorf("client: unexpected frame %v", t)
+	}
+	got, err := wire.DecodeBatchInsertAck(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(got) != len(batch) {
+		return nil, fmt.Errorf("client: batch ack carries %d flags for %d entries", len(got), len(batch))
+	}
+	return got, nil
+}
+
+// insertChunkPerItem is the compatibility path for pre-v2 peers.
+func (c *Cluster) insertChunkPerItem(as int, batch []store.Entry, opDeadline time.Time) ([]bool, error) {
+	acked := make([]bool, len(batch))
+	for i, e := range batch {
+		payload, err := wire.AppendEntry(nil, e)
+		if err != nil {
+			return nil, err
+		}
+		t, _, err := c.call(as, wire.MsgInsert, payload, opDeadline)
+		acked[i] = err == nil && t == wire.MsgInsertAck
+	}
+	return acked, nil
+}
+
+// LookupBatch resolves many GUIDs with batched frames, walking
+// Algorithm 1's placement order in rounds: round r groups the
+// still-unresolved GUIDs by their r-th replica AS and asks each AS with
+// at most wire.MaxBatch GUIDs per frame. Misses and failed replicas
+// roll into the next round (§III-D3 failover, amortized). It returns
+// the resolved entries and per-GUID found flags; GUIDs no reachable
+// replica had stay false without failing the call.
+func (c *Cluster) LookupBatch(gs []guid.GUID) ([]store.Entry, []bool, error) {
+	if len(gs) == 0 {
+		return nil, nil, nil
+	}
+	opStart := time.Now()
+	opDeadline := opStart.Add(c.cfg.OpDeadline)
+	defer c.m.opBatchLkp.ObserveSince(opStart)
+
+	placements := make([][]core.Placement, len(gs))
+	rounds := 0
+	for i, g := range gs {
+		p, err := c.resolver.Place(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		placements[i] = p
+		rounds = max(rounds, len(p))
+	}
+
+	entries := make([]store.Entry, len(gs))
+	found := make([]bool, len(gs))
+	pending := make([]int, len(gs))
+	for i := range pending {
+		pending[i] = i
+	}
+	for r := 0; r < rounds && len(pending) > 0; r++ {
+		groups := make(map[int][]int) // replica AS → GUID indices
+		for _, i := range pending {
+			if r < len(placements[i]) {
+				as := placements[i][r].AS
+				groups[as] = append(groups[as], i)
+			}
+		}
+		if len(groups) == 0 {
+			break
+		}
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			next []int
+		)
+		for as, idxs := range groups {
+			for start := 0; start < len(idxs); start += wire.MaxBatch {
+				chunk := idxs[start:min(start+wire.MaxBatch, len(idxs))]
+				wg.Add(1)
+				go func(as int, chunk []int) {
+					defer wg.Done()
+					rs, err := c.lookupChunk(as, gs, chunk, opDeadline)
+					if err != nil {
+						// The whole chunk fails over to its next replica
+						// round, exactly like the sequential walk.
+						if r < rounds-1 {
+							c.m.failovers.Add(int64(len(chunk)))
+						}
+						mu.Lock()
+						next = append(next, chunk...)
+						mu.Unlock()
+						return
+					}
+					var misses []int
+					for j, resp := range rs {
+						if resp.Found {
+							mu.Lock()
+							i := chunk[j]
+							if !found[i] || resp.Entry.Version > entries[i].Version {
+								entries[i], found[i] = resp.Entry, true
+							}
+							mu.Unlock()
+						} else {
+							misses = append(misses, chunk[j])
+						}
+					}
+					mu.Lock()
+					next = append(next, misses...)
+					mu.Unlock()
+				}(as, chunk)
+			}
+		}
+		wg.Wait()
+		pending = next
+	}
+	return entries, found, nil
+}
+
+// lookupChunk sends one batch-lookup frame to one replica AS, degrading
+// to per-GUID lookups against peers that do not know the batch frame.
+func (c *Cluster) lookupChunk(as int, gs []guid.GUID, idxs []int, opDeadline time.Time) ([]wire.LookupResp, error) {
+	batch := make([]guid.GUID, len(idxs))
+	for j, i := range idxs {
+		batch[j] = gs[i]
+	}
+	payload, err := wire.AppendBatchLookup(nil, batch)
+	if err != nil {
+		return nil, err
+	}
+	c.m.batchSize.Observe(float64(len(batch)))
+	t, body, err := c.call(as, wire.MsgBatchLookup, payload, opDeadline)
+	if err != nil {
+		if isUnknownFrameReject(err) {
+			return c.lookupChunkPerItem(as, batch, opDeadline)
+		}
+		return nil, err
+	}
+	if t != wire.MsgBatchLookupResp {
+		return nil, fmt.Errorf("client: unexpected frame %v", t)
+	}
+	rs, err := wire.DecodeBatchLookupResp(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(batch) {
+		return nil, fmt.Errorf("client: batch resp carries %d answers for %d GUIDs", len(rs), len(batch))
+	}
+	return rs, nil
+}
+
+// lookupChunkPerItem is the compatibility path for pre-v2 peers.
+func (c *Cluster) lookupChunkPerItem(as int, batch []guid.GUID, opDeadline time.Time) ([]wire.LookupResp, error) {
+	rs := make([]wire.LookupResp, len(batch))
+	for i, g := range batch {
+		t, body, err := c.call(as, wire.MsgLookup, wire.AppendGUID(nil, g), opDeadline)
+		if err != nil || t != wire.MsgLookupResp {
+			continue // counts as a miss at this replica
+		}
+		if resp, err := wire.DecodeLookupResp(body); err == nil {
+			rs[i] = resp
+		}
+	}
+	return rs, nil
+}
+
+// isUnknownFrameReject reports a MsgError refusal caused by the peer
+// not understanding the frame type — the pre-v2 compatibility signal.
+func isUnknownFrameReject(err error) bool {
+	return errors.Is(err, ErrRejected) && strings.Contains(err.Error(), "unknown frame")
+}

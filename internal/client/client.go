@@ -28,6 +28,11 @@ import (
 // DefaultTimeout bounds each network attempt.
 const DefaultTimeout = 2 * time.Second
 
+// DefaultFreshnessWait is how long LookupFastest keeps collecting
+// answers after the first positive reply to prefer the freshest
+// Version — the stale-read window after a partial Update.
+const DefaultFreshnessWait = 2 * time.Millisecond
+
 // Config tunes the cluster client. The zero value selects every
 // default.
 type Config struct {
@@ -39,6 +44,17 @@ type Config struct {
 	OpDeadline time.Duration
 	// Retry is the per-replica retry policy (zero value = defaults).
 	Retry RetryPolicy
+	// ForceV1 disables the multiplexed v2 transport: every request uses
+	// a sequential v1 connection. For benchmarking the old path and for
+	// talking to pre-v2 deployments without paying the hello probe.
+	ForceV1 bool
+	// FreshnessWait is LookupFastest's grace window: after the first
+	// positive reply it keeps collecting answers for this long (or until
+	// every replica answered) and returns the highest Version seen.
+	// 0 selects DefaultFreshnessWait; negative disables the grace
+	// (first positive answer wins, which may return a stale read after
+	// a partial Update).
+	FreshnessWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpDeadline <= 0 {
 		c.OpDeadline = 4 * c.Timeout
+	}
+	if c.FreshnessWait == 0 {
+		c.FreshnessWait = DefaultFreshnessWait
 	}
 	c.Retry = c.Retry.withDefaults()
 	return c
@@ -61,8 +80,15 @@ type Cluster struct {
 	mu    sync.RWMutex
 	addrs map[int]string // AS index → node address
 
-	pool connPool
+	pool connPool // v1 transport: one idle sequential conn per addr
+	mux  muxTable // v2 transport: one shared pipelined conn per addr
 	m    clusterMetrics
+
+	// transport performs one request/response attempt. It defaults to
+	// (*Cluster).roundTrip and exists so tests can script per-attempt
+	// outcomes (e.g. a stale conn on the second attempt) that are
+	// impractical to stage over a real socket.
+	transport func(addr string, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error)
 }
 
 // clusterMetrics holds the client's resolved metric handles. The
@@ -87,6 +113,13 @@ type clusterMetrics struct {
 	opInsert *metrics.Histogram
 	opLookup *metrics.Histogram
 	opDelete *metrics.Histogram
+	// v2 pipelined-path instrumentation: requests in flight on shared
+	// connections, entries/GUIDs per batch frame, end-to-end batch op
+	// latency.
+	inflight   *metrics.Gauge
+	batchSize  *metrics.Histogram
+	opBatchIns *metrics.Histogram
+	opBatchLkp *metrics.Histogram
 }
 
 func newClusterMetrics() clusterMetrics {
@@ -104,6 +137,11 @@ func newClusterMetrics() clusterMetrics {
 		opInsert:  reg.Histogram("client.op.insert_us"),
 		opLookup:  reg.Histogram("client.op.lookup_us"),
 		opDelete:  reg.Histogram("client.op.delete_us"),
+
+		inflight:   reg.Gauge("client.inflight"),
+		batchSize:  reg.Histogram("client.batch_size"),
+		opBatchIns: reg.Histogram("client.op.batch_insert_us"),
+		opBatchLkp: reg.Histogram("client.op.batch_lookup_us"),
 	}
 }
 
@@ -125,7 +163,9 @@ func NewWithConfig(resolver *core.Resolver, addrs map[int]string, cfg Config) (*
 		m[as] = a
 	}
 	c := &Cluster{resolver: resolver, cfg: cfg.withDefaults(), addrs: m, m: newClusterMetrics()}
+	c.transport = c.roundTrip
 	c.m.reg.GaugeFunc("client.pool.idle", func() float64 { return float64(c.pool.idleLen()) })
+	c.m.reg.GaugeFunc("client.mux.conns", func() float64 { return float64(c.mux.liveConns()) })
 	return c, nil
 }
 
@@ -155,9 +195,10 @@ func (c *Cluster) Stats() Stats {
 // per-attempt and per-operation latency histograms, and pool gauges.
 func (c *Cluster) Metrics() *metrics.Registry { return c.m.reg }
 
-// Close releases pooled connections.
+// Close releases pooled and shared connections.
 func (c *Cluster) Close() {
 	c.pool.closeAll()
+	c.mux.closeAll()
 }
 
 // Operation errors.
@@ -198,13 +239,21 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 
 	var wg sync.WaitGroup
 	acks := make([]bool, len(placements))
+	errs := make([]error, len(placements))
 	for i, p := range placements {
 		i, as := i, p.AS
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			t, _, err := c.call(as, wire.MsgInsert, payload, opDeadline)
-			acks[i] = err == nil && t == wire.MsgInsertAck
+			switch {
+			case err != nil:
+				errs[i] = fmt.Errorf("AS %d: %w", as, err)
+			case t != wire.MsgInsertAck:
+				errs[i] = fmt.Errorf("AS %d: unexpected frame %v", as, t)
+			default:
+				acks[i] = true
+			}
 		}()
 	}
 	wg.Wait()
@@ -215,9 +264,40 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 		}
 	}
 	if n == 0 {
-		return 0, fmt.Errorf("client: insert %s: no replica reachable", e.GUID.Short())
+		return 0, insertFailure(e.GUID, errs)
 	}
 	return n, nil
+}
+
+// insertFailure explains a total insert failure. "Every replica
+// rejected the write" (a cluster-wide drain) and "no replica reachable"
+// (an outage) are different operator stories; the error distinguishes
+// them and carries the last per-replica cause instead of a generic
+// "no replica reachable".
+func insertFailure(g guid.GUID, errs []error) error {
+	rejected, unreachable := 0, 0
+	var last error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		last = err
+		if errors.Is(err, ErrRejected) {
+			rejected++
+		} else {
+			unreachable++
+		}
+	}
+	switch {
+	case last == nil:
+		return fmt.Errorf("client: insert %s: no replica acknowledged", g.Short())
+	case unreachable == 0:
+		return fmt.Errorf("client: insert %s: all %d replicas rejected the write (%w; last: %v)", g.Short(), rejected, ErrRejected, last)
+	case rejected == 0:
+		return fmt.Errorf("client: insert %s: no replica reachable (%d unreachable; last: %v)", g.Short(), unreachable, last)
+	default:
+		return fmt.Errorf("client: insert %s: no replica stored it (%d rejected, %d unreachable; last: %v)", g.Short(), rejected, unreachable, last)
+	}
 }
 
 // Update is Insert with a higher version (freshest-wins at each node).
@@ -270,10 +350,17 @@ func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 	return store.Entry{}, ErrNotFound
 }
 
-// LookupFastest queries all K replicas in parallel and returns the first
-// positive answer — the latency-optimal strategy when the client cannot
-// estimate per-replica RTTs (cf. §III-C's simultaneous local+global
-// lookup). It costs K network round trips of load instead of one.
+// LookupFastest queries all K replicas in parallel — the latency-optimal
+// strategy when the client cannot estimate per-replica RTTs (cf.
+// §III-C's simultaneous local+global lookup). It costs K network round
+// trips of load instead of one.
+//
+// After the first positive reply it keeps collecting answers for the
+// configured FreshnessWait grace (or until every replica has answered)
+// and returns the highest Version seen: after a partial Update (n < K
+// acks) the fastest replica may well be a stale one, and first-answer-
+// wins would serve the old mapping indefinitely. Replicas that had to
+// be looked past because they failed count as read-path failovers.
 func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
 	placements, err := c.resolver.Place(g)
 	if err != nil {
@@ -310,15 +397,59 @@ func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
 			results <- answer{entry: resp.Entry, found: resp.Found}
 		}()
 	}
-	var lastErr error
-	for range placements {
-		a := <-results
-		if a.found {
-			return a.entry, nil
+
+	grace := c.cfg.FreshnessWait
+	if grace < 0 {
+		grace = 0
+	}
+	var (
+		best     store.Entry
+		found    bool
+		errCount int
+		lastErr  error
+		timer    *time.Timer
+		graceC   <-chan time.Time
+	)
+collect:
+	for answered := 0; answered < len(placements); {
+		select {
+		case a := <-results:
+			answered++
+			if a.err != nil {
+				errCount++
+				lastErr = a.err
+				continue
+			}
+			if !a.found {
+				continue
+			}
+			if !found || a.entry.Version > best.Version {
+				best, found = a.entry, true
+			}
+			if grace == 0 {
+				break collect
+			}
+			if timer == nil {
+				timer = time.NewTimer(grace)
+				graceC = timer.C
+			}
+		case <-graceC:
+			break collect
 		}
-		if a.err != nil {
-			lastErr = a.err
-		}
+	}
+	if timer != nil {
+		timer.Stop()
+	}
+	if found {
+		// Every failed replica whose answer we had to replace with
+		// another's is a read-path failover, same as the sequential walk.
+		c.m.failovers.Add(int64(errCount))
+		return best, nil
+	}
+	if errCount > 1 {
+		// Mirrors Lookup: a failure on the last-resort replica is not a
+		// failover, there was nowhere further to go.
+		c.m.failovers.Add(int64(errCount - 1))
 	}
 	if lastErr != nil {
 		return store.Entry{}, fmt.Errorf("%w (last error: %v)", ErrNotFound, lastErr)
@@ -366,9 +497,11 @@ func (c *Cluster) Ping(as int) error {
 
 // call runs the retry policy for one replica: up to MaxAttempts
 // round trips with exponential backoff and deterministic jitter, all
-// inside the operation deadline. A stale pooled connection is replaced
-// without consuming an attempt (once per call); a MsgError reply aborts
-// the retries — the node answered and said no.
+// inside the operation deadline. A stale shared/pooled connection is
+// replaced without consuming an attempt (once per call) — and without
+// sleeping a backoff or ticking the retries counter, since no logical
+// retry happened. A MsgError reply aborts the retries — the node
+// answered and said no.
 func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.Time) (wire.MsgType, []byte, error) {
 	c.mu.RLock()
 	addr, ok := c.addrs[as]
@@ -380,17 +513,8 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 	pol := c.cfg.Retry
 	redialed := false
 	var lastErr error
-	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			pause := pol.Backoff(as, attempt)
-			if remaining := time.Until(opDeadline); pause > remaining {
-				pause = remaining
-			}
-			if pause > 0 {
-				time.Sleep(pause)
-			}
-			c.m.retries.Inc()
-		}
+	attempt := 1
+	for {
 		remaining := time.Until(opDeadline)
 		if remaining <= 0 {
 			c.m.deadlines.Inc()
@@ -405,41 +529,84 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 		}
 
 		attemptStart := time.Now()
-		rt, body, err := c.roundTrip(addr, t, payload, timeout)
+		rt, body, err := c.transport(addr, t, payload, timeout)
 		c.m.attempt.ObserveSince(attemptStart)
 		if errors.Is(err, errStaleConn) && !redialed {
-			// Observable replacement of a server-closed idle connection;
-			// does not consume a policy attempt.
+			// Observable replacement of a server-closed idle connection.
+			// The request never reached a live server, so this consumes
+			// no policy attempt, pays no backoff and counts no retry.
 			redialed = true
 			c.m.redials.Inc()
-			attempt--
 			continue
 		}
-		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				c.m.timeouts.Inc()
+		if err == nil {
+			if rt == wire.MsgError {
+				c.m.rejects.Inc()
+				reason, derr := wire.DecodeError(body)
+				if derr != nil {
+					reason = "unreadable reason"
+				}
+				return 0, nil, fmt.Errorf("%w: %s", ErrRejected, reason)
 			}
-			lastErr = err
-			continue
+			return rt, body, nil
 		}
-		if rt == wire.MsgError {
-			c.m.rejects.Inc()
-			reason, derr := wire.DecodeError(body)
-			if derr != nil {
-				reason = "unreadable reason"
-			}
-			return 0, nil, fmt.Errorf("%w: %s", ErrRejected, reason)
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.m.timeouts.Inc()
 		}
-		return rt, body, nil
+		lastErr = err
+		attempt++
+		if attempt > pol.MaxAttempts {
+			return 0, nil, lastErr
+		}
+		c.m.retries.Inc()
+		pause := pol.Backoff(as, attempt)
+		if remaining := time.Until(opDeadline); pause > remaining {
+			pause = remaining
+		}
+		if pause > 0 {
+			time.Sleep(pause)
+		}
 	}
-	return 0, nil, lastErr
 }
 
-// roundTrip performs exactly one request/response against addr, using a
-// pooled connection when available. A pooled connection failing before
-// any response byte yields errStaleConn so the caller can replace it.
+// roundTrip performs exactly one request/response attempt against addr.
+// It prefers the multiplexed v2 transport — one shared pipelined
+// connection per address — and falls back to the sequential v1 pool for
+// peers that only speak v1 (or when ForceV1 is set). Either transport
+// reports a reused connection dying underneath the request as
+// errStaleConn so call can replace it without consuming an attempt.
 func (c *Cluster) roundTrip(addr string, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+	if !c.cfg.ForceV1 {
+		mc, fresh, err := c.muxGet(addr, timeout)
+		switch {
+		case err == nil:
+			if fresh {
+				c.m.dials.Inc()
+			}
+			c.m.inflight.Add(1)
+			rt, body, derr := mc.do(t, payload, timeout)
+			c.m.inflight.Add(-1)
+			if derr != nil && errors.Is(derr, errConnDead) && !fresh {
+				// The shared conn died with this request in flight; it
+				// never got an answer from a live server.
+				return 0, nil, fmt.Errorf("%w: %v", errStaleConn, derr)
+			}
+			return rt, body, derr
+		case errors.Is(err, errUseV1):
+			// Peer speaks v1; fall through to the sequential transport.
+		default:
+			return 0, nil, err
+		}
+	}
+	return c.roundTripV1(addr, t, payload, timeout)
+}
+
+// roundTripV1 performs exactly one request/response against addr over
+// the sequential v1 protocol, using a pooled connection when available.
+// A pooled connection failing before any response byte yields
+// errStaleConn so the caller can replace it.
+func (c *Cluster) roundTripV1(addr string, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
 	conn, fresh, err := c.pool.get(addr, timeout)
 	if err != nil {
 		return 0, nil, err

@@ -1,0 +1,301 @@
+// Multiplexed (v2) transport: one shared connection per node address,
+// pipelined identified frames, a demux reader goroutine per connection.
+// Concurrent callers to the same AS no longer race for the single pooled
+// connection or pay a fresh TCP dial each — they enqueue on the shared
+// conn and pool drops are impossible by construction.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dmap/internal/wire"
+)
+
+// errUseV1 routes an address to the sequential v1 transport: its server
+// answered the hello with MsgError (a true v1 peer) or negotiated v1.
+var errUseV1 = errors.New("client: peer speaks v1")
+
+// errConnDead reports that the shared connection failed while the
+// request was in flight or queued. The caller maps it to errStaleConn
+// when the connection was not freshly dialed for this request.
+var errConnDead = errors.New("client: multiplexed connection failed")
+
+// timeoutError is the net.Error returned when a request's reply timer
+// expires while the shared connection stays healthy.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "client: request timed out on multiplexed connection" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// muxReply is one demuxed response.
+type muxReply struct {
+	t    wire.MsgType
+	body []byte
+	err  error
+}
+
+// muxConn is one shared v2 connection: writes are serialized under wmu,
+// responses are matched to callers through the in-flight table by the
+// reader goroutine.
+type muxConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu       sync.Mutex
+	nextID   uint64
+	inflight map[uint64]chan muxReply
+	closed   bool
+	err      error // first connection-level failure
+}
+
+// register allocates a request ID and its reply channel.
+func (m *muxConn) register() (uint64, chan muxReply, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, nil, fmt.Errorf("%w: %v", errConnDead, m.err)
+	}
+	m.nextID++
+	id := m.nextID
+	ch := make(chan muxReply, 1)
+	m.inflight[id] = ch
+	return id, ch, nil
+}
+
+// deregister abandons a request (timeout); the late reply, if any, is
+// dropped by the reader.
+func (m *muxConn) deregister(id uint64) {
+	m.mu.Lock()
+	delete(m.inflight, id)
+	m.mu.Unlock()
+}
+
+// dead reports whether the connection has failed.
+func (m *muxConn) dead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// fail marks the connection dead and fails every in-flight request; the
+// first error wins. Safe to call from the reader and from writers.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.err = err
+	pending := m.inflight
+	m.inflight = nil
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, ch := range pending {
+		ch <- muxReply{err: fmt.Errorf("%w: %v", errConnDead, err)}
+	}
+}
+
+// readLoop demuxes responses until the connection fails.
+func (m *muxConn) readLoop() {
+	for {
+		t, id, body, err := wire.ReadFrameID(m.conn)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		ch := m.inflight[id]
+		delete(m.inflight, id)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- muxReply{t: t, body: body}
+		}
+		// A reply nobody waits for belonged to a timed-out request.
+	}
+}
+
+// do runs one pipelined request/response with a per-request reply timer.
+func (m *muxConn) do(t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+	id, ch, err := m.register()
+	if err != nil {
+		return 0, nil, err
+	}
+	m.wmu.Lock()
+	_ = m.conn.SetWriteDeadline(time.Now().Add(timeout))
+	werr := wire.WriteFrameID(m.conn, t, id, payload)
+	m.wmu.Unlock()
+	if werr != nil {
+		// A failed or partial write desynchronizes the stream for every
+		// user of the connection, not just this request.
+		m.fail(werr)
+		m.deregister(id)
+		return 0, nil, fmt.Errorf("%w: %v", errConnDead, werr)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.t, r.body, r.err
+	case <-timer.C:
+		m.deregister(id)
+		return 0, nil, timeoutError{}
+	}
+}
+
+// muxEntry is the per-address slot: at most one live muxConn, with the
+// entry mutex single-flighting the dial+handshake so a burst of callers
+// against a cold address performs one handshake, not N.
+type muxEntry struct {
+	mu   sync.Mutex
+	conn *muxConn
+}
+
+// muxTable routes addresses to shared connections, remembering which
+// addresses negotiated down to v1.
+type muxTable struct {
+	mu      sync.Mutex
+	entries map[string]*muxEntry
+	v1      map[string]bool
+}
+
+func (tb *muxTable) entry(addr string) (*muxEntry, bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.v1[addr] {
+		return nil, false
+	}
+	if tb.entries == nil {
+		tb.entries = make(map[string]*muxEntry)
+	}
+	e, ok := tb.entries[addr]
+	if !ok {
+		e = &muxEntry{}
+		tb.entries[addr] = e
+	}
+	return e, true
+}
+
+// markV1 pins addr to the v1 transport for the lifetime of the client.
+func (tb *muxTable) markV1(addr string) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.v1 == nil {
+		tb.v1 = make(map[string]bool)
+	}
+	tb.v1[addr] = true
+	delete(tb.entries, addr)
+}
+
+func (tb *muxTable) closeAll() {
+	tb.mu.Lock()
+	entries := tb.entries
+	tb.entries = nil
+	tb.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.conn != nil {
+			e.conn.fail(net.ErrClosed)
+			e.conn = nil
+		}
+		e.mu.Unlock()
+	}
+}
+
+// liveConns counts healthy shared connections (for the pool gauge).
+func (tb *muxTable) liveConns() int {
+	tb.mu.Lock()
+	entries := make([]*muxEntry, 0, len(tb.entries))
+	for _, e := range tb.entries {
+		entries = append(entries, e)
+	}
+	tb.mu.Unlock()
+	n := 0
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.conn != nil && !e.conn.dead() {
+			n++
+		}
+		e.mu.Unlock()
+	}
+	return n
+}
+
+// muxGet returns the live shared connection for addr, dialing and
+// handshaking one if needed. fresh reports a new dial. A previously
+// live connection found dead is cleared and reported as errStaleConn so
+// the retry loop replaces it observably — the same contract the v1 pool
+// had. errUseV1 reports a peer that only speaks v1.
+func (c *Cluster) muxGet(addr string, timeout time.Duration) (mc *muxConn, fresh bool, err error) {
+	e, ok := c.mux.entry(addr)
+	if !ok {
+		return nil, false, errUseV1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conn != nil {
+		if !e.conn.dead() {
+			return e.conn, false, nil
+		}
+		e.conn = nil
+		return nil, false, fmt.Errorf("%w: shared connection died idle", errStaleConn)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, true, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	version, err := helloExchange(conn, timeout)
+	if err != nil {
+		conn.Close()
+		if errors.Is(err, errUseV1) {
+			// True v1 peer: it answered MsgError and closed. Remember and
+			// fall back; we never hello this address again.
+			c.mux.markV1(addr)
+			return nil, true, errUseV1
+		}
+		return nil, true, err
+	}
+	if version < wire.Version2 {
+		c.mux.markV1(addr)
+		conn.Close()
+		return nil, true, errUseV1
+	}
+	mc = &muxConn{conn: conn, inflight: make(map[uint64]chan muxReply)}
+	e.conn = mc
+	go mc.readLoop()
+	return mc, true, nil
+}
+
+// helloExchange negotiates the protocol version on a fresh connection
+// using v1 framing, per DESIGN §7.
+func helloExchange(conn net.Conn, timeout time.Duration) (byte, error) {
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.AppendHello(nil, wire.Version2)); err != nil {
+		return 0, fmt.Errorf("client: hello write: %w", err)
+	}
+	t, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		return 0, fmt.Errorf("client: hello read: %w", err)
+	}
+	switch t {
+	case wire.MsgHelloAck:
+		v, err := wire.DecodeHelloAck(body)
+		if err != nil {
+			return 0, fmt.Errorf("client: %w", err)
+		}
+		return v, nil
+	case wire.MsgError:
+		// A v1 server rejects the unknown MsgHello frame — that IS the
+		// negotiation result.
+		return 0, errUseV1
+	default:
+		return 0, fmt.Errorf("client: unexpected hello reply %v", t)
+	}
+}

@@ -1,0 +1,406 @@
+// Tests for the v2 multiplexed transport, the batch cluster APIs and
+// the PR's client bugfixes (redial double-backoff, insert error
+// surfacing, stale reads after partial updates).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+// TestStaleRedialSkipsBackoffAndRetryCount is the regression test for
+// the double-backoff bug: a stale-conn redial on attempt ≥ 2 used to
+// re-enter the backoff branch, sleeping the same backoff twice and
+// double-counting retries for one logical retry. The transport seam
+// scripts the sequence that is impractical to stage over a real socket:
+// attempt 1 fails, the retry hits a stale conn, the redial succeeds.
+func TestStaleRedialSkipsBackoffAndRetryCount(t *testing.T) {
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS: 4, NumPrefixes: 48, AnnouncedFraction: 0.52, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWithConfig(resolver, map[int]string{0: "unused:0"}, Config{
+		Timeout:    time.Second,
+		OpDeadline: 5 * time.Second,
+		Retry:      RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	var calls int32
+	c.transport = func(addr string, mt wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+		switch atomic.AddInt32(&calls, 1) {
+		case 1:
+			return 0, nil, errors.New("connection reset")
+		case 2:
+			return 0, nil, errStaleConn
+		default:
+			return wire.MsgPong, nil, nil
+		}
+	}
+	rt, _, err := c.call(0, wire.MsgPing, nil, time.Now().Add(5*time.Second))
+	if err != nil || rt != wire.MsgPong {
+		t.Fatalf("call = %v, %v; want pong", rt, err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Errorf("transport invoked %d times, want 3", got)
+	}
+	s := c.Stats()
+	if s.Retries != 1 {
+		t.Errorf("retries = %d, want 1 (one logical retry; the redial must not double-count)", s.Retries)
+	}
+	if s.Redials != 1 {
+		t.Errorf("redials = %d, want 1", s.Redials)
+	}
+}
+
+// TestInsertSurfacesRejection: when every replica answers with a drain
+// rejection, the error must say so — "no replica reachable" is the
+// wrong diagnosis when every replica was reachable and said no.
+func TestInsertSurfacesRejection(t *testing.T) {
+	c, nodes := testCluster(t, 8, 2)
+	for _, n := range nodes {
+		n.Drain()
+	}
+	_, err := c.Insert(clusterEntry("refused-everywhere", 1))
+	if err == nil {
+		t.Fatal("insert into a fully draining cluster should fail")
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("err = %v, want errors.Is(_, ErrRejected)", err)
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("err = %q, want the rejection surfaced, not a reachability claim", err)
+	}
+	if strings.Contains(err.Error(), "no replica reachable") {
+		t.Errorf("err = %q misreports reachable-but-rejecting replicas as unreachable", err)
+	}
+}
+
+// TestLookupFastestPrefersFreshest is the stale-read regression test:
+// after a partial Update (only a subset of replicas has the new
+// version), LookupFastest must return the highest Version among the
+// answers it collects, not whichever replica answered first.
+func TestLookupFastestPrefersFreshest(t *testing.T) {
+	c, nodes := testCluster(t, 20, 3)
+	c.cfg.FreshnessWait = time.Second // ample grace: every replica answers in time
+
+	e1 := clusterEntry("stale-read", 1)
+	if _, err := c.Insert(e1); err != nil {
+		t.Fatal(err)
+	}
+	placements, err := cResolver(c).Place(e1.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make([]int, 0, len(placements))
+	seen := make(map[int]bool)
+	for _, p := range placements {
+		if !seen[p.AS] {
+			seen[p.AS] = true
+			distinct = append(distinct, p.AS)
+		}
+	}
+	if len(distinct) < 2 {
+		t.Skip("replicas collided on one AS; no partial update possible")
+	}
+	// Partial update: the new version lands everywhere EXCEPT the first
+	// placement — the replica a sequential walk would consult first and
+	// a fastest-first race can easily hear from first.
+	e2 := clusterEntry("stale-read", 2)
+	for _, as := range distinct[1:] {
+		if _, err := nodes[as].Store().Put(e2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.LookupFastest(e1.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Errorf("LookupFastest returned Version %d, want 2 (stale read from the non-updated replica)", got.Version)
+	}
+}
+
+// TestLookupFastestCountsFailovers: replicas that fail while another
+// answers are read-path failovers and must be counted (the counter
+// never moved on this path before).
+func TestLookupFastestCountsFailovers(t *testing.T) {
+	c, nodes := testCluster(t, 20, 3)
+	c.cfg.Retry = RetryPolicy{MaxAttempts: 1, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}.withDefaults()
+
+	// Pick a GUID whose three replicas land on three distinct ASs, so
+	// "two dead replicas" is exactly two dead nodes.
+	var (
+		e          store.Entry
+		placements []core.Placement
+	)
+	for i := 0; i < 200; i++ {
+		cand := clusterEntry(fmt.Sprintf("failover-read-%d", i), 1)
+		p, err := cResolver(c).Place(cand.GUID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0].AS != p[1].AS && p[1].AS != p[2].AS && p[0].AS != p[2].AS {
+			e, placements = cand, p
+			break
+		}
+	}
+	if placements == nil {
+		t.Skip("no GUID with three distinct replica ASs in 200 tries")
+	}
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first two replicas; the third still answers.
+	for _, p := range placements[:2] {
+		if err := nodes[p.AS].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.LookupFastest(e.GUID)
+	if err != nil {
+		t.Fatalf("lookup with one live replica: %v", err)
+	}
+	if got.GUID != e.GUID {
+		t.Error("wrong entry")
+	}
+	if s := c.Stats(); s.Failovers != 2 {
+		t.Errorf("failovers = %d, want 2 (two dead replicas looked past)", s.Failovers)
+	}
+}
+
+// TestMuxHammer drives one address from many goroutines through the
+// shared multiplexed connection (run under -race by scripts/check.sh).
+// Exactly one dial must serve all of it — pool drops and per-caller
+// dials are impossible by construction on the v2 path.
+func TestMuxHammer(t *testing.T) {
+	c, _ := testCluster(t, 1, 1) // single-AS world: every GUID lands on one node
+	const (
+		goroutines = 32
+		perG       = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				e := clusterEntry(fmt.Sprintf("hammer-%d-%d", g, i), uint64(i+1))
+				if _, err := c.Insert(e); err != nil {
+					errs <- fmt.Errorf("insert %d/%d: %w", g, i, err)
+					return
+				}
+				got, err := c.Lookup(e.GUID)
+				if err != nil {
+					errs <- fmt.Errorf("lookup %d/%d: %w", g, i, err)
+					return
+				}
+				if got.GUID != e.GUID {
+					errs <- fmt.Errorf("lookup %d/%d returned wrong entry", g, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := c.Stats(); s.Dials != 1 {
+		t.Errorf("dials = %d, want 1 (one shared conn for %d goroutines)", s.Dials, goroutines)
+	}
+}
+
+// TestForceV1Interop pins the client to the sequential v1 protocol
+// against a v2 server: the upgrade must be opt-in on the wire, so old
+// clients keep working unchanged.
+func TestForceV1Interop(t *testing.T) {
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS: 8, NumPrefixes: 96, AnnouncedFraction: 0.52, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(3, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, addrs := startNodes(t, 8)
+	c, err := NewWithConfig(resolver, addrs, Config{Timeout: time.Second, ForceV1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	e := clusterEntry("v1-peer", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(e.GUID)
+	if err != nil || got.GUID != e.GUID {
+		t.Fatalf("v1 lookup = %+v, %v", got, err)
+	}
+	// The batch API still works for a v1-pinned client: batch frames are
+	// legal in sequential framing too (one at a time).
+	entries := []store.Entry{clusterEntry("v1-batch-a", 1), clusterEntry("v1-batch-b", 1)}
+	acks, err := c.InsertBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range acks {
+		if n == 0 {
+			t.Errorf("batch entry %d got no acks over v1", i)
+		}
+	}
+	held := 0
+	for _, n := range nodes {
+		if _, ok := n.Store().Get(entries[0].GUID); ok {
+			held++
+		}
+	}
+	if held == 0 {
+		t.Error("no node holds the batch-inserted entry")
+	}
+}
+
+func startNodes(t *testing.T, numAS int) ([]*server.Node, map[int]string) {
+	t.Helper()
+	nodes := make([]*server.Node, numAS)
+	addrs := make(map[int]string, numAS)
+	for as := 0; as < numAS; as++ {
+		n := server.New(nil, nil)
+		addr, err := n.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[as] = n
+		addrs[as] = addr
+		t.Cleanup(func() { n.Close() })
+	}
+	return nodes, addrs
+}
+
+// TestInsertBatchLookupBatch exercises the batched fan-out end to end:
+// per-replica grouping, per-entry ack counts, round-based lookup with
+// misses rolling to later replicas.
+func TestInsertBatchLookupBatch(t *testing.T) {
+	c, nodes := testCluster(t, 24, 5)
+	const n = 40
+	entries := make([]store.Entry, n)
+	for i := range entries {
+		entries[i] = clusterEntry(fmt.Sprintf("batch-%d", i), uint64(i+1))
+	}
+	acks, err := c.InsertBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != n {
+		t.Fatalf("acks for %d entries, want %d", len(acks), n)
+	}
+	for i, a := range acks {
+		if a < 1 || a > 5 {
+			t.Errorf("entry %d acked by %d replicas, want 1..5", i, a)
+		}
+	}
+	// Every entry is really on some node.
+	for i := range entries {
+		held := 0
+		for _, nd := range nodes {
+			if got, ok := nd.Store().Get(entries[i].GUID); ok && got.Version == entries[i].Version {
+				held++
+			}
+		}
+		if held == 0 {
+			t.Errorf("entry %d not held by any node", i)
+		}
+	}
+
+	gs := make([]guid.GUID, 0, n+5)
+	for i := range entries {
+		gs = append(gs, entries[i].GUID)
+	}
+	for i := 0; i < 5; i++ {
+		gs = append(gs, guid.New(fmt.Sprintf("nobody-%d", i)))
+	}
+	got, found, err := c.LookupBatch(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !found[i] {
+			t.Errorf("GUID %d not found", i)
+			continue
+		}
+		if got[i].GUID != gs[i] || got[i].Version != entries[i].Version {
+			t.Errorf("GUID %d resolved to %+v", i, got[i])
+		}
+	}
+	for i := n; i < n+5; i++ {
+		if found[i] {
+			t.Errorf("unknown GUID %d reported found", i)
+		}
+	}
+}
+
+// TestBatchChunking pushes one replica past wire.MaxBatch so the chunker
+// must split the fan-out into multiple frames.
+func TestBatchChunking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c, nodes := testCluster(t, 1, 1)
+	n := wire.MaxBatch + 88
+	entries := make([]store.Entry, n)
+	for i := range entries {
+		entries[i] = clusterEntry(fmt.Sprintf("chunk-%d", i), 1)
+	}
+	acks, err := c.InsertBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range acks {
+		if a != 1 {
+			t.Fatalf("entry %d acked %d times, want 1", i, a)
+		}
+	}
+	if got := nodes[0].Stats().Inserts; got != int64(n) {
+		t.Errorf("node served %d inserts, want %d", got, n)
+	}
+	gs := make([]guid.GUID, n)
+	for i := range gs {
+		gs[i] = entries[i].GUID
+	}
+	_, found, err := c.LookupBatch(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range found {
+		if !found[i] {
+			t.Fatalf("GUID %d missing after chunked insert", i)
+		}
+	}
+}

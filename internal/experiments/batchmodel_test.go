@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUpdateBatchFrameModel checks the batched wire-frame accounting:
+// Batch=1 must cost exactly NumUpdates×K frames (one per replica
+// write), a large batch must cost dramatically fewer, and the latency
+// numbers must be untouched by the batch size (batching moves bytes,
+// not replicas).
+func TestUpdateBatchFrameModel(t *testing.T) {
+	w := testWorld(t)
+	cfg := UpdateConfig{Ks: []int{1, 5}, NumUpdates: 5000, Seed: 8}
+	seq, err := RunUpdate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Batch = 512
+	batched, err := RunUpdate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range cfg.Ks {
+		want := int64(cfg.NumUpdates * k)
+		if seq.Frames[k] != want {
+			t.Errorf("K=%d sequential frames = %d, want %d", k, seq.Frames[k], want)
+		}
+		// Batching can only help, bounded below by perfect packing.
+		if batched.Frames[k] >= seq.Frames[k] {
+			t.Errorf("K=%d batched frames = %d, want below sequential %d", k, batched.Frames[k], seq.Frames[k])
+		}
+		if lower := (seq.Frames[k] + 511) / 512; batched.Frames[k] < lower {
+			t.Errorf("K=%d batched frames = %d below the perfect-packing bound %d", k, batched.Frames[k], lower)
+		}
+		if batched.PerK[k].Mean() != seq.PerK[k].Mean() {
+			t.Errorf("K=%d batching changed the latency distribution", k)
+		}
+	}
+	if strings.Contains(seq.String(), "frames") {
+		t.Error("Batch=1 rendering must stay byte-compatible with the sequential table")
+	}
+	if !strings.Contains(batched.String(), "frames(B=512)") {
+		t.Error("batched rendering missing the frames column")
+	}
+}
+
+// TestQueryLoadBatchFrameModel: same accounting on the read path, and
+// the load-balance metrics must not move with the batch size.
+func TestQueryLoadBatchFrameModel(t *testing.T) {
+	w := testWorld(t)
+	cfg := QueryLoadConfig{Ks: []int{5}, NumGUIDs: 400, NumLookups: 6000, Seed: 9}
+	seq, err := RunQueryLoad(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Batch = 256
+	batched, err := RunQueryLoad(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rows[0].Frames != int64(cfg.NumLookups) {
+		t.Errorf("sequential frames = %d, want %d", seq.Rows[0].Frames, cfg.NumLookups)
+	}
+	if batched.Rows[0].Frames >= seq.Rows[0].Frames {
+		t.Errorf("batched frames = %d, want below sequential %d", batched.Rows[0].Frames, seq.Rows[0].Frames)
+	}
+	if lower := (seq.Rows[0].Frames + 255) / 256; batched.Rows[0].Frames < lower {
+		t.Errorf("batched frames = %d below the perfect-packing bound %d", batched.Rows[0].Frames, lower)
+	}
+	if batched.Rows[0].MaxShare != seq.Rows[0].MaxShare || batched.Rows[0].NLRp99 != seq.Rows[0].NLRp99 {
+		t.Error("batch size changed the load-balance metrics")
+	}
+	if !strings.Contains(batched.String(), "frames(B=256)") {
+		t.Error("batched rendering missing the frames column")
+	}
+}

@@ -30,6 +30,13 @@ type QueryLoadConfig struct {
 	// Workers bounds the evaluation parallelism (0 = GOMAXPROCS, 1 =
 	// serial reference); results are identical for every setting.
 	Workers int
+	// Batch models the v2 batched wire protocol: lookups from one
+	// source AS to one serving AS share frames, up to Batch GUIDs per
+	// frame. ≤ 1 models the sequential v1 protocol (one frame per
+	// lookup). Load *shares* are unchanged — batching moves bytes, not
+	// placement — but the frame counts show what the serving ASs
+	// actually field.
+	Batch int
 }
 
 // QueryLoadRow summarizes one K.
@@ -43,11 +50,16 @@ type QueryLoadRow struct {
 	// NLRp99 is the 99th percentile of the per-AS query NLR (share of
 	// queries ÷ share of announced space).
 	NLRp99 float64
+	// Frames is the wire-frame count under the configured batch size:
+	// Σ over (source AS, serving AS) pairs of ⌈lookups/Batch⌉.
+	Frames int64
 }
 
 // QueryLoadResult holds one row per K.
 type QueryLoadResult struct {
 	Rows []QueryLoadRow
+	// Batch echoes the modeled batch size (1 = sequential v1).
+	Batch int
 }
 
 // RunQueryLoad evaluates query-serving concentration.
@@ -72,7 +84,11 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 		shares[as] = s / announced
 	}
 
-	res := &QueryLoadResult{Rows: make([]QueryLoadRow, 0, len(cfg.Ks))}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	res := &QueryLoadResult{Rows: make([]QueryLoadRow, 0, len(cfg.Ks)), Batch: batch}
 
 	for _, k := range cfg.Ks {
 		resolver, err := core.NewResolver(guid.MustHasher(k, 0), w.Table, 0)
@@ -105,9 +121,13 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 		}
 		sort.Ints(srcs)
 
+		type queryUnit struct {
+			served map[int]int
+			frames int64
+		}
 		units, err := engine.Map(cfg.Workers, len(srcs),
 			func() []topology.Micros { return make([]topology.Micros, w.NumAS()) },
-			func(u int, dist []topology.Micros) (map[int]int, error) {
+			func(u int, dist []topology.Micros) (queryUnit, error) {
 				src := srcs[u]
 				w.Graph.Dijkstra(src, dist)
 				served := make(map[int]int)
@@ -121,16 +141,22 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 					}
 					served[best]++
 				}
-				return served, nil
+				var frames int64
+				for _, n := range served {
+					frames += int64((n + batch - 1) / batch)
+				}
+				return queryUnit{served: served, frames: frames}, nil
 			})
 		if err != nil {
 			return nil, err
 		}
 		served := make(map[int]int, w.NumAS())
+		var frames int64
 		for _, u := range units {
-			for as, n := range u {
+			for as, n := range u.served {
 				served[as] += n
 			}
+			frames += u.frames
 		}
 
 		counts := make([]int, 0, len(served))
@@ -139,7 +165,7 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 		}
 		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
 		total := float64(cfg.NumLookups)
-		row := QueryLoadRow{K: k, MaxShare: float64(counts[0]) / total}
+		row := QueryLoadRow{K: k, MaxShare: float64(counts[0]) / total, Frames: frames}
 		for i := 0; i < 10 && i < len(counts); i++ {
 			row.Top10Share += float64(counts[i]) / total
 		}
@@ -149,9 +175,19 @@ func RunQueryLoad(w *World, cfg QueryLoadConfig) (*QueryLoadResult, error) {
 	return res, nil
 }
 
-// String renders the query-load table.
+// String renders the query-load table. With Batch > 1 it adds the
+// modeled wire-frame count per K; the Batch ≤ 1 rendering is unchanged
+// from the sequential protocol's.
 func (r *QueryLoadResult) String() string {
 	var b strings.Builder
+	if r.Batch > 1 {
+		fmt.Fprintf(&b, "%-4s %12s %12s %12s %12s\n", "K", "maxAS share", "top-10 share", "queryNLR p99", fmt.Sprintf("frames(B=%d)", r.Batch))
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-4d %11.2f%% %11.2f%% %12.1f %12d\n",
+				row.K, 100*row.MaxShare, 100*row.Top10Share, row.NLRp99, row.Frames)
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-4s %12s %12s %12s\n", "K", "maxAS share", "top-10 share", "queryNLR p99")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%-4d %11.2f%% %11.2f%% %12.1f\n",

@@ -29,13 +29,28 @@ type UpdateConfig struct {
 	// Workers bounds the evaluation parallelism (0 = GOMAXPROCS, 1 =
 	// serial reference); results are identical for every setting.
 	Workers int
+	// Batch models the v2 batched wire protocol: updates from one
+	// source AS to one replica AS share frames, up to Batch entries per
+	// frame (wire.MaxBatch on the real path). ≤ 1 models the sequential
+	// v1 protocol: one frame per (update, replica). Latency is
+	// unaffected — replicas are still written in parallel — but the
+	// frame count, the actual per-message cost §VI's update rates
+	// multiply, drops by up to Batch×.
+	Batch int
 }
 
-// UpdateResult holds the per-K update-latency distributions (ms) and the
-// per-K fraction of updates completing within the 500 ms handoff budget.
+// UpdateResult holds the per-K update-latency distributions (ms), the
+// per-K fraction of updates completing within the 500 ms handoff
+// budget, and the per-K wire-frame counts under the configured batch
+// size.
 type UpdateResult struct {
 	PerK         map[int]*stats.Collector
 	WithinBudget map[int]float64
+	// Frames is the number of wire frames the update stream costs per K:
+	// Σ over (source AS, replica AS) pairs of ⌈updates/Batch⌉.
+	Frames map[int]int64
+	// Batch echoes the modeled batch size (1 = sequential v1).
+	Batch int
 }
 
 // HandoffBudgetMs is the conservative end of the paper's cited handoff
@@ -85,9 +100,18 @@ func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
 	}
 	sort.Ints(sources)
 
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+
 	type updateScratch struct {
 		dist      []topology.Micros
 		replicaAS []int
+	}
+	type updateUnit struct {
+		cols   []*stats.Collector
+		frames []int64 // per-K wire frames from this source
 	}
 	units, err := engine.Map(cfg.Workers, len(sources),
 		func() *updateScratch {
@@ -96,20 +120,29 @@ func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
 				replicaAS: make([]int, maxK),
 			}
 		},
-		func(u int, sc *updateScratch) ([]*stats.Collector, error) {
+		func(u int, sc *updateScratch) (updateUnit, error) {
 			s := sources[u]
 			guids := bySrc[s]
 			w.Graph.Dijkstra(s, sc.dist)
-			cols := make([]*stats.Collector, len(cfg.Ks))
-			for i := range cols {
-				cols[i] = stats.NewCollector(len(guids))
+			out := updateUnit{
+				cols:   make([]*stats.Collector, len(cfg.Ks)),
+				frames: make([]int64, len(cfg.Ks)),
+			}
+			for i := range out.cols {
+				out.cols[i] = stats.NewCollector(len(guids))
+			}
+			// perAS[i] counts updates from this source per replica AS at
+			// K = cfg.Ks[i], for the batched frame model.
+			perAS := make([]map[int]int, len(cfg.Ks))
+			for i := range perAS {
+				perAS[i] = make(map[int]int)
 			}
 			for _, gi := range guids {
 				g := guid.FromUint64(uint64(gi))
 				for r := 0; r < maxK; r++ {
 					p, err := resolver.PlaceReplica(g, r)
 					if err != nil {
-						return nil, err
+						return updateUnit{}, err
 					}
 					sc.replicaAS[r] = p.AS
 				}
@@ -119,11 +152,17 @@ func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
 						if rtt := w.Graph.RTT(s, sc.replicaAS[r], sc.dist); rtt > max {
 							max = rtt
 						}
+						perAS[i][sc.replicaAS[r]]++
 					}
-					cols[i].Add(max.Millis())
+					out.cols[i].Add(max.Millis())
 				}
 			}
-			return cols, nil
+			for i := range cfg.Ks {
+				for _, n := range perAS[i] {
+					out.frames[i] += int64((n + batch - 1) / batch)
+				}
+			}
+			return out, nil
 		})
 	if err != nil {
 		return nil, err
@@ -132,19 +171,26 @@ func RunUpdate(w *World, cfg UpdateConfig) (*UpdateResult, error) {
 	res := &UpdateResult{
 		PerK:         make(map[int]*stats.Collector, len(cfg.Ks)),
 		WithinBudget: make(map[int]float64, len(cfg.Ks)),
+		Frames:       make(map[int]int64, len(cfg.Ks)),
+		Batch:        batch,
 	}
 	for i, k := range cfg.Ks {
 		col := stats.NewCollector(cfg.NumUpdates)
+		var frames int64
 		for _, u := range units {
-			col.Merge(u[i])
+			col.Merge(u.cols[i])
+			frames += u.frames[i]
 		}
 		res.PerK[k] = col
 		res.WithinBudget[k] = col.FractionBelow(HandoffBudgetMs)
+		res.Frames[k] = frames
 	}
 	return res, nil
 }
 
-// String renders the update-latency table.
+// String renders the update-latency table. With Batch > 1 it adds the
+// modeled wire-frame count per K; the Batch ≤ 1 rendering is unchanged
+// from the sequential protocol's.
 func (r *UpdateResult) String() string {
 	ks := make([]int, 0, len(r.PerK))
 	for k := range r.PerK {
@@ -152,6 +198,15 @@ func (r *UpdateResult) String() string {
 	}
 	sort.Ints(ks)
 	var b strings.Builder
+	if r.Batch > 1 {
+		fmt.Fprintf(&b, "%-4s %10s %10s %10s %16s %12s\n", "K", "mean(ms)", "median(ms)", "p95(ms)", "within 500ms", fmt.Sprintf("frames(B=%d)", r.Batch))
+		for _, k := range ks {
+			c := r.PerK[k]
+			fmt.Fprintf(&b, "%-4d %10.1f %10.1f %10.1f %15.2f%% %12d\n",
+				k, c.Mean(), c.Median(), c.Percentile(95), 100*r.WithinBudget[k], r.Frames[k])
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-4s %10s %10s %10s %16s\n", "K", "mean(ms)", "median(ms)", "p95(ms)", "within 500ms")
 	for _, k := range ks {
 		c := r.PerK[k]

@@ -63,6 +63,15 @@ type Node struct {
 	hInsert *metrics.Histogram
 	hLookup *metrics.Histogram
 	hDelete *metrics.Histogram
+	// v2 pipelined-path instrumentation: requests currently being
+	// handled across all multiplexed connections, entries/GUIDs per
+	// batch frame, and per-frame service time for the batch ops.
+	inflight   *metrics.Gauge
+	hBatchSize *metrics.Histogram
+	hBatchIns  *metrics.Histogram
+	hBatchLkp  *metrics.Histogram
+	v2Conns    *metrics.Counter
+	v2Frames   *metrics.Counter
 }
 
 // Stats counts served operations.
@@ -104,6 +113,13 @@ func New(st *store.Store, logger *log.Logger) *Node {
 		hInsert: reg.Histogram("server.op.insert_us"),
 		hLookup: reg.Histogram("server.op.lookup_us"),
 		hDelete: reg.Histogram("server.op.delete_us"),
+
+		inflight:   reg.Gauge("server.inflight"),
+		hBatchSize: reg.Histogram("server.batch_size"),
+		hBatchIns:  reg.Histogram("server.op.batch_insert_us"),
+		hBatchLkp:  reg.Histogram("server.op.batch_lookup_us"),
+		v2Conns:    reg.Counter("server.v2_conns"),
+		v2Frames:   reg.Counter("server.v2_frames"),
 	}
 	st.Instrument(reg, "store")
 	reg.GaugeFunc("server.conns", func() float64 {
@@ -247,12 +263,146 @@ func (n *Node) replyErrAndClose(conn net.Conn, reason string) {
 	_ = wire.WriteFrame(conn, wire.MsgError, wire.AppendError(nil, reason))
 }
 
-// serveConn processes frames until the peer disconnects. The protocol is
-// strictly request/response per connection; clients pipeline by opening
-// several connections.
+// handle executes one decoded request and returns the response frame.
+// It is shared by the sequential v1 loop and the concurrent v2 loop and
+// is safe for concurrent use: the store has its own locking and every
+// counter is atomic. fatal reports a malformed or unknown frame — v1
+// closes the connection after replying (its anonymous framing gives no
+// way to resynchronize blame), while v2 replies under the offending
+// request ID and keeps the connection (identified framing stays intact).
+func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType wire.MsgType, out []byte, fatal bool) {
+	start := time.Now()
+	switch t {
+	case wire.MsgInsert:
+		if n.draining.Load() {
+			n.rejects.Add(1)
+			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
+		}
+		e, _, err := wire.DecodeEntry(payload)
+		if err != nil {
+			n.badReqs.Add(1)
+			n.logger.Printf("bad insert from %s: %v", remote, err)
+			return wire.MsgError, wire.AppendError(nil, "malformed insert"), true
+		}
+		if _, err := n.store.Put(e); err != nil {
+			// A store-level refusal (validation) is the peer's fault;
+			// reject the request without tearing down the connection.
+			n.countErr()
+			n.logger.Printf("put: %v", err)
+			return wire.MsgError, wire.AppendError(nil, "store rejected entry"), false
+		}
+		n.inserts.Add(1)
+		n.hInsert.ObserveSince(start)
+		return wire.MsgInsertAck, nil, false
+
+	case wire.MsgLookup:
+		g, _, err := wire.DecodeGUID(payload)
+		if err != nil {
+			n.badReqs.Add(1)
+			return wire.MsgError, wire.AppendError(nil, "malformed lookup"), true
+		}
+		e, ok := n.store.Get(g)
+		n.lookups.Add(1)
+		if ok {
+			n.hits.Add(1)
+		}
+		out, err = wire.AppendLookupResp(nil, wire.LookupResp{Found: ok, Entry: e})
+		if err != nil {
+			n.countErr()
+			return wire.MsgError, wire.AppendError(nil, "internal error"), false
+		}
+		n.hLookup.ObserveSince(start)
+		return wire.MsgLookupResp, out, false
+
+	case wire.MsgDelete:
+		if n.draining.Load() {
+			n.rejects.Add(1)
+			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
+		}
+		g, _, err := wire.DecodeGUID(payload)
+		if err != nil {
+			n.badReqs.Add(1)
+			return wire.MsgError, wire.AppendError(nil, "malformed delete"), true
+		}
+		existed := n.store.Delete(g)
+		n.deletes.Add(1)
+		flag := byte(0)
+		if existed {
+			flag = 1
+		}
+		n.hDelete.ObserveSince(start)
+		return wire.MsgDeleteAck, []byte{flag}, false
+
+	case wire.MsgPing:
+		return wire.MsgPong, nil, false
+
+	case wire.MsgBatchInsert:
+		if n.draining.Load() {
+			n.rejects.Add(1)
+			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
+		}
+		entries, err := wire.DecodeBatchInsert(payload)
+		if err != nil {
+			n.badReqs.Add(1)
+			n.logger.Printf("bad batch insert from %s: %v", remote, err)
+			return wire.MsgError, wire.AppendError(nil, "malformed batch insert"), true
+		}
+		n.hBatchSize.Observe(float64(len(entries)))
+		acked := make([]bool, len(entries))
+		for i, e := range entries {
+			if _, err := n.store.Put(e); err != nil {
+				n.countErr()
+				continue
+			}
+			acked[i] = true
+			n.inserts.Add(1)
+		}
+		out, err = wire.AppendBatchInsertAck(nil, acked)
+		if err != nil {
+			n.countErr()
+			return wire.MsgError, wire.AppendError(nil, "internal error"), false
+		}
+		n.hBatchIns.ObserveSince(start)
+		return wire.MsgBatchInsertAck, out, false
+
+	case wire.MsgBatchLookup:
+		gs, err := wire.DecodeBatchLookup(payload)
+		if err != nil {
+			n.badReqs.Add(1)
+			n.logger.Printf("bad batch lookup from %s: %v", remote, err)
+			return wire.MsgError, wire.AppendError(nil, "malformed batch lookup"), true
+		}
+		n.hBatchSize.Observe(float64(len(gs)))
+		rs := make([]wire.LookupResp, len(gs))
+		for i, g := range gs {
+			e, ok := n.store.Get(g)
+			rs[i] = wire.LookupResp{Found: ok, Entry: e}
+			n.lookups.Add(1)
+			if ok {
+				n.hits.Add(1)
+			}
+		}
+		out, err = wire.AppendBatchLookupResp(nil, rs)
+		if err != nil {
+			n.countErr()
+			return wire.MsgError, wire.AppendError(nil, "internal error"), false
+		}
+		n.hBatchLkp.ObserveSince(start)
+		return wire.MsgBatchLookupResp, out, false
+
+	default:
+		n.countErr()
+		n.logger.Printf("unknown frame %v from %s", t, remote)
+		return wire.MsgError, wire.AppendError(nil, "unknown frame type"), true
+	}
+}
+
+// serveConn processes frames until the peer disconnects. A connection
+// starts in sequential v1 framing (strictly request/response); a client
+// that sends MsgHello upgrades it to the multiplexed v2 protocol. v1
+// clients never send MsgHello and keep the sequential loop forever.
 func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
-	var out []byte
 	for {
 		t, payload, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -261,89 +411,88 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		start := time.Now()
-		out = out[:0]
-		var respType wire.MsgType
-		switch t {
-		case wire.MsgInsert:
-			if n.draining.Load() {
-				n.rejects.Add(1)
-				respType, out = wire.MsgError, wire.AppendError(out, "draining: writes refused")
-				break
-			}
-			e, _, err := wire.DecodeEntry(payload)
+		if t == wire.MsgHello {
+			v, err := wire.DecodeHello(payload)
 			if err != nil {
 				n.badReqs.Add(1)
-				n.logger.Printf("bad insert from %s: %v", conn.RemoteAddr(), err)
-				n.replyErrAndClose(conn, "malformed insert")
+				n.replyErrAndClose(conn, "malformed hello")
 				return
 			}
-			if _, err := n.store.Put(e); err != nil {
-				// A store-level refusal (validation) is the peer's fault;
-				// reject the request without tearing down the connection.
-				n.countErr()
-				n.logger.Printf("put: %v", err)
-				respType, out = wire.MsgError, wire.AppendError(out, "store rejected entry")
-				break
+			if v > wire.Version2 {
+				v = wire.Version2
 			}
-			n.inserts.Add(1)
-			n.hInsert.ObserveSince(start)
-			respType = wire.MsgInsertAck
-
-		case wire.MsgLookup:
-			g, _, err := wire.DecodeGUID(payload)
-			if err != nil {
-				n.badReqs.Add(1)
-				n.replyErrAndClose(conn, "malformed lookup")
+			if err := wire.WriteFrame(conn, wire.MsgHelloAck, wire.AppendHelloAck(nil, v)); err != nil {
 				return
 			}
-			e, ok := n.store.Get(g)
-			n.lookups.Add(1)
-			if ok {
-				n.hits.Add(1)
-			}
-			out, err = wire.AppendLookupResp(out, wire.LookupResp{Found: ok, Entry: e})
-			if err != nil {
-				n.countErr()
+			if v >= wire.Version2 {
+				n.v2Conns.Add(1)
+				n.serveConnV2(conn)
 				return
 			}
-			n.hLookup.ObserveSince(start)
-			respType = wire.MsgLookupResp
-
-		case wire.MsgDelete:
-			if n.draining.Load() {
-				n.rejects.Add(1)
-				respType, out = wire.MsgError, wire.AppendError(out, "draining: writes refused")
-				break
-			}
-			g, _, err := wire.DecodeGUID(payload)
-			if err != nil {
-				n.badReqs.Add(1)
-				n.replyErrAndClose(conn, "malformed delete")
-				return
-			}
-			existed := n.store.Delete(g)
-			n.deletes.Add(1)
-			flag := byte(0)
-			if existed {
-				flag = 1
-			}
-			out = append(out, flag)
-			n.hDelete.ObserveSince(start)
-			respType = wire.MsgDeleteAck
-
-		case wire.MsgPing:
-			respType = wire.MsgPong
-
-		default:
-			n.countErr()
-			n.logger.Printf("unknown frame %v from %s", t, conn.RemoteAddr())
-			n.replyErrAndClose(conn, "unknown frame type")
+			continue // negotiated v1: stay sequential
+		}
+		respType, out, fatal := n.handle(t, payload, conn.RemoteAddr())
+		if fatal {
+			// Anonymous framing cannot attribute the error to a request;
+			// reply and close so the peer does not mispair responses.
+			_ = wire.WriteFrame(conn, respType, out)
 			return
 		}
 		if err := wire.WriteFrame(conn, respType, out); err != nil {
 			n.logger.Printf("write %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+	}
+}
+
+// maxConnWorkers bounds concurrent handlers per v2 connection. Beyond
+// this, reads pause and TCP backpressure throttles the peer — a
+// misbehaving client cannot fan unbounded goroutines out of one socket.
+const maxConnWorkers = 32
+
+// serveConnV2 processes identified frames concurrently: each request is
+// handled on its own goroutine (bounded by maxConnWorkers) and responses
+// are written under a per-connection mutex in completion order, which is
+// the whole point — a slow batch insert does not block the pings behind
+// it. Responses carry the request ID they answer; ordering is the
+// client demuxer's job.
+func (n *Node) serveConnV2(conn net.Conn) {
+	var (
+		wg  sync.WaitGroup
+		wmu sync.Mutex // serializes response writes
+	)
+	sem := make(chan struct{}, maxConnWorkers)
+	defer wg.Wait()
+	for {
+		t, id, payload, err := wire.ReadFrameID(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.logger.Printf("read v2 %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		n.v2Frames.Add(1)
+		sem <- struct{}{}
+		wg.Add(1)
+		n.inflight.Add(1)
+		go func(t wire.MsgType, id uint64, payload []byte) {
+			defer func() {
+				n.inflight.Add(-1)
+				<-sem
+				wg.Done()
+			}()
+			// fatal is ignored: a malformed payload under identified
+			// framing is answered with MsgError on its own request ID
+			// and the connection stays usable — only a framing-layer
+			// error (handled by the read loop) desynchronizes the
+			// stream.
+			respType, out, _ := n.handle(t, payload, conn.RemoteAddr())
+			wmu.Lock()
+			err := wire.WriteFrameID(conn, respType, id, out)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close() // unblocks the read loop
+			}
+		}(t, id, payload)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"dmap/internal/guid"
 	"dmap/internal/netaddr"
 	"dmap/internal/store"
 )
@@ -118,4 +119,125 @@ func FuzzReadFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _ = ReadFrame(bytes.NewReader(data))
 	})
+}
+
+// FuzzDecodeFrameV2 covers the identified (v2) frame path: header with
+// request ID via ReadFrameID, then the per-type payload decoder —
+// including the batch codecs and handshake bodies. Accepted frames must
+// round-trip canonically through WriteFrameID with the same ID, and the
+// per-type decoders must be panic-free.
+func FuzzDecodeFrameV2(f *testing.F) {
+	var seed bytes.Buffer
+	entry, _ := AppendEntry(nil, store.Entry{
+		GUID:    [20]byte{9},
+		NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(198, 51, 100, 7)}},
+		Version: 3,
+	})
+	batch, _ := AppendBatchInsert(nil, []store.Entry{
+		{GUID: [20]byte{1}, NAs: []store.NA{{AS: 2, Addr: netaddr.AddrFromOctets(10, 0, 0, 9)}}, Version: 1},
+		{GUID: [20]byte{2}, NAs: []store.NA{{AS: 3, Addr: netaddr.AddrFromOctets(10, 0, 0, 8)}}, Version: 2},
+	})
+	_ = WriteFrameID(&seed, MsgBatchInsert, 1, batch)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	lookups, _ := AppendBatchLookup(nil, []guid.GUID{{1}, {2}, {3}})
+	_ = WriteFrameID(&seed, MsgBatchLookup, 2, lookups)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	resp, _ := AppendBatchLookupResp(nil, []LookupResp{{}, {Found: true, Entry: mustEntry(entry)}})
+	_ = WriteFrameID(&seed, MsgBatchLookupResp, 3, resp)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	acks, _ := AppendBatchInsertAck(nil, []bool{true, false})
+	_ = WriteFrameID(&seed, MsgBatchInsertAck, 4, acks)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	_ = WriteFrameID(&seed, MsgInsert, 5, entry)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	// Hostile shapes: length below the ID width, huge length claim.
+	f.Add([]byte{0, 0, 0, 3, byte(MsgPing), 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgBatchInsert), 0, 0, 0, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, id, payload, err := ReadFrameID(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		if want := 13 + len(payload); consumed != want {
+			t.Fatalf("ReadFrameID consumed %d bytes, want header+payload = %d", consumed, want)
+		}
+		var out bytes.Buffer
+		if err := WriteFrameID(&out, typ, id, payload); err != nil {
+			t.Fatalf("accepted frame fails re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatal("re-encoded frame differs from accepted bytes")
+		}
+		switch typ {
+		case MsgInsert:
+			_, _, _ = DecodeEntry(payload)
+		case MsgLookup, MsgDelete:
+			_, _, _ = DecodeGUID(payload)
+		case MsgLookupResp:
+			_, _ = DecodeLookupResp(payload)
+		case MsgError:
+			_, _ = DecodeError(payload)
+		case MsgHello:
+			_, _ = DecodeHello(payload)
+		case MsgHelloAck:
+			_, _ = DecodeHelloAck(payload)
+		case MsgBatchInsert:
+			_, _ = DecodeBatchInsert(payload)
+		case MsgBatchInsertAck:
+			_, _ = DecodeBatchInsertAck(payload)
+		case MsgBatchLookup:
+			_, _ = DecodeBatchLookup(payload)
+		case MsgBatchLookupResp:
+			_, _ = DecodeBatchLookupResp(payload)
+		}
+	})
+}
+
+// FuzzDecodeBatchInsert checks the batch entry codec never panics and
+// re-encodes canonically.
+func FuzzDecodeBatchInsert(f *testing.F) {
+	seed, _ := AppendBatchInsert(nil, []store.Entry{
+		{GUID: [20]byte{4}, NAs: []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(10, 1, 2, 3)}}, Version: 7},
+	})
+	f.Add(seed)
+	f.Add([]byte{0, 1})
+	f.Add(bytes.Repeat([]byte{0xAA}, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeBatchInsert(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendBatchInsert(nil, entries)
+		if err != nil {
+			t.Fatalf("decoded batch fails re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatal("re-encoding differs from accepted bytes")
+		}
+	})
+}
+
+// FuzzDecodeHello hardens the handshake decoders.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(AppendHello(nil, Version2))
+	f.Add(AppendHelloAck(nil, Version1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeHello(data)
+		_, _ = DecodeHelloAck(data)
+	})
+}
+
+func mustEntry(b []byte) store.Entry {
+	e, _, err := DecodeEntry(b)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }

@@ -1,0 +1,297 @@
+// Protocol v2: multiplexed, pipelined framing with batched operations.
+//
+// A v2 connection opens with a version handshake — the client sends
+// MsgHello (magic + highest version it speaks) in plain v1 framing, the
+// server answers MsgHelloAck with the version it accepts — and then
+// switches to identified frames: every frame carries an 8-byte request
+// ID between the type byte and the payload, so responses may return in
+// any order and many requests can be in flight on one connection.
+// Request IDs are opaque to the server; it echoes the ID of the request
+// a frame answers.
+//
+// v1 peers keep working by construction: a v1 client never sends
+// MsgHello, so the server falls back to sequential v1 framing on the
+// first frame; a v1 server answers MsgHello with MsgError ("unknown
+// frame type"), which a v2 client treats as "speak v1 here".
+//
+// Batch frames (MsgBatchInsert/MsgBatchLookup and their acks) carry up
+// to MaxBatch entries/GUIDs each under the larger MaxBatchFrame payload
+// bound, amortizing per-frame and per-syscall overhead — the standard
+// lever for mobile-host churn at the paper's §VI update rates.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dmap/internal/guid"
+	"dmap/internal/store"
+)
+
+// Protocol versions.
+const (
+	Version1 = 1 // sequential request/response, anonymous frames
+	Version2 = 2 // multiplexed identified frames, batch ops
+)
+
+// helloMagic guards the handshake against a non-DMap peer that happens
+// to send a length-plausible first frame.
+const helloMagic = 0x444D6150 // "DMaP"
+
+// ErrBadHello reports a MsgHello payload that is not a DMap handshake.
+var ErrBadHello = errors.New("wire: malformed hello")
+
+// AppendHello encodes a MsgHello body: magic(4) ‖ version(1).
+func AppendHello(dst []byte, version byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
+	return append(dst, version)
+}
+
+// DecodeHello decodes a MsgHello body and returns the requested version.
+func DecodeHello(b []byte) (byte, error) {
+	if len(b) != 5 {
+		return 0, ErrBadHello
+	}
+	if binary.BigEndian.Uint32(b) != helloMagic {
+		return 0, ErrBadHello
+	}
+	v := b[4]
+	if v < Version1 {
+		return 0, ErrBadHello
+	}
+	return v, nil
+}
+
+// AppendHelloAck encodes a MsgHelloAck body: the accepted version.
+func AppendHelloAck(dst []byte, version byte) []byte {
+	return append(dst, version)
+}
+
+// DecodeHelloAck decodes a MsgHelloAck body.
+func DecodeHelloAck(b []byte) (byte, error) {
+	if len(b) != 1 || b[0] < Version1 {
+		return 0, fmt.Errorf("wire: malformed hello ack")
+	}
+	return b[0], nil
+}
+
+// idSize is the per-frame request-ID width in v2 framing.
+const idSize = 8
+
+// WriteFrameID writes one identified (v2) frame:
+// uint32 length (= 8 + payload) ‖ type ‖ uint64 request ID ‖ payload.
+// Header and payload go out in a single Write so a frame is one syscall
+// on the pipelined path.
+func WriteFrameID(w io.Writer, t MsgType, id uint64, payload []byte) error {
+	if len(payload) > MaxPayload(t) {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 13+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(idSize+len(payload)))
+	buf[4] = byte(t)
+	binary.BigEndian.PutUint64(buf[5:13], id)
+	copy(buf[13:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrameID reads one identified (v2) frame, rejecting oversized
+// payloads before allocating.
+func ReadFrameID(r io.Reader) (MsgType, uint64, []byte, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	t := MsgType(hdr[4])
+	if n < idSize {
+		return 0, 0, nil, ErrTruncated
+	}
+	if n-idSize > uint32(MaxPayload(t)) {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	id := binary.BigEndian.Uint64(hdr[5:13])
+	payload := make([]byte, n-idSize)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return t, id, payload, nil
+}
+
+// MaxBatch bounds the entries/GUIDs per batch frame.
+const MaxBatch = 512
+
+// ErrBatchSize reports a batch outside [1, MaxBatch].
+var ErrBatchSize = errors.New("wire: batch size out of range")
+
+// appendBatchCount validates and encodes the leading uint16 count.
+func appendBatchCount(dst []byte, n int) ([]byte, error) {
+	if n < 1 || n > MaxBatch {
+		return nil, ErrBatchSize
+	}
+	return binary.BigEndian.AppendUint16(dst, uint16(n)), nil
+}
+
+// decodeBatchCount decodes and validates the leading uint16 count.
+func decodeBatchCount(b []byte) (int, []byte, error) {
+	if len(b) < 2 {
+		return 0, nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n < 1 || n > MaxBatch {
+		return 0, nil, ErrBatchSize
+	}
+	return n, b[2:], nil
+}
+
+// AppendBatchInsert encodes a MsgBatchInsert body:
+// uint16 count ‖ count × entry.
+func AppendBatchInsert(dst []byte, entries []store.Entry) ([]byte, error) {
+	dst, err := appendBatchCount(dst, len(entries))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if dst, err = AppendEntry(dst, e); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBatchInsert decodes a MsgBatchInsert body. Trailing bytes are
+// rejected: an honest encoder never leaves any.
+func DecodeBatchInsert(b []byte) ([]store.Entry, error) {
+	n, b, err := decodeBatchCount(b)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]store.Entry, n)
+	for i := 0; i < n; i++ {
+		if entries[i], b, err = DecodeEntry(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch insert", len(b))
+	}
+	return entries, nil
+}
+
+// AppendBatchInsertAck encodes a MsgBatchInsertAck body:
+// uint16 count ‖ count × acked flag (1 = stored, 0 = refused).
+func AppendBatchInsertAck(dst []byte, acked []bool) ([]byte, error) {
+	dst, err := appendBatchCount(dst, len(acked))
+	if err != nil {
+		return nil, err
+	}
+	for _, ok := range acked {
+		f := byte(0)
+		if ok {
+			f = 1
+		}
+		dst = append(dst, f)
+	}
+	return dst, nil
+}
+
+// DecodeBatchInsertAck decodes a MsgBatchInsertAck body.
+func DecodeBatchInsertAck(b []byte) ([]bool, error) {
+	n, b, err := decodeBatchCount(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != n {
+		return nil, ErrTruncated
+	}
+	acked := make([]bool, n)
+	for i := 0; i < n; i++ {
+		switch b[i] {
+		case 0:
+		case 1:
+			acked[i] = true
+		default:
+			return nil, fmt.Errorf("wire: bad ack flag %d", b[i])
+		}
+	}
+	return acked, nil
+}
+
+// AppendBatchLookup encodes a MsgBatchLookup body:
+// uint16 count ‖ count × GUID.
+func AppendBatchLookup(dst []byte, gs []guid.GUID) ([]byte, error) {
+	dst, err := appendBatchCount(dst, len(gs))
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gs {
+		dst = AppendGUID(dst, g)
+	}
+	return dst, nil
+}
+
+// DecodeBatchLookup decodes a MsgBatchLookup body.
+func DecodeBatchLookup(b []byte) ([]guid.GUID, error) {
+	n, b, err := decodeBatchCount(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != n*guid.Size {
+		return nil, ErrTruncated
+	}
+	gs := make([]guid.GUID, n)
+	for i := 0; i < n; i++ {
+		if gs[i], b, err = DecodeGUID(b); err != nil {
+			return nil, err
+		}
+	}
+	return gs, nil
+}
+
+// AppendBatchLookupResp encodes a MsgBatchLookupResp body:
+// uint16 count ‖ count × lookup response (found flag [+ entry]).
+func AppendBatchLookupResp(dst []byte, rs []LookupResp) ([]byte, error) {
+	dst, err := appendBatchCount(dst, len(rs))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		if dst, err = AppendLookupResp(dst, r); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBatchLookupResp decodes a MsgBatchLookupResp body.
+func DecodeBatchLookupResp(b []byte) ([]LookupResp, error) {
+	n, b, err := decodeBatchCount(b)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]LookupResp, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		switch b[0] {
+		case 0:
+			b = b[1:]
+		case 1:
+			e, rest, err := DecodeEntry(b[1:])
+			if err != nil {
+				return nil, err
+			}
+			rs[i] = LookupResp{Found: true, Entry: e}
+			b = rest
+		default:
+			return nil, fmt.Errorf("wire: bad found flag %d", b[0])
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch lookup resp", len(b))
+	}
+	return rs, nil
+}

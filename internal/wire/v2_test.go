@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/store"
+)
+
+func testEntry(i int) store.Entry {
+	return store.Entry{
+		GUID:    [20]byte{byte(i), byte(i >> 8), 0xAB},
+		NAs:     []store.NA{{AS: i%100 + 1, Addr: netaddr.AddrFromOctets(10, 0, byte(i>>8), byte(i))}},
+		Version: uint64(i + 1),
+		Meta:    uint32(i),
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	b := AppendHello(nil, Version2)
+	v, err := DecodeHello(b)
+	if err != nil || v != Version2 {
+		t.Fatalf("DecodeHello = %d, %v; want %d, nil", v, err, Version2)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3, 4}, {0, 0, 0, 0, 2}, AppendHello(nil, 0)} {
+		if _, err := DecodeHello(bad); err == nil {
+			t.Fatalf("DecodeHello(%v) accepted malformed hello", bad)
+		}
+	}
+
+	ack := AppendHelloAck(nil, Version2)
+	v, err = DecodeHelloAck(ack)
+	if err != nil || v != Version2 {
+		t.Fatalf("DecodeHelloAck = %d, %v; want %d, nil", v, err, Version2)
+	}
+	if _, err := DecodeHelloAck([]byte{0}); err == nil {
+		t.Fatal("DecodeHelloAck accepted version 0")
+	}
+	if _, err := DecodeHelloAck(nil); err == nil {
+		t.Fatal("DecodeHelloAck accepted empty payload")
+	}
+}
+
+func TestFrameIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := AppendGUID(nil, [20]byte{7})
+	const id = 0xDEADBEEFCAFE0001
+	if err := WriteFrameID(&buf, MsgLookup, id, payload); err != nil {
+		t.Fatalf("WriteFrameID: %v", err)
+	}
+	typ, gotID, got, err := ReadFrameID(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrameID: %v", err)
+	}
+	if typ != MsgLookup || gotID != id || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (%v, %#x, %x)", typ, gotID, got)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after one frame", buf.Len())
+	}
+}
+
+func TestFrameIDEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameID(&buf, MsgPing, 42, nil); err != nil {
+		t.Fatalf("WriteFrameID: %v", err)
+	}
+	typ, id, payload, err := ReadFrameID(&buf)
+	if err != nil || typ != MsgPing || id != 42 || len(payload) != 0 {
+		t.Fatalf("round trip = (%v, %d, %x, %v)", typ, id, payload, err)
+	}
+}
+
+func TestFrameIDBounds(t *testing.T) {
+	// A length claim below the 8-byte ID is truncated, not a read of
+	// negative payload.
+	short := []byte{0, 0, 0, 7, byte(MsgPing), 0, 0, 0, 0, 0, 0, 0, 1}
+	if _, _, _, err := ReadFrameID(bytes.NewReader(short)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("length < idSize: err = %v, want ErrTruncated", err)
+	}
+
+	// Non-batch types keep the small bound even in v2 framing.
+	big := make([]byte, MaxFrame+1)
+	if err := WriteFrameID(&bytes.Buffer{}, MsgInsert, 1, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized non-batch write: err = %v, want ErrFrameTooLarge", err)
+	}
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgInsert), 0, 0, 0, 0, 0, 0, 0, 1}
+	if _, _, _, err := ReadFrameID(bytes.NewReader(hostile)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length claim: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Batch types get the larger bound: the same payload size that is
+	// rejected for MsgInsert is accepted for MsgBatchInsert framing.
+	var buf bytes.Buffer
+	if err := WriteFrameID(&buf, MsgBatchInsert, 1, big); err != nil {
+		t.Fatalf("batch frame rejected at %d bytes: %v", len(big), err)
+	}
+	if _, _, _, err := ReadFrameID(&buf); err != nil {
+		t.Fatalf("batch frame read: %v", err)
+	}
+	over := make([]byte, MaxBatchFrame+1)
+	if err := WriteFrameID(&bytes.Buffer{}, MsgBatchInsert, 1, over); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized batch write: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameIDPipelined(t *testing.T) {
+	// Many frames written back-to-back demux in order with their IDs
+	// intact — the invariant the client's reader goroutine relies on.
+	var buf bytes.Buffer
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := WriteFrameID(&buf, MsgLookup, uint64(i)<<32|1, AppendGUID(nil, [20]byte{byte(i)})); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		typ, id, payload, err := ReadFrameID(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != MsgLookup || id != uint64(i)<<32|1 || payload[0] != byte(i) {
+			t.Fatalf("frame %d demuxed as (%v, %#x, %x)", i, typ, id, payload[:1])
+		}
+	}
+}
+
+func TestBatchInsertRoundTrip(t *testing.T) {
+	entries := make([]store.Entry, 300)
+	for i := range entries {
+		entries[i] = testEntry(i)
+	}
+	b, err := AppendBatchInsert(nil, entries)
+	if err != nil {
+		t.Fatalf("AppendBatchInsert: %v", err)
+	}
+	if len(b) > MaxBatchFrame {
+		t.Fatalf("batch of %d entries encodes to %d bytes > MaxBatchFrame", len(entries), len(b))
+	}
+	got, err := DecodeBatchInsert(b)
+	if err != nil {
+		t.Fatalf("DecodeBatchInsert: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].GUID != entries[i].GUID || got[i].Version != entries[i].Version {
+			t.Fatalf("entry %d mismatched after round trip", i)
+		}
+	}
+	if _, err := DecodeBatchInsert(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	if _, err := DecodeBatchInsert(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestBatchSizeBounds(t *testing.T) {
+	if _, err := AppendBatchInsert(nil, nil); !errors.Is(err, ErrBatchSize) {
+		t.Fatalf("empty batch: err = %v, want ErrBatchSize", err)
+	}
+	big := make([]guid.GUID, MaxBatch+1)
+	if _, err := AppendBatchLookup(nil, big); !errors.Is(err, ErrBatchSize) {
+		t.Fatalf("oversized batch: err = %v, want ErrBatchSize", err)
+	}
+	if _, err := AppendBatchLookup(nil, big[:MaxBatch]); err != nil {
+		t.Fatalf("MaxBatch batch rejected: %v", err)
+	}
+	// A hostile count of zero or > MaxBatch is rejected on decode.
+	if _, err := DecodeBatchLookup([]byte{0, 0}); !errors.Is(err, ErrBatchSize) {
+		t.Fatalf("zero count: err = %v, want ErrBatchSize", err)
+	}
+	if _, err := DecodeBatchLookup([]byte{0xFF, 0xFF}); !errors.Is(err, ErrBatchSize) {
+		t.Fatalf("huge count: err = %v, want ErrBatchSize", err)
+	}
+}
+
+func TestBatchInsertAckRoundTrip(t *testing.T) {
+	acked := []bool{true, false, true, true, false}
+	b, err := AppendBatchInsertAck(nil, acked)
+	if err != nil {
+		t.Fatalf("AppendBatchInsertAck: %v", err)
+	}
+	got, err := DecodeBatchInsertAck(b)
+	if err != nil {
+		t.Fatalf("DecodeBatchInsertAck: %v", err)
+	}
+	for i := range acked {
+		if got[i] != acked[i] {
+			t.Fatalf("ack %d = %v, want %v", i, got[i], acked[i])
+		}
+	}
+	if _, err := DecodeBatchInsertAck([]byte{0, 2, 1, 7}); err == nil {
+		t.Fatal("bad ack flag accepted")
+	}
+	if _, err := DecodeBatchInsertAck(b[:len(b)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated ack: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBatchLookupRoundTrip(t *testing.T) {
+	gs := make([]guid.GUID, 64)
+	for i := range gs {
+		gs[i] = guid.GUID{byte(i), 0x55}
+	}
+	b, err := AppendBatchLookup(nil, gs)
+	if err != nil {
+		t.Fatalf("AppendBatchLookup: %v", err)
+	}
+	got, err := DecodeBatchLookup(b)
+	if err != nil {
+		t.Fatalf("DecodeBatchLookup: %v", err)
+	}
+	for i := range gs {
+		if got[i] != gs[i] {
+			t.Fatalf("guid %d mismatched", i)
+		}
+	}
+	if _, err := DecodeBatchLookup(b[:len(b)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated lookup batch: err = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeBatchLookup(append(b, 9)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("trailing bytes: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBatchLookupRespRoundTrip(t *testing.T) {
+	rs := []LookupResp{
+		{Found: true, Entry: testEntry(1)},
+		{},
+		{Found: true, Entry: testEntry(2)},
+	}
+	b, err := AppendBatchLookupResp(nil, rs)
+	if err != nil {
+		t.Fatalf("AppendBatchLookupResp: %v", err)
+	}
+	got, err := DecodeBatchLookupResp(b)
+	if err != nil {
+		t.Fatalf("DecodeBatchLookupResp: %v", err)
+	}
+	if len(got) != 3 || !got[0].Found || got[1].Found || !got[2].Found {
+		t.Fatalf("found flags mismatched: %+v", got)
+	}
+	if got[0].Entry.GUID != rs[0].Entry.GUID || got[2].Entry.Version != rs[2].Entry.Version {
+		t.Fatal("entries mismatched after round trip")
+	}
+	if _, err := DecodeBatchLookupResp(b[:len(b)-2]); err == nil {
+		t.Fatal("truncated resp batch accepted")
+	}
+	if _, err := DecodeBatchLookupResp(append(b, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -31,6 +31,16 @@ const (
 	MsgPing       // empty → pong
 	MsgPong
 	MsgError // UTF-8 reason; a node rejecting a request instead of hanging
+
+	// v2 additions. Hello/HelloAck negotiate the protocol version on a
+	// fresh connection (v2.go); the batch types carry up to MaxBatch
+	// entries/GUIDs per frame and are allowed a larger payload bound.
+	MsgHello          // magic + requested version → hello ack
+	MsgHelloAck       // accepted version
+	MsgBatchInsert    // uint16 count + entries → batch insert ack
+	MsgBatchInsertAck // uint16 count + per-entry acked flags
+	MsgBatchLookup    // uint16 count + GUIDs → batch lookup resp
+	MsgBatchLookupResp
 )
 
 // String names the frame type.
@@ -54,24 +64,53 @@ func (t MsgType) String() string {
 		return "pong"
 	case MsgError:
 		return "error"
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgBatchInsert:
+		return "batch-insert"
+	case MsgBatchInsertAck:
+		return "batch-insert-ack"
+	case MsgBatchLookup:
+		return "batch-lookup"
+	case MsgBatchLookupResp:
+		return "batch-lookup-resp"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
 }
 
-// MaxFrame bounds a frame's payload, defending the decoder against
-// hostile lengths.
+// MaxFrame bounds a non-batch frame's payload, defending the decoder
+// against hostile lengths.
 const MaxFrame = 16 * 1024
+
+// MaxBatchFrame bounds a batch frame's payload: MaxBatch entries at the
+// maximum entry encoding (73 bytes) fit with room to spare.
+const MaxBatchFrame = 64 * 1024
+
+// MaxPayload returns the payload bound for a frame type: batch frames
+// are allowed MaxBatchFrame, everything else MaxFrame. Both sides of
+// the protocol enforce it symmetrically, so a frame one peer can encode
+// is a frame the other will accept.
+func MaxPayload(t MsgType) int {
+	switch t {
+	case MsgBatchInsert, MsgBatchInsertAck, MsgBatchLookup, MsgBatchLookupResp:
+		return MaxBatchFrame
+	default:
+		return MaxFrame
+	}
+}
 
 // Frame errors.
 var (
-	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds payload bound")
 	ErrTruncated     = errors.New("wire: truncated message")
 )
 
 // WriteFrame writes one frame: uint32 payload length, type byte, payload.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
-	if len(payload) > MaxFrame {
+	if len(payload) > MaxPayload(t) {
 		return ErrFrameTooLarge
 	}
 	var hdr [5]byte
@@ -96,7 +135,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > MaxFrame {
+	if n > uint32(MaxPayload(MsgType(hdr[4]))) {
 		return 0, nil, ErrFrameTooLarge
 	}
 	payload := make([]byte, n)

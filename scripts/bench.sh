@@ -3,6 +3,7 @@
 #
 #   scripts/bench.sh           # micro-benchmarks -> BENCH_<date>.json
 #   scripts/bench.sh smoke     # CI gate: metrics overhead budget
+#   scripts/bench.sh pipelined # v1 vs v2 transport throughput gate
 #
 # Default mode runs the hot-path micro-benchmarks (hashing, prefix
 # match, placement, wire codec, store ops, metrics primitives) with
@@ -16,6 +17,13 @@
 #      adds per served request: two clock reads, one histogram
 #      observation, two counters) must be below BENCH_TOLERANCE_PCT of
 #      BenchmarkTCPLookup, a real served wire round trip.
+# Pipelined mode runs the 64-concurrent-client sustained-lookup
+# benchmarks over the sequential v1 transport, the multiplexed v2
+# transport and the v2 batched path, asserts that v2 (batched or
+# pipelined) sustains at least BENCH_SPEEDUP_MIN (default 3) times the
+# v1 throughput, and appends the measurements plus the speedup records
+# to BENCH_<date>.json.
+#
 # Each benchmark runs -count times; the minimum ns/op is compared (the
 # minimum is the least noisy location statistic for benchmarks).
 set -eu
@@ -94,8 +102,50 @@ smoke)
     echo "metrics overhead within budget"
     ;;
 
+pipelined)
+    speedup_min="${BENCH_SPEEDUP_MIN:-3}"
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    run_bench '^BenchmarkLookup64Clients(V1|V2|V2Batch)$' | tee "$raw"
+
+    v1=$(min_ns BenchmarkLookup64ClientsV1 "$raw")
+    v2=$(min_ns BenchmarkLookup64ClientsV2 "$raw")
+    v2b=$(min_ns BenchmarkLookup64ClientsV2Batch "$raw")
+
+    records=$(awk -v date="$date_tag" -v v1="$v1" -v v2="$v2" -v v2b="$v2b" '
+        BEGIN {
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV1\", \"ns_per_op\": %s, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v1
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2\", \"ns_per_op\": %s, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v2
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2Batch\", \"ns_per_op\": %s, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v2b
+            printf "  {\"date\": \"%s\", \"name\": \"speedup.v2_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v1 / v2
+            printf "  {\"date\": \"%s\", \"name\": \"speedup.v2batch_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": null, \"allocs_per_op\": null}", date, v1 / v2b
+        }')
+    if [ -s "$out" ]; then
+        # Append to today's record set: drop the closing bracket, add rows.
+        tmp=$(mktemp)
+        sed '$d' "$out" > "$tmp"
+        { cat "$tmp"; printf ",\n%s\n]\n" "$records"; } > "$out"
+        rm -f "$tmp"
+    else
+        printf "[\n%s\n]\n" "$records" > "$out"
+    fi
+    echo "wrote $out"
+
+    awk -v v1="$v1" -v v2="$v2" -v v2b="$v2b" -v minx="$speedup_min" '
+        BEGIN {
+            printf "64-client sustained lookups: v1 %.0f ns/op, v2 %.0f ns/op (%.1fx), v2 batched %.0f ns/op (%.1fx)\n", \
+                v1, v2, v1 / v2, v2b, v1 / v2b
+            best = v1 / v2; if (v1 / v2b > best) best = v1 / v2b
+            exit (best >= minx) ? 0 : 1
+        }' || { echo "FAIL: v2 transport under the ${speedup_min}x throughput target" >&2; exit 1; }
+
+    echo "v2 transport meets the ${speedup_min}x throughput target"
+    ;;
+
 *)
-    echo "usage: $0 [micro|smoke]" >&2
+    echo "usage: $0 [micro|smoke|pipelined]" >&2
     exit 2
     ;;
 esac

@@ -3,10 +3,11 @@
 # without tests fail the check), verify formatting, vet everything, then
 # run the concurrency-sensitive packages under the race detector. The
 # engine's determinism guarantee (internal/engine) only holds if these
-# stay race-clean, and the networked stack (client failover, server
-# drain, the chaos test, the metrics registry) is only trustworthy under
-# -race. Running the wire tests also replays the checked-in fuzz seed
-# corpus (FuzzDecodeFrame et al.).
+# stay race-clean, and the networked stack (client failover, the v2
+# multiplexed transport and its demux reader, server drain, the chaos
+# test, the metrics registry) is only trustworthy under -race. Running
+# the wire tests also replays the checked-in fuzz seed corpus
+# (FuzzDecodeFrame, FuzzDecodeFrameV2 et al.).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -25,3 +26,5 @@ go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
 go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
 go test -race ./internal/server/... ./internal/client/... ./internal/metrics/...
+go test -race ./internal/experiments/... -run 'BatchFrameModel|Determinism'
+go test -race -run '^$' -bench '^BenchmarkLookup64ClientsV2$' -benchtime=10x .
