@@ -29,6 +29,7 @@ import (
 	"dmap/internal/stats"
 	"dmap/internal/store"
 	"dmap/internal/topology"
+	"dmap/internal/trace"
 	"dmap/internal/wire"
 )
 
@@ -543,6 +544,83 @@ func BenchmarkTCPLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.Lookup(e.GUID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTraceCluster starts one trace-capable mapping node owning the
+// whole address space (K=1) plus a cluster client with the given
+// tracer, pre-loaded with one entry. It is the fixture for the
+// request-tracing overhead benchmarks.
+func benchTraceCluster(b *testing.B, clientTracer *trace.Tracer, opts server.Options) (*client.Cluster, guid.GUID) {
+	b.Helper()
+	tbl := prefixtable.New()
+	p, err := netaddr.NewPrefix(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.Announce(p, 0); err != nil {
+		b.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := server.NewWithOptions(nil, opts)
+	addr, err := node.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { node.Close() })
+	cl, err := client.NewWithConfig(resolver, map[int]string{0: addr}, client.Config{Tracer: clientTracer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	e := store.Entry{
+		GUID:    guid.New("trace-bench"),
+		NAs:     []store.NA{{AS: 0, Addr: netaddr.AddrFromOctets(10, 0, 0, 1)}},
+		Version: 1,
+	}
+	if _, err := cl.Insert(e); err != nil {
+		b.Fatal(err)
+	}
+	return cl, e.GUID
+}
+
+// BenchmarkRequestTraceOff measures a served lookup through the
+// trace-capable request path with tracing disabled — nil tracer on both
+// sides, so every per-op trace hook is a nil check and no trace context
+// reaches the wire. scripts/bench.sh trace compares this against
+// BenchmarkTCPLookup (the pre-tracing baseline) to assert the
+// tracing-off budget (<5%, DESIGN.md §8); allocs/op is reported so the
+// allocation-free-when-off claim stays checkable.
+func BenchmarkRequestTraceOff(b *testing.B) {
+	cl, g := benchTraceCluster(b, nil, server.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Lookup(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRequestTraceOn is the same served lookup with the full
+// tracing stack engaged: the client samples every op (Sample=1), the
+// trace context rides the v2 frame, and the server joins each frame as
+// a child span, observes exemplars and feeds the hot-GUID tracker. The
+// delta over BenchmarkRequestTraceOff is the worst-case (100% sampled)
+// cost of a distributed trace.
+func BenchmarkRequestTraceOn(b *testing.B) {
+	cl, g := benchTraceCluster(b,
+		trace.New(trace.Config{Sample: 1, Seed: 1}),
+		server.Options{Tracer: trace.New(trace.Config{Seed: 2}), HotKeys: trace.NewHotKeys(32)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Lookup(g); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,7 +18,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -35,13 +34,18 @@ import (
 	"dmap/internal/prefixtable"
 	"dmap/internal/server"
 	"dmap/internal/store"
+	"dmap/internal/trace"
 )
 
-// startDebugServer serves reg on /debug/metrics plus the pprof suite on
-// addr, returning the bound address and a shutdown func.
-func startDebugServer(addr string, reg *metrics.Registry) (string, func() error, error) {
+// startDebugServer serves reg on /debug/metrics, the tracer on
+// /debug/traces, the hot-GUID trackers on /debug/hotkeys and the pprof
+// suite on addr, returning the bound address and a shutdown func. tr
+// and hot may be nil (the handlers answer with an "off" notice).
+func startDebugServer(addr string, reg *metrics.Registry, tr *trace.Tracer, hot *trace.HotKeys) (string, func() error, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", metrics.Handler(reg))
+	mux.Handle("/debug/traces", trace.TracesHandler(tr))
+	mux.Handle("/debug/hotkeys", trace.HotKeysHandler(hot))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -79,18 +83,41 @@ func main() {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":4500", "listen address")
-	debugAddr := fs.String("debug-addr", "", "debug HTTP address serving /debug/metrics and /debug/pprof (empty = off)")
+	debugAddr := fs.String("debug-addr", "", "debug HTTP address serving /debug/metrics, /debug/traces, /debug/hotkeys and /debug/pprof (empty = off)")
+	logLevel := fs.String("log-level", "warn", "minimum log level: debug, info, warn, error or off")
+	traceSample := fs.Int("trace-sample", 0, "join 1 in N traced requests into /debug/traces (0 = tracing off)")
+	slowOpMs := fs.Int("slow-op-ms", 0, "log any request slower than this many milliseconds (0 = off)")
+	hotKeys := fs.Int("hotkeys", 32, "track the hottest N GUIDs per class at /debug/hotkeys (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	node := server.New(nil, log.New(os.Stderr, "dmapnode: ", log.LstdFlags))
+	level, err := trace.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *slowOpMs > 0 {
+		tracer = trace.New(trace.Config{
+			Sample: *traceSample,
+			SlowOp: time.Duration(*slowOpMs) * time.Millisecond,
+		})
+	}
+	var hot *trace.HotKeys
+	if *hotKeys > 0 {
+		hot = trace.NewHotKeys(*hotKeys)
+	}
+	node := server.NewWithOptions(nil, server.Options{
+		Logger:  trace.NewLogger(os.Stderr, level),
+		Tracer:  tracer,
+		HotKeys: hot,
+	})
 	bound, err := node.Start(*addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("mapping node listening on %s\n", bound)
 	if *debugAddr != "" {
-		dbgBound, stop, err := startDebugServer(*debugAddr, node.Metrics())
+		dbgBound, stop, err := startDebugServer(*debugAddr, node.Metrics(), tracer, hot)
 		if err != nil {
 			node.Close()
 			return err
@@ -116,6 +143,8 @@ func demo(args []string) error {
 		batch       = fs.Int("batch", 1, "ops per wire frame: > 1 uses the v2 batched InsertBatch/LookupBatch path")
 		v1          = fs.Bool("v1", false, "force the sequential v1 wire protocol (no multiplexing, no batching upgrade)")
 		showMetrics = fs.Bool("metrics", false, "print client and server metrics snapshots after the run")
+		traceSample = fs.Int("trace-sample", 0, "sample 1 in N client ops into a trace and print the last span tree (0 = off)")
+		slowOpMs    = fs.Int("slow-op-ms", 0, "record ops slower than this many milliseconds in the slow-op log (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,10 +167,23 @@ func demo(args []string) error {
 		return err
 	}
 
+	slowOp := time.Duration(*slowOpMs) * time.Millisecond
+	var tracer *trace.Tracer
+	if *traceSample > 0 || slowOp > 0 {
+		tracer = trace.New(trace.Config{Sample: *traceSample, SlowOp: slowOp, Seed: uint64(*seed)})
+	}
+
 	srvs := make([]*server.Node, *nodes)
 	addrs := make(map[int]string, *nodes)
 	for as := range srvs {
-		srvs[as] = server.New(nil, nil)
+		var opts server.Options
+		if tracer != nil {
+			// Server-side tracers join whatever sampled contexts arrive;
+			// their own sampler is never consulted for joined spans.
+			opts.Tracer = trace.New(trace.Config{SlowOp: slowOp, Seed: uint64(*seed)})
+			opts.HotKeys = trace.NewHotKeys(16)
+		}
+		srvs[as] = server.NewWithOptions(nil, opts)
 		bound, err := srvs[as].Start("127.0.0.1:0")
 		if err != nil {
 			return err
@@ -152,7 +194,7 @@ func demo(args []string) error {
 	fmt.Printf("started %d mapping nodes, K=%d, %d prefixes (%.0f%% of space announced)\n",
 		*nodes, *k, tbl.Len(), 100*tbl.AnnouncedFraction())
 
-	c, err := client.NewWithConfig(resolver, addrs, client.Config{ForceV1: *v1})
+	c, err := client.NewWithConfig(resolver, addrs, client.Config{ForceV1: *v1, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -237,6 +279,19 @@ func demo(args []string) error {
 		if err := srvs[0].Metrics().Snapshot().WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Printf("\n# tracing: %d ops, %d sampled, %d slow\n", st.Ops, st.Sampled, st.SlowOps)
+		if tvs := tracer.Traces(); len(tvs) > 0 {
+			fmt.Println("last sampled client trace:")
+			fmt.Print(tvs[len(tvs)-1].Tree(true))
+		}
+		joined := 0
+		for _, s := range srvs {
+			joined += len(s.Tracer().Traces())
+		}
+		fmt.Printf("server-side spans joined across nodes: %d\n", joined)
 	}
 	return nil
 }

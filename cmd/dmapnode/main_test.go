@@ -50,7 +50,7 @@ func TestDebugMetricsEndpoint(t *testing.T) {
 	}
 	defer node.Close()
 
-	dbgAddr, stop, err := startDebugServer("127.0.0.1:0", node.Metrics())
+	dbgAddr, stop, err := startDebugServer("127.0.0.1:0", node.Metrics(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

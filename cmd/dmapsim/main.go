@@ -19,9 +19,11 @@ import (
 	"time"
 
 	"dmap/internal/core"
+	"dmap/internal/engine"
 	"dmap/internal/experiments"
 	"dmap/internal/metrics"
 	"dmap/internal/topology"
+	"dmap/internal/trace"
 )
 
 func main() {
@@ -49,19 +51,44 @@ func run(args []string) error {
 		timeoutMs   = fs.Int("attempt-timeout-ms", 2000, "per-attempt timeout charged for dead replicas and lost messages")
 		batch       = fs.Int("batch", 1, "modeled v2 batch size for update/queryload wire-frame accounting (1 = sequential v1)")
 		showMetrics = fs.Bool("metrics", false, "print a metrics snapshot (engine occupancy, unit latency, driver gauges) after the experiment")
+		traceSample = fs.Int("trace-sample", 0, "sample 1 in N engine.Map calls into a trace (0 = off)")
+		slowOpMs    = fs.Int("slow-op-ms", 0, "log engine work units slower than this many milliseconds (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *slowOpMs > 0 {
+		tracer = trace.New(trace.Config{
+			Sample: *traceSample,
+			SlowOp: time.Duration(*slowOpMs) * time.Millisecond,
+			Seed:   uint64(*seed),
+		})
+		engine.SetTracer(tracer)
+	}
 	// printSnap dumps the process-wide registry once the experiment has
 	// finished populating it (the engine reports unit latency and
-	// occupancy; some drivers add gauges of their own).
+	// occupancy; some drivers add gauges of their own), followed by any
+	// tracer captures (sampled engine.map traces, slow work units).
 	printSnap := func() {
 		if !*showMetrics {
 			return
 		}
 		fmt.Println("\n# metrics (deterministic values only are stable across runs)")
 		_ = metrics.Default.Snapshot().WriteText(os.Stdout)
+	}
+	printTraces := func() {
+		if tracer == nil {
+			return
+		}
+		st := tracer.Stats()
+		fmt.Printf("\n# tracing: %d maps, %d sampled, %d slow units\n", st.Ops, st.Sampled, st.SlowOps)
+		for _, v := range tracer.Traces() {
+			fmt.Print(v.Tree(true))
+		}
+		for _, so := range tracer.SlowOps() {
+			fmt.Printf("slow %s %s %dµs\n", so.Op, so.Detail, so.DurUs)
+		}
 	}
 
 	// Experiments that need no world.
@@ -74,6 +101,7 @@ func run(args []string) error {
 		fmt.Println("# Figure 7: analytical RTT upper bound vs replicas")
 		fmt.Print(res)
 		printSnap()
+		printTraces()
 		return nil
 	case "overhead":
 		res, err := experiments.RunOverhead(*scale, 5e9, *k, 100)
@@ -83,6 +111,7 @@ func run(args []string) error {
 		fmt.Println("# §IV-A storage and traffic overhead")
 		fmt.Print(res)
 		printSnap()
+		printTraces()
 		return nil
 	}
 
@@ -363,6 +392,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	printSnap()
+	printTraces()
 
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

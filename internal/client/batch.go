@@ -16,6 +16,7 @@ import (
 	"dmap/internal/core"
 	"dmap/internal/guid"
 	"dmap/internal/store"
+	"dmap/internal/trace"
 	"dmap/internal/wire"
 )
 
@@ -29,13 +30,18 @@ import (
 //
 // Against a peer that rejects batch frames as unknown (a pre-v2 node),
 // the chunk transparently degrades to per-entry inserts.
-func (c *Cluster) InsertBatch(entries []store.Entry) ([]int, error) {
+func (c *Cluster) InsertBatch(entries []store.Entry) (ackCounts []int, err error) {
 	if len(entries) == 0 {
 		return nil, nil
 	}
 	opStart := time.Now()
+	sp := c.tracer.StartOp("client.insert_batch")
+	sp.Eventf("entries=%d", len(entries))
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
-	defer c.m.opBatchIns.ObserveSince(opStart)
+	defer func() {
+		c.m.opBatchIns.ObserveSinceExemplar(opStart, sp.TraceID())
+		c.tracer.FinishOp(sp, "insert_batch", guid.GUID{}, opStart, err)
+	}()
 
 	groups := make(map[int][]int) // replica AS → entry indices
 	for i, e := range entries {
@@ -65,7 +71,7 @@ func (c *Cluster) InsertBatch(entries []store.Entry) ([]int, error) {
 			wg.Add(1)
 			go func(as int, chunk []int) {
 				defer wg.Done()
-				got, err := c.insertChunk(as, entries, chunk, opDeadline)
+				got, err := c.insertChunk(sp, as, entries, chunk, opDeadline)
 				if err != nil {
 					errMu.Lock()
 					lastErr = fmt.Errorf("AS %d: %w", as, err)
@@ -100,7 +106,7 @@ func (c *Cluster) InsertBatch(entries []store.Entry) ([]int, error) {
 // insertChunk sends one batch-insert frame to one replica AS and
 // returns the per-entry acked flags, degrading to per-entry inserts
 // against peers that do not know the batch frame type.
-func (c *Cluster) insertChunk(as int, entries []store.Entry, idxs []int, opDeadline time.Time) ([]bool, error) {
+func (c *Cluster) insertChunk(sp *trace.Span, as int, entries []store.Entry, idxs []int, opDeadline time.Time) ([]bool, error) {
 	batch := make([]store.Entry, len(idxs))
 	for j, i := range idxs {
 		batch[j] = entries[i]
@@ -110,10 +116,14 @@ func (c *Cluster) insertChunk(as int, entries []store.Entry, idxs []int, opDeadl
 		return nil, err
 	}
 	c.m.batchSize.Observe(float64(len(batch)))
-	t, body, err := c.call(as, wire.MsgBatchInsert, payload, opDeadline)
+	ch := sp.NewChild("chunk")
+	ch.Eventf("as=%d entries=%d", as, len(batch))
+	defer ch.End()
+	t, body, err := c.call(ch, as, wire.MsgBatchInsert, payload, opDeadline)
 	if err != nil {
 		if isUnknownFrameReject(err) {
-			return c.insertChunkPerItem(as, batch, opDeadline)
+			ch.Eventf("degrading to per-entry inserts: peer rejects batch frames")
+			return c.insertChunkPerItem(ch, as, batch, opDeadline)
 		}
 		return nil, err
 	}
@@ -131,14 +141,14 @@ func (c *Cluster) insertChunk(as int, entries []store.Entry, idxs []int, opDeadl
 }
 
 // insertChunkPerItem is the compatibility path for pre-v2 peers.
-func (c *Cluster) insertChunkPerItem(as int, batch []store.Entry, opDeadline time.Time) ([]bool, error) {
+func (c *Cluster) insertChunkPerItem(sp *trace.Span, as int, batch []store.Entry, opDeadline time.Time) ([]bool, error) {
 	acked := make([]bool, len(batch))
 	for i, e := range batch {
 		payload, err := wire.AppendEntry(nil, e)
 		if err != nil {
 			return nil, err
 		}
-		t, _, err := c.call(as, wire.MsgInsert, payload, opDeadline)
+		t, _, err := c.call(sp, as, wire.MsgInsert, payload, opDeadline)
 		acked[i] = err == nil && t == wire.MsgInsertAck
 	}
 	return acked, nil
@@ -151,13 +161,18 @@ func (c *Cluster) insertChunkPerItem(as int, batch []store.Entry, opDeadline tim
 // roll into the next round (§III-D3 failover, amortized). It returns
 // the resolved entries and per-GUID found flags; GUIDs no reachable
 // replica had stay false without failing the call.
-func (c *Cluster) LookupBatch(gs []guid.GUID) ([]store.Entry, []bool, error) {
+func (c *Cluster) LookupBatch(gs []guid.GUID) (resolved []store.Entry, hits []bool, err error) {
 	if len(gs) == 0 {
 		return nil, nil, nil
 	}
 	opStart := time.Now()
+	sp := c.tracer.StartOp("client.lookup_batch")
+	sp.Eventf("guids=%d", len(gs))
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
-	defer c.m.opBatchLkp.ObserveSince(opStart)
+	defer func() {
+		c.m.opBatchLkp.ObserveSinceExemplar(opStart, sp.TraceID())
+		c.tracer.FinishOp(sp, "lookup_batch", guid.GUID{}, opStart, err)
+	}()
 
 	placements := make([][]core.Placement, len(gs))
 	rounds := 0
@@ -198,12 +213,13 @@ func (c *Cluster) LookupBatch(gs []guid.GUID) ([]store.Entry, []bool, error) {
 				wg.Add(1)
 				go func(as int, chunk []int) {
 					defer wg.Done()
-					rs, err := c.lookupChunk(as, gs, chunk, opDeadline)
+					rs, err := c.lookupChunk(sp, as, gs, chunk, opDeadline)
 					if err != nil {
 						// The whole chunk fails over to its next replica
 						// round, exactly like the sequential walk.
 						if r < rounds-1 {
 							c.m.failovers.Add(int64(len(chunk)))
+							sp.Eventf("failover round=%d as=%d guids=%d: %v", r, as, len(chunk), err)
 						}
 						mu.Lock()
 						next = append(next, chunk...)
@@ -237,7 +253,7 @@ func (c *Cluster) LookupBatch(gs []guid.GUID) ([]store.Entry, []bool, error) {
 
 // lookupChunk sends one batch-lookup frame to one replica AS, degrading
 // to per-GUID lookups against peers that do not know the batch frame.
-func (c *Cluster) lookupChunk(as int, gs []guid.GUID, idxs []int, opDeadline time.Time) ([]wire.LookupResp, error) {
+func (c *Cluster) lookupChunk(sp *trace.Span, as int, gs []guid.GUID, idxs []int, opDeadline time.Time) ([]wire.LookupResp, error) {
 	batch := make([]guid.GUID, len(idxs))
 	for j, i := range idxs {
 		batch[j] = gs[i]
@@ -247,10 +263,14 @@ func (c *Cluster) lookupChunk(as int, gs []guid.GUID, idxs []int, opDeadline tim
 		return nil, err
 	}
 	c.m.batchSize.Observe(float64(len(batch)))
-	t, body, err := c.call(as, wire.MsgBatchLookup, payload, opDeadline)
+	ch := sp.NewChild("chunk")
+	ch.Eventf("as=%d guids=%d", as, len(batch))
+	defer ch.End()
+	t, body, err := c.call(ch, as, wire.MsgBatchLookup, payload, opDeadline)
 	if err != nil {
 		if isUnknownFrameReject(err) {
-			return c.lookupChunkPerItem(as, batch, opDeadline)
+			ch.Eventf("degrading to per-GUID lookups: peer rejects batch frames")
+			return c.lookupChunkPerItem(ch, as, batch, opDeadline)
 		}
 		return nil, err
 	}
@@ -268,10 +288,10 @@ func (c *Cluster) lookupChunk(as int, gs []guid.GUID, idxs []int, opDeadline tim
 }
 
 // lookupChunkPerItem is the compatibility path for pre-v2 peers.
-func (c *Cluster) lookupChunkPerItem(as int, batch []guid.GUID, opDeadline time.Time) ([]wire.LookupResp, error) {
+func (c *Cluster) lookupChunkPerItem(sp *trace.Span, as int, batch []guid.GUID, opDeadline time.Time) ([]wire.LookupResp, error) {
 	rs := make([]wire.LookupResp, len(batch))
 	for i, g := range batch {
-		t, body, err := c.call(as, wire.MsgLookup, wire.AppendGUID(nil, g), opDeadline)
+		t, body, err := c.call(sp, as, wire.MsgLookup, wire.AppendGUID(nil, g), opDeadline)
 		if err != nil || t != wire.MsgLookupResp {
 			continue // counts as a miss at this replica
 		}

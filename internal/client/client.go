@@ -22,6 +22,7 @@ import (
 	"dmap/internal/guid"
 	"dmap/internal/metrics"
 	"dmap/internal/store"
+	"dmap/internal/trace"
 	"dmap/internal/wire"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	// (first positive answer wins, which may return a stale read after
 	// a partial Update).
 	FreshnessWait time.Duration
+	// Tracer samples operations into traces and captures slow ops. Nil
+	// (the default) disables tracing entirely: the request path takes a
+	// nil-check and nothing else. When set, sampled requests carry their
+	// trace context to trace-capable servers (negotiated in the hello).
+	Tracer *trace.Tracer
+	// Logger receives structured client logs (redials, failovers at warn
+	// and debug level). Nil discards.
+	Logger *trace.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,11 +93,16 @@ type Cluster struct {
 	mux  muxTable // v2 transport: one shared pipelined conn per addr
 	m    clusterMetrics
 
-	// transport performs one request/response attempt. It defaults to
-	// (*Cluster).roundTrip and exists so tests can script per-attempt
-	// outcomes (e.g. a stale conn on the second attempt) that are
-	// impractical to stage over a real socket.
-	transport func(addr string, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error)
+	// tracer and logger mirror cfg.Tracer/cfg.Logger; both are nil-safe.
+	tracer *trace.Tracer
+	logger *trace.Logger
+
+	// transport performs one request/response attempt, propagating the
+	// attempt's trace context (zero when unsampled) to trace-capable v2
+	// peers. It defaults to (*Cluster).roundTrip and exists so tests can
+	// script per-attempt outcomes (e.g. a stale conn on the second
+	// attempt) that are impractical to stage over a real socket.
+	transport func(addr string, t wire.MsgType, tc trace.Context, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error)
 }
 
 // clusterMetrics holds the client's resolved metric handles. The
@@ -163,6 +177,8 @@ func NewWithConfig(resolver *core.Resolver, addrs map[int]string, cfg Config) (*
 		m[as] = a
 	}
 	c := &Cluster{resolver: resolver, cfg: cfg.withDefaults(), addrs: m, m: newClusterMetrics()}
+	c.tracer = c.cfg.Tracer
+	c.logger = c.cfg.Logger
 	c.transport = c.roundTrip
 	c.m.reg.GaugeFunc("client.pool.idle", func() float64 { return float64(c.pool.idleLen()) })
 	c.m.reg.GaugeFunc("client.mux.conns", func() float64 { return float64(c.mux.liveConns()) })
@@ -195,6 +211,9 @@ func (c *Cluster) Stats() Stats {
 // per-attempt and per-operation latency histograms, and pool gauges.
 func (c *Cluster) Metrics() *metrics.Registry { return c.m.reg }
 
+// Tracer returns the cluster's tracer (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
 // Close releases pooled and shared connections.
 func (c *Cluster) Close() {
 	c.pool.closeAll()
@@ -224,7 +243,7 @@ var errStaleConn = errors.New("client: stale pooled connection")
 // reachable replica's ack, returning how many acknowledged. An error is
 // returned only when no replica could be reached (partial success is the
 // protocol's normal churn-tolerant mode).
-func (c *Cluster) Insert(e store.Entry) (int, error) {
+func (c *Cluster) Insert(e store.Entry) (acked int, err error) {
 	placements, err := c.resolver.Place(e.GUID)
 	if err != nil {
 		return 0, err
@@ -234,8 +253,12 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 		return 0, err
 	}
 	opStart := time.Now()
+	sp := c.tracer.StartOp("client.insert")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
-	defer c.m.opInsert.ObserveSince(opStart)
+	defer func() {
+		c.m.opInsert.ObserveSinceExemplar(opStart, sp.TraceID())
+		c.tracer.FinishOp(sp, "insert", e.GUID, opStart, err)
+	}()
 
 	var wg sync.WaitGroup
 	acks := make([]bool, len(placements))
@@ -245,7 +268,7 @@ func (c *Cluster) Insert(e store.Entry) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t, _, err := c.call(as, wire.MsgInsert, payload, opDeadline)
+			t, _, err := c.call(sp, as, wire.MsgInsert, payload, opDeadline)
 			switch {
 			case err != nil:
 				errs[i] = fmt.Errorf("AS %d: %w", as, err)
@@ -306,18 +329,22 @@ func (c *Cluster) Update(e store.Entry) (int, error) { return c.Insert(e) }
 // Lookup resolves g, walking replicas in Algorithm 1's placement order:
 // a miss reply, timeout, connection error or rejection moves to the next
 // replica until the per-operation deadline expires (§III-D3).
-func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
+func (c *Cluster) Lookup(g guid.GUID) (entry store.Entry, err error) {
 	placements, err := c.resolver.Place(g)
 	if err != nil {
 		return store.Entry{}, err
 	}
 	payload := wire.AppendGUID(nil, g)
 	opStart := time.Now()
+	sp := c.tracer.StartOp("client.lookup")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
-	defer c.m.opLookup.ObserveSince(opStart)
+	defer func() {
+		c.m.opLookup.ObserveSinceExemplar(opStart, sp.TraceID())
+		c.tracer.FinishOp(sp, "lookup", g, opStart, err)
+	}()
 	var lastErr error
 	for i, p := range placements {
-		t, body, err := c.call(p.AS, wire.MsgLookup, payload, opDeadline)
+		t, body, err := c.call(sp, p.AS, wire.MsgLookup, payload, opDeadline)
 		if err != nil {
 			lastErr = err
 			if errors.Is(err, ErrDeadline) {
@@ -325,6 +352,8 @@ func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 			}
 			if i < len(placements)-1 {
 				c.m.failovers.Inc()
+				sp.Eventf("failover: AS %d failed: %v", p.AS, err)
+				c.logger.Debug("lookup failover", "guid", g.Short(), "as", p.AS, "err", err)
 			}
 			continue
 		}
@@ -361,15 +390,19 @@ func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
 // acks) the fastest replica may well be a stale one, and first-answer-
 // wins would serve the old mapping indefinitely. Replicas that had to
 // be looked past because they failed count as read-path failovers.
-func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
+func (c *Cluster) LookupFastest(g guid.GUID) (entry store.Entry, err error) {
 	placements, err := c.resolver.Place(g)
 	if err != nil {
 		return store.Entry{}, err
 	}
 	payload := wire.AppendGUID(nil, g)
 	opStart := time.Now()
+	sp := c.tracer.StartOp("client.lookup_fastest")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
-	defer c.m.opLookup.ObserveSince(opStart)
+	defer func() {
+		c.m.opLookup.ObserveSinceExemplar(opStart, sp.TraceID())
+		c.tracer.FinishOp(sp, "lookup_fastest", g, opStart, err)
+	}()
 
 	type answer struct {
 		entry store.Entry
@@ -380,7 +413,7 @@ func (c *Cluster) LookupFastest(g guid.GUID) (store.Entry, error) {
 	for _, p := range placements {
 		as := p.AS
 		go func() {
-			t, body, err := c.call(as, wire.MsgLookup, payload, opDeadline)
+			t, body, err := c.call(sp, as, wire.MsgLookup, payload, opDeadline)
 			if err != nil {
 				results <- answer{err: err}
 				return
@@ -458,18 +491,22 @@ collect:
 }
 
 // Delete removes g from all replicas, returning how many held it.
-func (c *Cluster) Delete(g guid.GUID) (int, error) {
+func (c *Cluster) Delete(g guid.GUID) (removedCount int, err error) {
 	placements, err := c.resolver.Place(g)
 	if err != nil {
 		return 0, err
 	}
 	payload := wire.AppendGUID(nil, g)
 	opStart := time.Now()
+	sp := c.tracer.StartOp("client.delete")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
-	defer c.m.opDelete.ObserveSince(opStart)
+	defer func() {
+		c.m.opDelete.ObserveSinceExemplar(opStart, sp.TraceID())
+		c.tracer.FinishOp(sp, "delete", g, opStart, err)
+	}()
 	removed := 0
 	for _, p := range placements {
-		t, body, err := c.call(p.AS, wire.MsgDelete, payload, opDeadline)
+		t, body, err := c.call(sp, p.AS, wire.MsgDelete, payload, opDeadline)
 		if err != nil || t != wire.MsgDeleteAck || len(body) < 1 {
 			if errors.Is(err, ErrDeadline) {
 				break
@@ -485,7 +522,7 @@ func (c *Cluster) Delete(g guid.GUID) (int, error) {
 
 // Ping checks liveness of the node serving an AS.
 func (c *Cluster) Ping(as int) error {
-	t, _, err := c.call(as, wire.MsgPing, nil, time.Now().Add(c.cfg.OpDeadline))
+	t, _, err := c.call(nil, as, wire.MsgPing, nil, time.Now().Add(c.cfg.OpDeadline))
 	if err != nil {
 		return err
 	}
@@ -502,7 +539,12 @@ func (c *Cluster) Ping(as int) error {
 // sleeping a backoff or ticking the retries counter, since no logical
 // retry happened. A MsgError reply aborts the retries — the node
 // answered and said no.
-func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.Time) (wire.MsgType, []byte, error) {
+//
+// sp is the operation's span (nil when unsampled): each round trip
+// opens a child attempt span carrying the AS, attempt number and
+// outcome (redial, timeout, rejection), and the attempt's context is
+// what propagates to the server.
+func (c *Cluster) call(sp *trace.Span, as int, t wire.MsgType, payload []byte, opDeadline time.Time) (wire.MsgType, []byte, error) {
 	c.mu.RLock()
 	addr, ok := c.addrs[as]
 	c.mu.RUnlock()
@@ -518,6 +560,7 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 		remaining := time.Until(opDeadline)
 		if remaining <= 0 {
 			c.m.deadlines.Inc()
+			sp.Eventf("deadline exceeded at AS %d", as)
 			if lastErr == nil {
 				return 0, nil, ErrDeadline
 			}
@@ -528,15 +571,22 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 			timeout = remaining
 		}
 
+		att := sp.NewChild("attempt")
+		if att != nil { // skip the arg boxing entirely when unsampled
+			att.Eventf("as=%d addr=%s attempt=%d %v", as, addr, attempt, t)
+		}
 		attemptStart := time.Now()
-		rt, body, err := c.transport(addr, t, payload, timeout)
-		c.m.attempt.ObserveSince(attemptStart)
+		rt, body, err := c.transport(addr, t, att.Context(), payload, timeout)
+		c.m.attempt.ObserveSinceExemplar(attemptStart, att.TraceID())
 		if errors.Is(err, errStaleConn) && !redialed {
 			// Observable replacement of a server-closed idle connection.
 			// The request never reached a live server, so this consumes
 			// no policy attempt, pays no backoff and counts no retry.
 			redialed = true
 			c.m.redials.Inc()
+			att.Eventf("redial: stale connection replaced")
+			att.End()
+			c.logger.Debug("redial", "addr", addr, "as", as)
 			continue
 		}
 		if err == nil {
@@ -546,14 +596,21 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 				if derr != nil {
 					reason = "unreadable reason"
 				}
+				att.Eventf("rejected: %s", reason)
+				att.End()
 				return 0, nil, fmt.Errorf("%w: %s", ErrRejected, reason)
 			}
+			att.End()
 			return rt, body, nil
 		}
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
 			c.m.timeouts.Inc()
+			att.Eventf("timeout: %v", err)
+		} else {
+			att.Eventf("error: %v", err)
 		}
+		att.End()
 		lastErr = err
 		attempt++
 		if attempt > pol.MaxAttempts {
@@ -564,6 +621,7 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 		if remaining := time.Until(opDeadline); pause > remaining {
 			pause = remaining
 		}
+		sp.Eventf("retry %d at AS %d after %v backoff", attempt, as, pause)
 		if pause > 0 {
 			time.Sleep(pause)
 		}
@@ -576,7 +634,9 @@ func (c *Cluster) call(as int, t wire.MsgType, payload []byte, opDeadline time.T
 // peers that only speak v1 (or when ForceV1 is set). Either transport
 // reports a reused connection dying underneath the request as
 // errStaleConn so call can replace it without consuming an attempt.
-func (c *Cluster) roundTrip(addr string, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+// tc, when sampled, rides to trace-capable v2 peers; v1 peers never
+// see it (the extension is v2-only by design).
+func (c *Cluster) roundTrip(addr string, t wire.MsgType, tc trace.Context, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
 	if !c.cfg.ForceV1 {
 		mc, fresh, err := c.muxGet(addr, timeout)
 		switch {
@@ -585,7 +645,7 @@ func (c *Cluster) roundTrip(addr string, t wire.MsgType, payload []byte, timeout
 				c.m.dials.Inc()
 			}
 			c.m.inflight.Add(1)
-			rt, body, derr := mc.do(t, payload, timeout)
+			rt, body, derr := mc.do(t, tc, payload, timeout)
 			c.m.inflight.Add(-1)
 			if derr != nil && errors.Is(derr, errConnDead) && !fresh {
 				// The shared conn died with this request in flight; it

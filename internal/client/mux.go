@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dmap/internal/trace"
 	"dmap/internal/wire"
 )
 
@@ -44,6 +45,9 @@ type muxReply struct {
 // reader goroutine.
 type muxConn struct {
 	conn net.Conn
+	// feat holds the hello-negotiated feature flags; FeatTrace set means
+	// the server accepts trace-prefixed frames on this connection.
+	feat byte
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -122,14 +126,22 @@ func (m *muxConn) readLoop() {
 }
 
 // do runs one pipelined request/response with a per-request reply timer.
-func (m *muxConn) do(t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+// A sampled trace context is prefixed onto the frame when the server
+// negotiated FeatTrace; otherwise the context is dropped silently (the
+// client's own span still records the attempt).
+func (m *muxConn) do(t wire.MsgType, tc trace.Context, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
 	id, ch, err := m.register()
 	if err != nil {
 		return 0, nil, err
 	}
 	m.wmu.Lock()
 	_ = m.conn.SetWriteDeadline(time.Now().Add(timeout))
-	werr := wire.WriteFrameID(m.conn, t, id, payload)
+	var werr error
+	if tc.Sampled && m.feat&wire.FeatTrace != 0 {
+		werr = wire.WriteFrameIDTrace(m.conn, t, id, tc, payload)
+	} else {
+		werr = wire.WriteFrameID(m.conn, t, id, payload)
+	}
 	m.wmu.Unlock()
 	if werr != nil {
 		// A failed or partial write desynchronizes the stream for every
@@ -250,7 +262,13 @@ func (c *Cluster) muxGet(addr string, timeout time.Duration) (mc *muxConn, fresh
 	if err != nil {
 		return nil, true, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	version, err := helloExchange(conn, timeout)
+	// Only a tracing client asks for the trace extension; the server
+	// grants the intersection.
+	var wantFeat byte
+	if c.tracer != nil {
+		wantFeat = wire.FeatTrace
+	}
+	version, feat, err := helloExchange(conn, timeout, wantFeat)
 	if err != nil {
 		conn.Close()
 		if errors.Is(err, errUseV1) {
@@ -266,36 +284,36 @@ func (c *Cluster) muxGet(addr string, timeout time.Duration) (mc *muxConn, fresh
 		conn.Close()
 		return nil, true, errUseV1
 	}
-	mc = &muxConn{conn: conn, inflight: make(map[uint64]chan muxReply)}
+	mc = &muxConn{conn: conn, feat: feat & wantFeat, inflight: make(map[uint64]chan muxReply)}
 	e.conn = mc
 	go mc.readLoop()
 	return mc, true, nil
 }
 
-// helloExchange negotiates the protocol version on a fresh connection
-// using v1 framing, per DESIGN §7.
-func helloExchange(conn net.Conn, timeout time.Duration) (byte, error) {
+// helloExchange negotiates the protocol version (and feature flags) on
+// a fresh connection using v1 framing, per DESIGN §7.
+func helloExchange(conn net.Conn, timeout time.Duration, feat byte) (byte, byte, error) {
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 	defer conn.SetDeadline(time.Time{})
-	if err := wire.WriteFrame(conn, wire.MsgHello, wire.AppendHello(nil, wire.Version2)); err != nil {
-		return 0, fmt.Errorf("client: hello write: %w", err)
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.AppendHelloFeat(nil, wire.Version2, feat)); err != nil {
+		return 0, 0, fmt.Errorf("client: hello write: %w", err)
 	}
 	t, body, err := wire.ReadFrame(conn)
 	if err != nil {
-		return 0, fmt.Errorf("client: hello read: %w", err)
+		return 0, 0, fmt.Errorf("client: hello read: %w", err)
 	}
 	switch t {
 	case wire.MsgHelloAck:
-		v, err := wire.DecodeHelloAck(body)
+		v, ackFeat, err := wire.DecodeHelloAck(body)
 		if err != nil {
-			return 0, fmt.Errorf("client: %w", err)
+			return 0, 0, fmt.Errorf("client: %w", err)
 		}
-		return v, nil
+		return v, ackFeat, nil
 	case wire.MsgError:
 		// A v1 server rejects the unknown MsgHello frame — that IS the
 		// negotiation result.
-		return 0, errUseV1
+		return 0, 0, errUseV1
 	default:
-		return 0, fmt.Errorf("client: unexpected hello reply %v", t)
+		return 0, 0, fmt.Errorf("client: unexpected hello reply %v", t)
 	}
 }

@@ -22,12 +22,15 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dmap/internal/guid"
 	"dmap/internal/metrics"
+	"dmap/internal/trace"
 )
 
 // Engine metrics live on metrics.Default (the engine has no natural
@@ -69,6 +72,18 @@ func engMetrics() {
 	})
 }
 
+// engTracer, when set, samples Map calls into "engine.map" traces and
+// feeds slow work units into the slow-op log. Swappable at runtime
+// (dmapsim sets it from -trace-sample/-slow-op-ms before driving
+// experiments); a nil tracer keeps the hot loop untouched.
+var engTracer atomic.Pointer[trace.Tracer]
+
+// SetTracer attaches t to all subsequent Map calls (nil detaches).
+func SetTracer(t *trace.Tracer) { engTracer.Store(t) }
+
+// Tracer returns the engine's current tracer (nil when unset).
+func Tracer() *trace.Tracer { return engTracer.Load() }
+
 // ResolveWorkers maps a Workers configuration value to an actual worker
 // count: n <= 0 selects GOMAXPROCS, anything else is used as given.
 func ResolveWorkers(n int) int {
@@ -104,12 +119,22 @@ func Map[S, R any](workers, n int, newScratch func() S, eval func(unit int, scra
 	engMetrics()
 	engMaps.Inc()
 	engWorkers.Set(float64(workers))
+	tr := engTracer.Load()
+	sp := tr.StartOp("engine.map")
+	if sp != nil {
+		sp.Eventf("units=%d workers=%d", n, workers)
+	}
 	mapStart := time.Now()
 	defer func() {
 		engWallUs.Add(time.Since(mapStart).Microseconds())
+		tr.FinishOp(sp, "engine.map", guid.GUID{}, mapStart, nil)
 	}()
 	// timedEval wraps eval with per-unit latency accounting; it is the
-	// only difference between the instrumented and bare hot loops.
+	// only difference between the instrumented and bare hot loops. Spans
+	// are never opened per unit — worker interleaving would make the
+	// recorded tree depend on the worker count, which the determinism
+	// guarantee forbids — but units over the slow threshold land in the
+	// slow-op log (an unordered set, so concurrency-safe to observe).
 	timedEval := func(i int, scratch S) (R, error) {
 		t0 := time.Now()
 		r, err := eval(i, scratch)
@@ -117,6 +142,9 @@ func Map[S, R any](workers, n int, newScratch func() S, eval func(unit int, scra
 		engUnits.Inc()
 		engBusyUs.Add(d.Microseconds())
 		engUnitUs.ObserveDuration(d)
+		if tr.SlowEnabled() && d >= tr.SlowThreshold() {
+			tr.ObserveSlow("engine.unit", fmt.Sprintf("unit=%d of %d", i, n), t0)
+		}
 		return r, err
 	}
 

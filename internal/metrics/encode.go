@@ -34,6 +34,10 @@ type HistogramSnapshot struct {
 	// entries, the last being the overflow bucket (> Edges[last]).
 	Edges  []float64 `json:"edges"`
 	Counts []uint64  `json:"counts"`
+	// Exemplars, when present, has one entry per bucket: the last trace
+	// ID observed into that bucket (0 = none). JSON-only; the text
+	// encoding is unchanged by exemplars.
+	Exemplars []uint64 `json:"exemplars,omitempty"`
 }
 
 // Mean returns Sum/Count, or 0 when empty.

@@ -39,6 +39,10 @@ type Histogram struct {
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
 	min    atomic.Uint64 // float64 bits; +Inf when empty
 	max    atomic.Uint64 // float64 bits; -Inf when empty
+	// exemplars holds the last sampled trace ID observed per bucket
+	// (0 = none): the bridge from an aggregate tail bucket to the
+	// concrete trace in /debug/traces that landed there.
+	exemplars []atomic.Uint64
 }
 
 func newHistogram(edges []float64) *Histogram {
@@ -51,8 +55,9 @@ func newHistogram(edges []float64) *Histogram {
 		}
 	}
 	h := &Histogram{
-		edges:  edges,
-		counts: make([]atomic.Uint64, len(edges)+1), // +1 = overflow bucket
+		edges:     edges,
+		counts:    make([]atomic.Uint64, len(edges)+1), // +1 = overflow bucket
+		exemplars: make([]atomic.Uint64, len(edges)+1),
 	}
 	h.resetExtrema()
 	return h
@@ -70,15 +75,7 @@ const (
 
 // Observe records one sample. Unit is whatever the histogram's edges
 // are in (microseconds for the default layout).
-func (h *Histogram) Observe(v float64) {
-	// Smallest i with edges[i] >= v; len(edges) = overflow.
-	idx := sort.SearchFloat64s(h.edges, v)
-	h.counts[idx].Add(1)
-	h.count.Add(1)
-	atomicAddFloat(&h.sum, v)
-	atomicMinFloat(&h.min, v)
-	atomicMaxFloat(&h.max, v)
-}
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
 
 // ObserveDuration records d in microseconds (the default edge unit).
 func (h *Histogram) ObserveDuration(d time.Duration) {
@@ -90,6 +87,29 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.ObserveDuration(time.Since(t0))
 }
 
+// ObserveExemplar records one sample and, when traceID is non-zero,
+// remembers it as the bucket's exemplar — last writer wins, which for
+// monitoring is exactly right: the freshest trace that landed in a
+// bucket is the one worth opening.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	// Smallest i with edges[i] >= v; len(edges) = overflow.
+	idx := sort.SearchFloat64s(h.edges, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+	atomicMinFloat(&h.min, v)
+	atomicMaxFloat(&h.max, v)
+	if traceID != 0 {
+		h.exemplars[idx].Store(traceID)
+	}
+}
+
+// ObserveSinceExemplar records the elapsed microseconds since t0 with a
+// trace-ID exemplar (0 = no exemplar, plain observation).
+func (h *Histogram) ObserveSinceExemplar(t0 time.Time, traceID uint64) {
+	h.ObserveExemplar(float64(time.Since(t0).Nanoseconds())/1e3, traceID)
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -98,6 +118,9 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)
+	}
+	for i := range h.exemplars {
+		h.exemplars[i].Store(0)
 	}
 	h.count.Store(0)
 	h.sum.Store(0)
@@ -120,6 +143,17 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.Min = floatFromBits(h.min.Load())
 		s.Max = floatFromBits(h.max.Load())
+	}
+	// Exemplars only when at least one exists: the field is omitted from
+	// JSON otherwise and the text encoding never shows it, so histograms
+	// observed without trace IDs snapshot exactly as before.
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]uint64, len(h.counts))
+			}
+			s.Exemplars[i] = e
+		}
 	}
 	return s
 }

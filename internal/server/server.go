@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -22,6 +21,7 @@ import (
 
 	"dmap/internal/metrics"
 	"dmap/internal/store"
+	"dmap/internal/trace"
 	"dmap/internal/wire"
 )
 
@@ -29,7 +29,14 @@ import (
 // Start, stop with Close.
 type Node struct {
 	store  *store.Store
-	logger *log.Logger
+	logger *trace.Logger
+	// tracer, when set, joins sampled request traces arriving over the
+	// v2 trace extension and feeds the slow-op log. Nil = tracing off;
+	// the frame loop then never touches trace state.
+	tracer *trace.Tracer
+	// hot profiles the per-node request stream (§IV-C): which GUIDs
+	// dominate this node's lookup and insert load. Nil = off.
+	hot *trace.HotKeys
 
 	// mu guards listener lifecycle state only: listener, conns and
 	// closed. Request handling never takes it — the store has its own
@@ -88,19 +95,35 @@ type Stats struct {
 	BadRequests int64
 }
 
+// Options configures optional node subsystems. The zero value is a
+// quiet node: no logging, no tracing, no hot-key profiling.
+type Options struct {
+	// Logger receives structured key=value records; nil discards.
+	Logger *trace.Logger
+	// Tracer joins request traces and captures slow ops; nil = off.
+	Tracer *trace.Tracer
+	// HotKeys tracks the hottest GUIDs by lookup and insert load;
+	// nil = off.
+	HotKeys *trace.HotKeys
+}
+
 // New creates a node around st (a fresh store if nil). logger may be nil
 // to discard logs.
-func New(st *store.Store, logger *log.Logger) *Node {
+func New(st *store.Store, logger *trace.Logger) *Node {
+	return NewWithOptions(st, Options{Logger: logger})
+}
+
+// NewWithOptions creates a node with the full observability surface.
+func NewWithOptions(st *store.Store, opts Options) *Node {
 	if st == nil {
 		st = store.New()
-	}
-	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
 	}
 	reg := metrics.NewRegistry()
 	n := &Node{
 		store:   st,
-		logger:  logger,
+		logger:  opts.Logger,
+		tracer:  opts.Tracer,
+		hot:     opts.HotKeys,
 		conns:   make(map[net.Conn]struct{}),
 		reg:     reg,
 		inserts: reg.Counter("server.inserts"),
@@ -133,8 +156,39 @@ func New(st *store.Store, logger *log.Logger) *Node {
 		}
 		return 0
 	})
+	if n.hot != nil {
+		// Hot-key load exposure: the totals and the hottest single key's
+		// (over)count per class, enough for dashboards to spot a skewed
+		// stream without scraping /debug/hotkeys.
+		reg.GaugeFunc("server.hot.lookup_total", func() float64 {
+			l, _ := n.hot.Totals()
+			return float64(l)
+		})
+		reg.GaugeFunc("server.hot.insert_total", func() float64 {
+			_, i := n.hot.Totals()
+			return float64(i)
+		})
+		reg.GaugeFunc("server.hot.lookup_max", func() float64 {
+			if top := n.hot.TopLookups(1); len(top) > 0 {
+				return float64(top[0].Count)
+			}
+			return 0
+		})
+		reg.GaugeFunc("server.hot.insert_max", func() float64 {
+			if top := n.hot.TopInserts(1); len(top) > 0 {
+				return float64(top[0].Count)
+			}
+			return 0
+		})
+	}
 	return n
 }
+
+// Tracer returns the node's tracer (nil when tracing is off).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// HotKeys returns the node's hot-GUID trackers (nil when off).
+func (n *Node) HotKeys() *trace.HotKeys { return n.hot }
 
 // Store returns the node's mapping store.
 func (n *Node) Store() *store.Store { return n.store }
@@ -266,33 +320,40 @@ func (n *Node) replyErrAndClose(conn net.Conn, reason string) {
 // handle executes one decoded request and returns the response frame.
 // It is shared by the sequential v1 loop and the concurrent v2 loop and
 // is safe for concurrent use: the store has its own locking and every
-// counter is atomic. fatal reports a malformed or unknown frame — v1
-// closes the connection after replying (its anonymous framing gives no
-// way to resynchronize blame), while v2 replies under the offending
-// request ID and keeps the connection (identified framing stays intact).
-func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType wire.MsgType, out []byte, fatal bool) {
+// counter is atomic. sp, when non-nil, is the request's server-side
+// span: handle attaches a store child span around the state access.
+// fatal reports a malformed or unknown frame — v1 closes the connection
+// after replying (its anonymous framing gives no way to resynchronize
+// blame), while v2 replies under the offending request ID and keeps the
+// connection (identified framing stays intact).
+func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace.Span) (respType wire.MsgType, out []byte, fatal bool) {
 	start := time.Now()
 	switch t {
 	case wire.MsgInsert:
 		if n.draining.Load() {
 			n.rejects.Add(1)
+			sp.Eventf("rejected: draining")
 			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
 		}
 		e, _, err := wire.DecodeEntry(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			n.logger.Printf("bad insert from %s: %v", remote, err)
+			n.logger.Warn("bad insert", "remote", remote, "err", err)
 			return wire.MsgError, wire.AppendError(nil, "malformed insert"), true
 		}
-		if _, err := n.store.Put(e); err != nil {
+		n.hot.ObserveInsert(e.GUID)
+		st := sp.NewChild("store.put")
+		_, err = n.store.Put(e)
+		st.End()
+		if err != nil {
 			// A store-level refusal (validation) is the peer's fault;
 			// reject the request without tearing down the connection.
 			n.countErr()
-			n.logger.Printf("put: %v", err)
+			n.logger.Warn("store rejected entry", "remote", remote, "err", err)
 			return wire.MsgError, wire.AppendError(nil, "store rejected entry"), false
 		}
 		n.inserts.Add(1)
-		n.hInsert.ObserveSince(start)
+		n.hInsert.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgInsertAck, nil, false
 
 	case wire.MsgLookup:
@@ -301,7 +362,13 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType
 			n.badReqs.Add(1)
 			return wire.MsgError, wire.AppendError(nil, "malformed lookup"), true
 		}
+		n.hot.ObserveLookup(g)
+		st := sp.NewChild("store.get")
 		e, ok := n.store.Get(g)
+		if st != nil { // skip the arg boxing entirely when unsampled
+			st.Eventf("found=%t", ok)
+			st.End()
+		}
 		n.lookups.Add(1)
 		if ok {
 			n.hits.Add(1)
@@ -311,12 +378,13 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType
 			n.countErr()
 			return wire.MsgError, wire.AppendError(nil, "internal error"), false
 		}
-		n.hLookup.ObserveSince(start)
+		n.hLookup.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgLookupResp, out, false
 
 	case wire.MsgDelete:
 		if n.draining.Load() {
 			n.rejects.Add(1)
+			sp.Eventf("rejected: draining")
 			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
 		}
 		g, _, err := wire.DecodeGUID(payload)
@@ -324,13 +392,15 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType
 			n.badReqs.Add(1)
 			return wire.MsgError, wire.AppendError(nil, "malformed delete"), true
 		}
+		st := sp.NewChild("store.delete")
 		existed := n.store.Delete(g)
+		st.End()
 		n.deletes.Add(1)
 		flag := byte(0)
 		if existed {
 			flag = 1
 		}
-		n.hDelete.ObserveSince(start)
+		n.hDelete.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgDeleteAck, []byte{flag}, false
 
 	case wire.MsgPing:
@@ -344,12 +414,17 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType
 		entries, err := wire.DecodeBatchInsert(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			n.logger.Printf("bad batch insert from %s: %v", remote, err)
+			n.logger.Warn("bad batch insert", "remote", remote, "err", err)
 			return wire.MsgError, wire.AppendError(nil, "malformed batch insert"), true
 		}
 		n.hBatchSize.Observe(float64(len(entries)))
+		st := sp.NewChild("store.put_batch")
+		if st != nil {
+			st.Eventf("entries=%d", len(entries))
+		}
 		acked := make([]bool, len(entries))
 		for i, e := range entries {
+			n.hot.ObserveInsert(e.GUID)
 			if _, err := n.store.Put(e); err != nil {
 				n.countErr()
 				continue
@@ -357,42 +432,54 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr) (respType
 			acked[i] = true
 			n.inserts.Add(1)
 		}
+		st.End()
 		out, err = wire.AppendBatchInsertAck(nil, acked)
 		if err != nil {
 			n.countErr()
 			return wire.MsgError, wire.AppendError(nil, "internal error"), false
 		}
-		n.hBatchIns.ObserveSince(start)
+		n.hBatchIns.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgBatchInsertAck, out, false
 
 	case wire.MsgBatchLookup:
 		gs, err := wire.DecodeBatchLookup(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			n.logger.Printf("bad batch lookup from %s: %v", remote, err)
+			n.logger.Warn("bad batch lookup", "remote", remote, "err", err)
 			return wire.MsgError, wire.AppendError(nil, "malformed batch lookup"), true
 		}
 		n.hBatchSize.Observe(float64(len(gs)))
+		st := sp.NewChild("store.get_batch")
+		if st != nil {
+			st.Eventf("guids=%d", len(gs))
+		}
 		rs := make([]wire.LookupResp, len(gs))
+		hits := 0
 		for i, g := range gs {
+			n.hot.ObserveLookup(g)
 			e, ok := n.store.Get(g)
 			rs[i] = wire.LookupResp{Found: ok, Entry: e}
 			n.lookups.Add(1)
 			if ok {
 				n.hits.Add(1)
+				hits++
 			}
+		}
+		if st != nil {
+			st.Eventf("hits=%d", hits)
+			st.End()
 		}
 		out, err = wire.AppendBatchLookupResp(nil, rs)
 		if err != nil {
 			n.countErr()
 			return wire.MsgError, wire.AppendError(nil, "internal error"), false
 		}
-		n.hBatchLkp.ObserveSince(start)
+		n.hBatchLkp.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgBatchLookupResp, out, false
 
 	default:
 		n.countErr()
-		n.logger.Printf("unknown frame %v from %s", t, remote)
+		n.logger.Warn("unknown frame", "type", t, "remote", remote)
 		return wire.MsgError, wire.AppendError(nil, "unknown frame type"), true
 	}
 }
@@ -407,12 +494,12 @@ func (n *Node) serveConn(conn net.Conn) {
 		t, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				n.logger.Printf("read %s: %v", conn.RemoteAddr(), err)
+				n.logger.Debug("read failed", "remote", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}
 		if t == wire.MsgHello {
-			v, err := wire.DecodeHello(payload)
+			v, feat, err := wire.DecodeHello(payload)
 			if err != nil {
 				n.badReqs.Add(1)
 				n.replyErrAndClose(conn, "malformed hello")
@@ -421,17 +508,25 @@ func (n *Node) serveConn(conn net.Conn) {
 			if v > wire.Version2 {
 				v = wire.Version2
 			}
-			if err := wire.WriteFrame(conn, wire.MsgHelloAck, wire.AppendHelloAck(nil, v)); err != nil {
+			// Grant the intersection of what the peer asked for and what
+			// this node supports; the trace extension needs both v2
+			// framing and an attached tracer.
+			var granted byte
+			if v >= wire.Version2 && n.tracer != nil {
+				granted = feat & wire.FeatTrace
+			}
+			if err := wire.WriteFrame(conn, wire.MsgHelloAck, wire.AppendHelloAckFeat(nil, v, granted)); err != nil {
 				return
 			}
 			if v >= wire.Version2 {
 				n.v2Conns.Add(1)
-				n.serveConnV2(conn)
+				n.logger.Debug("v2 upgrade", "remote", conn.RemoteAddr(), "feat", granted)
+				n.serveConnV2(conn, granted)
 				return
 			}
 			continue // negotiated v1: stay sequential
 		}
-		respType, out, fatal := n.handle(t, payload, conn.RemoteAddr())
+		respType, out, fatal := n.handle(t, payload, conn.RemoteAddr(), nil)
 		if fatal {
 			// Anonymous framing cannot attribute the error to a request;
 			// reply and close so the peer does not mispair responses.
@@ -439,7 +534,7 @@ func (n *Node) serveConn(conn net.Conn) {
 			return
 		}
 		if err := wire.WriteFrame(conn, respType, out); err != nil {
-			n.logger.Printf("write %s: %v", conn.RemoteAddr(), err)
+			n.logger.Debug("write failed", "remote", conn.RemoteAddr(), "err", err)
 			return
 		}
 	}
@@ -456,7 +551,14 @@ const maxConnWorkers = 32
 // the whole point — a slow batch insert does not block the pings behind
 // it. Responses carry the request ID they answer; ordering is the
 // client demuxer's job.
-func (n *Node) serveConnV2(conn net.Conn) {
+//
+// feat holds the hello-granted feature flags: when FeatTrace was
+// negotiated, frames with the trace bit carry a trace-context prefix
+// that is stripped here, joined into a server-side span and answered
+// with the base frame type. Without the negotiation, a traced frame is
+// simply an unknown type — handle answers MsgError, the interop
+// contract for peers that never asked for the extension.
+func (n *Node) serveConnV2(conn net.Conn, feat byte) {
 	var (
 		wg  sync.WaitGroup
 		wmu sync.Mutex // serializes response writes
@@ -467,7 +569,7 @@ func (n *Node) serveConnV2(conn net.Conn) {
 		t, id, payload, err := wire.ReadFrameID(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				n.logger.Printf("read v2 %s: %v", conn.RemoteAddr(), err)
+				n.logger.Debug("v2 read failed", "remote", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}
@@ -481,12 +583,38 @@ func (n *Node) serveConnV2(conn net.Conn) {
 				<-sem
 				wg.Done()
 			}()
+			start := time.Now()
+			var tc trace.Context
+			if wire.IsTraced(t) && feat&wire.FeatTrace != 0 {
+				var terr error
+				tc, payload, terr = wire.DecodeTraceContext(payload)
+				if terr != nil {
+					n.badReqs.Add(1)
+					wmu.Lock()
+					werr := wire.WriteFrameID(conn, wire.MsgError, id,
+						wire.AppendError(nil, "malformed trace context"))
+					wmu.Unlock()
+					if werr != nil {
+						conn.Close()
+					}
+					return
+				}
+				t = wire.BaseType(t)
+			}
+			var sp *trace.Span
+			if tc.Sampled {
+				sp = n.tracer.StartSpanFromContext("server."+t.String(), tc)
+			}
 			// fatal is ignored: a malformed payload under identified
 			// framing is answered with MsgError on its own request ID
 			// and the connection stays usable — only a framing-layer
 			// error (handled by the read loop) desynchronizes the
 			// stream.
-			respType, out, _ := n.handle(t, payload, conn.RemoteAddr())
+			respType, out, _ := n.handle(t, payload, conn.RemoteAddr(), sp)
+			sp.End()
+			if n.tracer.SlowEnabled() {
+				n.tracer.ObserveServerOp("server."+t.String(), id, tc, start)
+			}
 			wmu.Lock()
 			err := wire.WriteFrameID(conn, respType, id, out)
 			wmu.Unlock()

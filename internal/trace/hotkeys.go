@@ -1,0 +1,157 @@
+// Hot-GUID profiling: a Space-Saving top-K tracker (Metwally, Agrawal,
+// El Abbadi: "Efficient computation of frequent and top-k elements in
+// data streams") per node, kept separately for lookups and inserts.
+//
+// This instruments the paper's §IV-C load-balance analysis directly:
+// DMap's uniform hash family balances *keys* across ASes, but a skewed
+// request stream (one viral GUID, one chatty mobile host) can still
+// overload a single replica set. Space-Saving bounds memory at exactly
+// K monitored keys while guaranteeing that any GUID with true
+// frequency above N/K is monitored, and reports a per-key
+// overestimation bound (Err) so consumers can tell a certain hot key
+// from a possibly-inflated one.
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"dmap/internal/guid"
+)
+
+// HotKey is one monitored key: Count overestimates the true frequency
+// by at most Err (Count - Err is a guaranteed lower bound).
+type HotKey struct {
+	GUID  guid.GUID
+	Count uint64
+	Err   uint64
+}
+
+// SpaceSaving is a fixed-capacity top-K frequency tracker. Safe for
+// concurrent use; Observe on a monitored key is a map hit and an
+// increment under a mutex, eviction is a linear min-scan over K
+// entries (K is small: tens).
+type SpaceSaving struct {
+	mu      sync.Mutex
+	cap     int
+	index   map[guid.GUID]int // GUID → entries slot
+	entries []HotKey
+	total   uint64
+}
+
+// NewSpaceSaving builds a tracker monitoring up to k keys (k < 1 is
+// clamped to 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{cap: k, index: make(map[guid.GUID]int, k)}
+}
+
+// Observe counts one occurrence of g.
+func (s *SpaceSaving) Observe(g guid.GUID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if i, ok := s.index[g]; ok {
+		s.entries[i].Count++
+		return
+	}
+	if len(s.entries) < s.cap {
+		s.index[g] = len(s.entries)
+		s.entries = append(s.entries, HotKey{GUID: g, Count: 1})
+		return
+	}
+	// Evict the minimum-count key: the newcomer inherits min+1 with
+	// error bound min — the Space-Saving replacement rule.
+	mi := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].Count < s.entries[mi].Count {
+			mi = i
+		}
+	}
+	e := &s.entries[mi]
+	delete(s.index, e.GUID)
+	s.index[g] = mi
+	e.Err = e.Count
+	e.Count++
+	e.GUID = g
+}
+
+// Top returns up to n monitored keys, hottest first (ties broken by
+// GUID for determinism). n <= 0 returns all monitored keys.
+func (s *SpaceSaving) Top(n int) []HotKey {
+	s.mu.Lock()
+	out := append([]HotKey(nil), s.entries...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].GUID.String() < out[j].GUID.String()
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Total returns the number of observations seen.
+func (s *SpaceSaving) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// HotKeys bundles the per-node trackers: lookup load and insert/update
+// load are separate distributions in §IV-C (query load vs storage
+// churn), so they are tracked separately. Nil-receiver safe.
+type HotKeys struct {
+	lookups *SpaceSaving
+	inserts *SpaceSaving
+}
+
+// NewHotKeys builds lookup and insert trackers of capacity k each.
+func NewHotKeys(k int) *HotKeys {
+	return &HotKeys{lookups: NewSpaceSaving(k), inserts: NewSpaceSaving(k)}
+}
+
+// ObserveLookup counts one lookup of g. No-op on nil.
+func (h *HotKeys) ObserveLookup(g guid.GUID) {
+	if h == nil {
+		return
+	}
+	h.lookups.Observe(g)
+}
+
+// ObserveInsert counts one insert/update of g. No-op on nil.
+func (h *HotKeys) ObserveInsert(g guid.GUID) {
+	if h == nil {
+		return
+	}
+	h.inserts.Observe(g)
+}
+
+// TopLookups returns the hottest lookup keys (nil-safe).
+func (h *HotKeys) TopLookups(n int) []HotKey {
+	if h == nil {
+		return nil
+	}
+	return h.lookups.Top(n)
+}
+
+// Totals returns the observed lookup and insert counts (0, 0 on nil).
+func (h *HotKeys) Totals() (lookups, inserts uint64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.lookups.Total(), h.inserts.Total()
+}
+
+// TopInserts returns the hottest insert keys (nil-safe).
+func (h *HotKeys) TopInserts(n int) []HotKey {
+	if h == nil {
+		return nil
+	}
+	return h.inserts.Top(n)
+}

@@ -1,0 +1,46 @@
+// Lock-free fixed-size ring buffer: the bounded-memory sink for
+// completed traces and slow-op records. Writers claim a slot with one
+// atomic increment and publish with one atomic pointer store; readers
+// never block writers. Entries are immutable once published (the
+// tracer deep-copies span data before putting), so a snapshot is a
+// plain pointer copy.
+package trace
+
+import "sync/atomic"
+
+type ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64 // total puts; next slot = next % len(slots)
+}
+
+func newRing[T any](size int) *ring[T] {
+	return &ring[T]{slots: make([]atomic.Pointer[T], size)}
+}
+
+// put publishes v, overwriting the oldest entry once the ring is full.
+func (r *ring[T]) put(v *T) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(v)
+}
+
+// total returns the number of puts ever made (≥ the retained count).
+func (r *ring[T]) total() uint64 { return r.next.Load() }
+
+// snapshot returns the retained entries, oldest first. Entries being
+// overwritten concurrently may be skipped or appear at either end —
+// the usual monitoring trade-off; no entry is ever returned torn.
+func (r *ring[T]) snapshot() []*T {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]*T, 0, n-start)
+	for i := start; i < n; i++ {
+		if v := r.slots[i%size].Load(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"dmap/internal/guid"
 	"dmap/internal/netaddr"
 	"dmap/internal/store"
+	"dmap/internal/trace"
 )
 
 // FuzzDecodeEntry hardens the wire decoder against arbitrary bytes: it
@@ -185,9 +186,9 @@ func FuzzDecodeFrameV2(f *testing.F) {
 		case MsgError:
 			_, _ = DecodeError(payload)
 		case MsgHello:
-			_, _ = DecodeHello(payload)
+			_, _, _ = DecodeHello(payload)
 		case MsgHelloAck:
-			_, _ = DecodeHelloAck(payload)
+			_, _, _ = DecodeHelloAck(payload)
 		case MsgBatchInsert:
 			_, _ = DecodeBatchInsert(payload)
 		case MsgBatchInsertAck:
@@ -228,9 +229,37 @@ func FuzzDecodeBatchInsert(f *testing.F) {
 func FuzzDecodeHello(f *testing.F) {
 	f.Add(AppendHello(nil, Version2))
 	f.Add(AppendHelloAck(nil, Version1))
+	f.Add(AppendHelloFeat(nil, Version2, FeatTrace))
+	f.Add(AppendHelloAckFeat(nil, Version2, FeatTrace))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		_, _ = DecodeHello(data)
-		_, _ = DecodeHelloAck(data)
+		_, _, _ = DecodeHello(data)
+		_, _, _ = DecodeHelloAck(data)
+	})
+}
+
+// FuzzDecodeTraceContext hardens the trace-context prefix decoder: it
+// must never panic, and accepted prefixes must re-encode canonically.
+func FuzzDecodeTraceContext(f *testing.F) {
+	f.Add(AppendTraceContext(nil, trace.Context{Trace: 0xDEADBEEF, Span: 3, Sampled: true}))
+	f.Add(AppendTraceContext(nil, trace.Context{Trace: 1}))
+	f.Add(append(AppendTraceContext(nil, trace.Context{Trace: 7, Sampled: true}), 0xAA, 0xBB))
+	f.Add(bytes.Repeat([]byte{0xFF}, TraceContextLen))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tc, rest, err := DecodeTraceContext(data)
+		if err != nil {
+			return
+		}
+		if tc.Trace == 0 {
+			t.Fatal("accepted zero trace ID")
+		}
+		if len(rest) != len(data)-TraceContextLen {
+			t.Fatalf("rest = %d bytes, want %d", len(rest), len(data)-TraceContextLen)
+		}
+		enc := AppendTraceContext(nil, tc)
+		if !bytes.Equal(enc, data[:TraceContextLen]) {
+			t.Fatalf("re-encoding differs: %x vs %x", enc, data[:TraceContextLen])
+		}
 	})
 }
 

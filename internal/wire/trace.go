@@ -1,0 +1,97 @@
+// Trace-context propagation: the v2 frame extension behind the
+// internal/trace distributed tracer.
+//
+// The extension is negotiated per connection: a client advertising
+// FeatTrace in its MsgHello, answered by a server echoing FeatTrace in
+// MsgHelloAck, may send *traced frames* — request frames whose type
+// byte carries the high TraceBit and whose payload is prefixed with a
+// fixed 17-byte trace context: trace ID(8) ‖ parent span ID(8) ‖
+// flags(1). Responses are never traced (the client already owns the
+// trace). Peers that never negotiated the feature never see the bit:
+// v1 framing is untouched, and a v2 server that did not advertise
+// FeatTrace receives only plain frames — backward compatible by
+// construction rather than by tolerance.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"dmap/internal/trace"
+)
+
+// Hello feature flags (bitmask). A flag appears in a MsgHelloAck only
+// if the hello advertised it, so either side can veto an extension.
+const (
+	// FeatTrace enables traced request frames on the connection.
+	FeatTrace byte = 1 << 0
+)
+
+// TraceBit marks a frame type as trace-prefixed. The bit is outside
+// the range of defined message types, so an un-negotiated traced frame
+// decodes as an unknown type and is rejected, not misparsed.
+const TraceBit MsgType = 0x80
+
+// TraceContextLen is the fixed size of the wire trace context:
+// trace ID(8) ‖ parent span ID(8) ‖ flags(1).
+const TraceContextLen = 17
+
+// traceFlagSampled is the only defined context flag bit.
+const traceFlagSampled = 0x01
+
+// ErrBadTraceContext reports a malformed trace-context prefix.
+var ErrBadTraceContext = errors.New("wire: malformed trace context")
+
+// WithTrace sets the trace bit on a frame type.
+func WithTrace(t MsgType) MsgType { return t | TraceBit }
+
+// IsTraced reports whether a frame type carries the trace bit.
+func IsTraced(t MsgType) bool { return t&TraceBit != 0 }
+
+// BaseType strips the trace bit, returning the underlying frame type.
+func BaseType(t MsgType) MsgType { return t &^ TraceBit }
+
+// AppendTraceContext encodes a trace context prefix.
+func AppendTraceContext(dst []byte, tc trace.Context) []byte {
+	var buf [TraceContextLen]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(tc.Trace))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(tc.Span))
+	if tc.Sampled {
+		buf[16] = traceFlagSampled
+	}
+	return append(dst, buf[:]...)
+}
+
+// DecodeTraceContext decodes a trace context prefix and returns the
+// remaining payload. Unknown flag bits and a zero trace ID are
+// rejected: an honest sender never produces either, and strictness
+// here keeps the flag space available for future extensions.
+func DecodeTraceContext(b []byte) (trace.Context, []byte, error) {
+	if len(b) < TraceContextLen {
+		return trace.Context{}, nil, ErrBadTraceContext
+	}
+	flags := b[16]
+	if flags&^byte(traceFlagSampled) != 0 {
+		return trace.Context{}, nil, ErrBadTraceContext
+	}
+	tc := trace.Context{
+		Trace:   trace.TraceID(binary.BigEndian.Uint64(b[0:8])),
+		Span:    trace.SpanID(binary.BigEndian.Uint64(b[8:16])),
+		Sampled: flags&traceFlagSampled != 0,
+	}
+	if tc.Trace == 0 {
+		return trace.Context{}, nil, ErrBadTraceContext
+	}
+	return tc, b[TraceContextLen:], nil
+}
+
+// WriteFrameIDTrace writes one traced identified frame: the frame type
+// gains TraceBit and the payload is prefixed with tc. Callers must
+// have negotiated FeatTrace on the connection.
+func WriteFrameIDTrace(w io.Writer, t MsgType, id uint64, tc trace.Context, payload []byte) error {
+	buf := make([]byte, 0, TraceContextLen+len(payload))
+	buf = AppendTraceContext(buf, tc)
+	buf = append(buf, payload...)
+	return WriteFrameID(w, WithTrace(t), id, buf)
+}

@@ -43,38 +43,72 @@ const helloMagic = 0x444D6150 // "DMaP"
 // ErrBadHello reports a MsgHello payload that is not a DMap handshake.
 var ErrBadHello = errors.New("wire: malformed hello")
 
-// AppendHello encodes a MsgHello body: magic(4) ‖ version(1).
+// AppendHello encodes a MsgHello body with no feature flags:
+// magic(4) ‖ version(1). Kept as the canonical legacy form so peers
+// that predate feature negotiation byte-match what they always sent.
 func AppendHello(dst []byte, version byte) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
-	return append(dst, version)
+	return AppendHelloFeat(dst, version, 0)
 }
 
-// DecodeHello decodes a MsgHello body and returns the requested version.
-func DecodeHello(b []byte) (byte, error) {
-	if len(b) != 5 {
-		return 0, ErrBadHello
+// AppendHelloFeat encodes a MsgHello body advertising feature flags:
+// magic(4) ‖ version(1) [‖ feat(1)]. A zero feat byte is omitted,
+// producing the exact legacy 5-byte encoding — a peer that requests no
+// extensions is indistinguishable from one that predates them.
+func AppendHelloFeat(dst []byte, version, feat byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, helloMagic)
+	dst = append(dst, version)
+	if feat != 0 {
+		dst = append(dst, feat)
+	}
+	return dst
+}
+
+// DecodeHello decodes a MsgHello body and returns the requested
+// version and feature flags. Both the 5-byte legacy form (feat = 0)
+// and the 6-byte feature form are accepted.
+func DecodeHello(b []byte) (version, feat byte, err error) {
+	if len(b) != 5 && len(b) != 6 {
+		return 0, 0, ErrBadHello
 	}
 	if binary.BigEndian.Uint32(b) != helloMagic {
-		return 0, ErrBadHello
+		return 0, 0, ErrBadHello
 	}
 	v := b[4]
 	if v < Version1 {
-		return 0, ErrBadHello
+		return 0, 0, ErrBadHello
 	}
-	return v, nil
+	if len(b) == 6 {
+		feat = b[5]
+	}
+	return v, feat, nil
 }
 
-// AppendHelloAck encodes a MsgHelloAck body: the accepted version.
+// AppendHelloAck encodes a MsgHelloAck body with no feature flags.
 func AppendHelloAck(dst []byte, version byte) []byte {
-	return append(dst, version)
+	return AppendHelloAckFeat(dst, version, 0)
 }
 
-// DecodeHelloAck decodes a MsgHelloAck body.
-func DecodeHelloAck(b []byte) (byte, error) {
-	if len(b) != 1 || b[0] < Version1 {
-		return 0, fmt.Errorf("wire: malformed hello ack")
+// AppendHelloAckFeat encodes a MsgHelloAck body: the accepted version,
+// then — only when non-zero — the accepted feature flags. The accepted
+// set must be a subset of what the hello advertised.
+func AppendHelloAckFeat(dst []byte, version, feat byte) []byte {
+	dst = append(dst, version)
+	if feat != 0 {
+		dst = append(dst, feat)
 	}
-	return b[0], nil
+	return dst
+}
+
+// DecodeHelloAck decodes a MsgHelloAck body, returning the accepted
+// version and feature flags (1- and 2-byte forms).
+func DecodeHelloAck(b []byte) (version, feat byte, err error) {
+	if (len(b) != 1 && len(b) != 2) || b[0] < Version1 {
+		return 0, 0, fmt.Errorf("wire: malformed hello ack")
+	}
+	if len(b) == 2 {
+		feat = b[1]
+	}
+	return b[0], feat, nil
 }
 
 // idSize is the per-frame request-ID width in v2 framing.

@@ -21,26 +21,59 @@ func testEntry(i int) store.Entry {
 
 func TestHelloRoundTrip(t *testing.T) {
 	b := AppendHello(nil, Version2)
-	v, err := DecodeHello(b)
-	if err != nil || v != Version2 {
-		t.Fatalf("DecodeHello = %d, %v; want %d, nil", v, err, Version2)
+	if len(b) != 5 {
+		t.Fatalf("legacy hello = %d bytes, want 5", len(b))
+	}
+	v, feat, err := DecodeHello(b)
+	if err != nil || v != Version2 || feat != 0 {
+		t.Fatalf("DecodeHello = %d, %#x, %v; want %d, 0, nil", v, feat, err, Version2)
 	}
 	for _, bad := range [][]byte{nil, {1, 2, 3, 4}, {0, 0, 0, 0, 2}, AppendHello(nil, 0)} {
-		if _, err := DecodeHello(bad); err == nil {
+		if _, _, err := DecodeHello(bad); err == nil {
 			t.Fatalf("DecodeHello(%v) accepted malformed hello", bad)
 		}
 	}
 
 	ack := AppendHelloAck(nil, Version2)
-	v, err = DecodeHelloAck(ack)
-	if err != nil || v != Version2 {
-		t.Fatalf("DecodeHelloAck = %d, %v; want %d, nil", v, err, Version2)
+	if len(ack) != 1 {
+		t.Fatalf("legacy hello ack = %d bytes, want 1", len(ack))
 	}
-	if _, err := DecodeHelloAck([]byte{0}); err == nil {
+	v, feat, err = DecodeHelloAck(ack)
+	if err != nil || v != Version2 || feat != 0 {
+		t.Fatalf("DecodeHelloAck = %d, %#x, %v; want %d, 0, nil", v, feat, err, Version2)
+	}
+	if _, _, err := DecodeHelloAck([]byte{0}); err == nil {
 		t.Fatal("DecodeHelloAck accepted version 0")
 	}
-	if _, err := DecodeHelloAck(nil); err == nil {
+	if _, _, err := DecodeHelloAck(nil); err == nil {
 		t.Fatal("DecodeHelloAck accepted empty payload")
+	}
+}
+
+func TestHelloFeatRoundTrip(t *testing.T) {
+	b := AppendHelloFeat(nil, Version2, FeatTrace)
+	if len(b) != 6 {
+		t.Fatalf("feature hello = %d bytes, want 6", len(b))
+	}
+	v, feat, err := DecodeHello(b)
+	if err != nil || v != Version2 || feat != FeatTrace {
+		t.Fatalf("DecodeHello = %d, %#x, %v; want %d, %#x, nil", v, feat, err, Version2, FeatTrace)
+	}
+	// A zero feat byte collapses to the canonical legacy encoding.
+	if got := AppendHelloFeat(nil, Version2, 0); len(got) != 5 {
+		t.Fatalf("zero-feat hello = %d bytes, want legacy 5", len(got))
+	}
+
+	ack := AppendHelloAckFeat(nil, Version2, FeatTrace)
+	if len(ack) != 2 {
+		t.Fatalf("feature hello ack = %d bytes, want 2", len(ack))
+	}
+	v, feat, err = DecodeHelloAck(ack)
+	if err != nil || v != Version2 || feat != FeatTrace {
+		t.Fatalf("DecodeHelloAck = %d, %#x, %v; want %d, %#x, nil", v, feat, err, Version2, FeatTrace)
+	}
+	if got := AppendHelloAckFeat(nil, Version2, 0); len(got) != 1 {
+		t.Fatalf("zero-feat hello ack = %d bytes, want legacy 1", len(got))
 	}
 }
 

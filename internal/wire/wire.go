@@ -45,6 +45,9 @@ const (
 
 // String names the frame type.
 func (t MsgType) String() string {
+	if IsTraced(t) {
+		return "traced+" + BaseType(t).String()
+	}
 	switch t {
 	case MsgInsert:
 		return "insert"
@@ -90,16 +93,21 @@ const MaxFrame = 16 * 1024
 const MaxBatchFrame = 64 * 1024
 
 // MaxPayload returns the payload bound for a frame type: batch frames
-// are allowed MaxBatchFrame, everything else MaxFrame. Both sides of
-// the protocol enforce it symmetrically, so a frame one peer can encode
-// is a frame the other will accept.
+// are allowed MaxBatchFrame, everything else MaxFrame; a traced frame
+// (TraceBit set) is allowed its base type's bound plus the fixed
+// trace-context prefix. Both sides of the protocol enforce it
+// symmetrically, so a frame one peer can encode is a frame the other
+// will accept.
 func MaxPayload(t MsgType) int {
-	switch t {
+	bound := MaxFrame
+	switch BaseType(t) {
 	case MsgBatchInsert, MsgBatchInsertAck, MsgBatchLookup, MsgBatchLookupResp:
-		return MaxBatchFrame
-	default:
-		return MaxFrame
+		bound = MaxBatchFrame
 	}
+	if IsTraced(t) {
+		bound += TraceContextLen
+	}
+	return bound
 }
 
 // Frame errors.

@@ -4,6 +4,7 @@
 #   scripts/bench.sh           # micro-benchmarks -> BENCH_<date>.json
 #   scripts/bench.sh smoke     # CI gate: metrics overhead budget
 #   scripts/bench.sh pipelined # v1 vs v2 transport throughput gate
+#   scripts/bench.sh trace     # tracing-off request overhead gate
 #
 # Default mode runs the hot-path micro-benchmarks (hashing, prefix
 # match, placement, wire codec, store ops, metrics primitives) with
@@ -23,6 +24,15 @@
 # pipelined) sustains at least BENCH_SPEEDUP_MIN (default 3) times the
 # v1 throughput, and appends the measurements plus the speedup records
 # to BENCH_<date>.json.
+#
+# Trace mode runs the request-path tracing benchmarks
+# (BenchmarkRequestTraceOff / BenchmarkRequestTraceOn) against the
+# pre-tracing baseline (BenchmarkTCPLookup) and asserts that the
+# trace-capable path with tracing DISABLED stays within
+# BENCH_TOLERANCE_PCT (default 5%) of the baseline — the DESIGN.md §8
+# tracing-off budget — then appends all three rows to BENCH_<date>.json.
+# The fully-sampled cost (TraceOn vs TraceOff) is reported but not
+# gated: 100% sampling is a debugging posture, not a production one.
 #
 # Each benchmark runs -count times; the minimum ns/op is compared (the
 # minimum is the least noisy location statistic for benchmarks).
@@ -46,6 +56,44 @@ min_ns() {
         $1 ~ "^"name"(-[0-9]+)?$" { if (min == "" || $3 < min) min = $3 }
         END { if (min == "") { exit 1 }; print min }
     ' "$2"
+}
+
+# min_bytes / min_allocs <name> <file>: B/op and allocs/op of the
+# minimum-ns/op run of one benchmark (the run the gates compare).
+min_bytes() {
+    awk -v name="$1" -v want="B/op" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            if (min == "" || $3 < min) {
+                min = $3; v = "null"
+                for (i = 4; i <= NF; i++) if ($i == want) v = $(i-1)
+            }
+        }
+        END { if (min == "") { exit 1 }; print v }
+    ' "$2"
+}
+min_allocs() {
+    awk -v name="$1" -v want="allocs/op" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            if (min == "" || $3 < min) {
+                min = $3; v = "null"
+                for (i = 4; i <= NF; i++) if ($i == want) v = $(i-1)
+            }
+        }
+        END { if (min == "") { exit 1 }; print v }
+    ' "$2"
+}
+
+# append_records <file> <records>: add JSON rows to today's record set,
+# creating the file if it does not exist yet.
+append_records() {
+    if [ -s "$1" ]; then
+        tmp=$(mktemp)
+        sed '$d' "$1" > "$tmp"
+        { cat "$tmp"; printf ",\n%s\n]\n" "$2"; } > "$1"
+        rm -f "$tmp"
+    else
+        printf "[\n%s\n]\n" "$2" > "$1"
+    fi
 }
 
 case "$mode" in
@@ -114,23 +162,23 @@ pipelined)
     v2=$(min_ns BenchmarkLookup64ClientsV2 "$raw")
     v2b=$(min_ns BenchmarkLookup64ClientsV2Batch "$raw")
 
-    records=$(awk -v date="$date_tag" -v v1="$v1" -v v2="$v2" -v v2b="$v2b" '
+    # -benchmem is always on, so B/op and allocs/op are real numbers
+    # here, not nulls (taken from the same minimum-ns run the gate uses).
+    records=$(awk -v date="$date_tag" -v v1="$v1" -v v2="$v2" -v v2b="$v2b" \
+        -v v1b="$(min_bytes BenchmarkLookup64ClientsV1 "$raw")" \
+        -v v1a="$(min_allocs BenchmarkLookup64ClientsV1 "$raw")" \
+        -v v2bytes="$(min_bytes BenchmarkLookup64ClientsV2 "$raw")" \
+        -v v2a="$(min_allocs BenchmarkLookup64ClientsV2 "$raw")" \
+        -v v2bb="$(min_bytes BenchmarkLookup64ClientsV2Batch "$raw")" \
+        -v v2ba="$(min_allocs BenchmarkLookup64ClientsV2Batch "$raw")" '
         BEGIN {
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV1\", \"ns_per_op\": %s, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v1
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2\", \"ns_per_op\": %s, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v2
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2Batch\", \"ns_per_op\": %s, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v2b
-            printf "  {\"date\": \"%s\", \"name\": \"speedup.v2_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": null, \"allocs_per_op\": null},\n", date, v1 / v2
-            printf "  {\"date\": \"%s\", \"name\": \"speedup.v2batch_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": null, \"allocs_per_op\": null}", date, v1 / v2b
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV1\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, v1, v1b, v1a
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, v2, v2bytes, v2a
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2Batch\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, v2b, v2bb, v2ba
+            printf "  {\"date\": \"%s\", \"name\": \"speedup.v2_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": 0, \"allocs_per_op\": 0},\n", date, v1 / v2
+            printf "  {\"date\": \"%s\", \"name\": \"speedup.v2batch_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", date, v1 / v2b
         }')
-    if [ -s "$out" ]; then
-        # Append to today's record set: drop the closing bracket, add rows.
-        tmp=$(mktemp)
-        sed '$d' "$out" > "$tmp"
-        { cat "$tmp"; printf ",\n%s\n]\n" "$records"; } > "$out"
-        rm -f "$tmp"
-    else
-        printf "[\n%s\n]\n" "$records" > "$out"
-    fi
+    append_records "$out" "$records"
     echo "wrote $out"
 
     awk -v v1="$v1" -v v2="$v2" -v v2b="$v2b" -v minx="$speedup_min" '
@@ -144,8 +192,52 @@ pipelined)
     echo "v2 transport meets the ${speedup_min}x throughput target"
     ;;
 
+trace)
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    run_bench '^(BenchmarkTCPLookup|BenchmarkRequestTraceOff|BenchmarkRequestTraceOn)$' \
+        | tee "$raw"
+
+    base=$(min_ns BenchmarkTCPLookup "$raw")
+    off=$(min_ns BenchmarkRequestTraceOff "$raw")
+    on=$(min_ns BenchmarkRequestTraceOn "$raw")
+    base_allocs=$(min_allocs BenchmarkTCPLookup "$raw")
+    off_allocs=$(min_allocs BenchmarkRequestTraceOff "$raw")
+
+    records=$(awk -v date="$date_tag" -v base="$base" -v off="$off" -v on="$on" \
+        -v baseb="$(min_bytes BenchmarkTCPLookup "$raw")" -v basea="$base_allocs" \
+        -v offb="$(min_bytes BenchmarkRequestTraceOff "$raw")" -v offa="$off_allocs" \
+        -v onb="$(min_bytes BenchmarkRequestTraceOn "$raw")" \
+        -v ona="$(min_allocs BenchmarkRequestTraceOn "$raw")" '
+        BEGIN {
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkTCPLookup\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, base, baseb, basea
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkRequestTraceOff\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, off, offb, offa
+            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkRequestTraceOn\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", date, on, onb, ona
+        }')
+    append_records "$out" "$records"
+    echo "wrote $out"
+
+    awk -v base="$base" -v off="$off" -v tol="$tolerance" '
+        BEGIN {
+            pct = (off - base) / base * 100
+            printf "tracing off: %.1f ns -> %.1f ns (%+.2f%%, budget %s%%)\n", base, off, pct, tol
+            exit (pct > tol) ? 1 : 0
+        }' || { echo "FAIL: tracing-off request path over budget" >&2; exit 1; }
+
+    if [ "$off_allocs" != "$base_allocs" ]; then
+        echo "FAIL: tracing-off path allocates ($off_allocs allocs/op, baseline $base_allocs)" >&2
+        exit 1
+    fi
+
+    awk -v off="$off" -v on="$on" '
+        BEGIN { printf "tracing on (100%% sampled): %.1f ns -> %.1f ns (%+.2f%%, informational)\n", off, on, (on - off) / off * 100 }'
+    echo "tracing-off request path within budget"
+    ;;
+
 *)
-    echo "usage: $0 [micro|smoke|pipelined]" >&2
+    echo "usage: $0 [micro|smoke|pipelined|trace]" >&2
     exit 2
     ;;
 esac

@@ -26,5 +26,11 @@ go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
 go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
 go test -race ./internal/server/... ./internal/client/... ./internal/metrics/...
+go test -race ./internal/trace/...
 go test -race ./internal/experiments/... -run 'BatchFrameModel|Determinism'
 go test -race -run '^$' -bench '^BenchmarkLookup64ClientsV2$' -benchtime=10x .
+
+# Fuzz smoke on the trace-context wire extension: ten seconds of live
+# fuzzing over DecodeTraceContext (the seed corpus alone replays in the
+# -race run above; this hunts new frames).
+go test -run '^$' -fuzz '^FuzzDecodeTraceContext$' -fuzztime=10s ./internal/wire
