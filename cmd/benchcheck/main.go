@@ -1,0 +1,81 @@
+// Command benchcheck validates benchmark record files: every file named
+// on the command line (or every BENCH_*.json in the current directory
+// when none is) must be a well-formed JSON array of benchmark records.
+// scripts/bench.sh runs it after every append and CI runs it over the
+// whole set, so a malformed emit fails the build the day it happens
+// instead of corrupting the longitudinal record silently.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// record is one benchmark measurement row. NsPerOp is required;
+// BytesPerOp and AllocsPerOp are null for benchmarks run without
+// -benchmem (and zero for derived rows like speedups).
+type record struct {
+	Date        string   `json:"date"`
+	Name        string   `json:"name"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var records []record
+	if err := dec.Decode(&records); err != nil {
+		return fmt.Errorf("not a valid benchmark record array: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the record array")
+	}
+	for i, r := range records {
+		if r.Date == "" {
+			return fmt.Errorf("record %d: missing date", i)
+		}
+		if r.Name == "" {
+			return fmt.Errorf("record %d: missing name", i)
+		}
+		if r.NsPerOp == nil {
+			return fmt.Errorf("record %d (%s): missing ns_per_op", i, r.Name)
+		}
+	}
+	fmt.Printf("%s: %d records ok\n", path, len(records))
+	return nil
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+	}
+	if len(files) == 0 {
+		fmt.Println("benchcheck: no BENCH_*.json files to validate")
+		return
+	}
+	failed := false
+	for _, f := range files {
+		if err := checkFile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", f, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -111,10 +111,11 @@ func (c *Cluster) insertChunk(sp *trace.Span, as int, entries []store.Entry, idx
 	for j, i := range idxs {
 		batch[j] = entries[i]
 	}
-	payload, err := wire.AppendBatchInsert(nil, batch)
+	payload, err := wire.AppendBatchInsert(payloadBufs.Get(256), batch)
 	if err != nil {
 		return nil, err
 	}
+	defer payloadBufs.Put(payload) // c.call is synchronous
 	c.m.batchSize.Observe(float64(len(batch)))
 	ch := sp.NewChild("chunk")
 	ch.Eventf("as=%d entries=%d", as, len(batch))
@@ -128,9 +129,11 @@ func (c *Cluster) insertChunk(sp *trace.Span, as int, entries []store.Entry, idx
 		return nil, err
 	}
 	if t != wire.MsgBatchInsertAck {
+		putBody(body)
 		return nil, fmt.Errorf("client: unexpected frame %v", t)
 	}
 	got, err := wire.DecodeBatchInsertAck(body)
+	putBody(body) // DecodeBatchInsertAck copied the flags
 	if err != nil {
 		return nil, err
 	}
@@ -144,11 +147,13 @@ func (c *Cluster) insertChunk(sp *trace.Span, as int, entries []store.Entry, idx
 func (c *Cluster) insertChunkPerItem(sp *trace.Span, as int, batch []store.Entry, opDeadline time.Time) ([]bool, error) {
 	acked := make([]bool, len(batch))
 	for i, e := range batch {
-		payload, err := wire.AppendEntry(nil, e)
+		payload, err := wire.AppendEntry(payloadBufs.Get(128), e)
 		if err != nil {
 			return nil, err
 		}
-		t, _, err := c.call(sp, as, wire.MsgInsert, payload, opDeadline)
+		t, body, err := c.call(sp, as, wire.MsgInsert, payload, opDeadline)
+		payloadBufs.Put(payload)
+		putBody(body)
 		acked[i] = err == nil && t == wire.MsgInsertAck
 	}
 	return acked, nil
@@ -258,10 +263,11 @@ func (c *Cluster) lookupChunk(sp *trace.Span, as int, gs []guid.GUID, idxs []int
 	for j, i := range idxs {
 		batch[j] = gs[i]
 	}
-	payload, err := wire.AppendBatchLookup(nil, batch)
+	payload, err := wire.AppendBatchLookup(payloadBufs.Get(256), batch)
 	if err != nil {
 		return nil, err
 	}
+	defer payloadBufs.Put(payload) // c.call is synchronous
 	c.m.batchSize.Observe(float64(len(batch)))
 	ch := sp.NewChild("chunk")
 	ch.Eventf("as=%d guids=%d", as, len(batch))
@@ -275,9 +281,11 @@ func (c *Cluster) lookupChunk(sp *trace.Span, as int, gs []guid.GUID, idxs []int
 		return nil, err
 	}
 	if t != wire.MsgBatchLookupResp {
+		putBody(body)
 		return nil, fmt.Errorf("client: unexpected frame %v", t)
 	}
 	rs, err := wire.DecodeBatchLookupResp(body)
+	putBody(body) // DecodeBatchLookupResp copied every entry
 	if err != nil {
 		return nil, err
 	}
@@ -291,11 +299,16 @@ func (c *Cluster) lookupChunk(sp *trace.Span, as int, gs []guid.GUID, idxs []int
 func (c *Cluster) lookupChunkPerItem(sp *trace.Span, as int, batch []guid.GUID, opDeadline time.Time) ([]wire.LookupResp, error) {
 	rs := make([]wire.LookupResp, len(batch))
 	for i, g := range batch {
-		t, body, err := c.call(sp, as, wire.MsgLookup, wire.AppendGUID(nil, g), opDeadline)
+		payload := wire.AppendGUID(payloadBufs.Get(32), g)
+		t, body, err := c.call(sp, as, wire.MsgLookup, payload, opDeadline)
+		payloadBufs.Put(payload)
 		if err != nil || t != wire.MsgLookupResp {
+			putBody(body)
 			continue // counts as a miss at this replica
 		}
-		if resp, err := wire.DecodeLookupResp(body); err == nil {
+		resp, derr := wire.DecodeLookupResp(body)
+		putBody(body)
+		if derr == nil {
 			rs[i] = resp
 		}
 	}

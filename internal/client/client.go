@@ -102,6 +102,11 @@ type Cluster struct {
 	// peers. It defaults to (*Cluster).roundTrip and exists so tests can
 	// script per-attempt outcomes (e.g. a stale conn on the second
 	// attempt) that are impractical to stage over a real socket.
+	// Buffer contract (DESIGN.md §9): the payload is only valid for the
+	// duration of the call — implementations must not retain it — and
+	// the returned body may be pool-owned; the op layer releases it with
+	// putBody once decoded, so implementations must return bodies they
+	// own (fresh or pooled, never a shared buffer they reuse).
 	transport func(addr string, t wire.MsgType, tc trace.Context, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error)
 }
 
@@ -248,10 +253,13 @@ func (c *Cluster) Insert(e store.Entry) (acked int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	payload, err := wire.AppendEntry(nil, e)
+	payload, err := wire.AppendEntry(payloadBufs.Get(128), e)
 	if err != nil {
 		return 0, err
 	}
+	// Every goroutine below is joined by wg.Wait before the payload is
+	// released — the pool never sees a buffer with readers in flight.
+	defer payloadBufs.Put(payload)
 	opStart := time.Now()
 	sp := c.tracer.StartOp("client.insert")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
@@ -268,7 +276,8 @@ func (c *Cluster) Insert(e store.Entry) (acked int, err error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t, _, err := c.call(sp, as, wire.MsgInsert, payload, opDeadline)
+			t, body, err := c.call(sp, as, wire.MsgInsert, payload, opDeadline)
+			putBody(body) // an insert ack carries no payload worth keeping
 			switch {
 			case err != nil:
 				errs[i] = fmt.Errorf("AS %d: %w", as, err)
@@ -330,11 +339,13 @@ func (c *Cluster) Update(e store.Entry) (int, error) { return c.Insert(e) }
 // a miss reply, timeout, connection error or rejection moves to the next
 // replica until the per-operation deadline expires (§III-D3).
 func (c *Cluster) Lookup(g guid.GUID) (entry store.Entry, err error) {
-	placements, err := c.resolver.Place(g)
-	if err != nil {
-		return store.Entry{}, err
+	placements, perr := c.resolver.PlaceInto(g, getPlacements())
+	defer putPlacements(placements) // the replica walk below is sequential
+	if perr != nil {
+		return store.Entry{}, perr
 	}
-	payload := wire.AppendGUID(nil, g)
+	payload := wire.AppendGUID(payloadBufs.Get(32), g)
+	defer payloadBufs.Put(payload) // the replica walk below is sequential
 	opStart := time.Now()
 	sp := c.tracer.StartOp("client.lookup")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
@@ -358,12 +369,14 @@ func (c *Cluster) Lookup(g guid.GUID) (entry store.Entry, err error) {
 			continue
 		}
 		if t != wire.MsgLookupResp {
+			putBody(body)
 			lastErr = fmt.Errorf("client: unexpected frame %v", t)
 			continue
 		}
-		resp, err := wire.DecodeLookupResp(body)
-		if err != nil {
-			lastErr = err
+		resp, derr := wire.DecodeLookupResp(body)
+		putBody(body) // DecodeLookupResp copied everything it kept
+		if derr != nil {
+			lastErr = derr
 			continue
 		}
 		if resp.Found {
@@ -395,6 +408,9 @@ func (c *Cluster) LookupFastest(g guid.GUID) (entry store.Entry, err error) {
 	if err != nil {
 		return store.Entry{}, err
 	}
+	// Deliberately not pooled: the grace window lets LookupFastest
+	// return while slow replicas' goroutines still hold the payload, so
+	// recycling it here would hand the pool a buffer with live readers.
 	payload := wire.AppendGUID(nil, g)
 	opStart := time.Now()
 	sp := c.tracer.StartOp("client.lookup_fastest")
@@ -419,10 +435,12 @@ func (c *Cluster) LookupFastest(g guid.GUID) (entry store.Entry, err error) {
 				return
 			}
 			if t != wire.MsgLookupResp {
+				putBody(body)
 				results <- answer{err: fmt.Errorf("client: unexpected frame %v", t)}
 				return
 			}
 			resp, err := wire.DecodeLookupResp(body)
+			putBody(body)
 			if err != nil {
 				results <- answer{err: err}
 				return
@@ -492,11 +510,13 @@ collect:
 
 // Delete removes g from all replicas, returning how many held it.
 func (c *Cluster) Delete(g guid.GUID) (removedCount int, err error) {
-	placements, err := c.resolver.Place(g)
-	if err != nil {
-		return 0, err
+	placements, perr := c.resolver.PlaceInto(g, getPlacements())
+	defer putPlacements(placements) // the replica walk below is sequential
+	if perr != nil {
+		return 0, perr
 	}
-	payload := wire.AppendGUID(nil, g)
+	payload := wire.AppendGUID(payloadBufs.Get(32), g)
+	defer payloadBufs.Put(payload) // the replica walk below is sequential
 	opStart := time.Now()
 	sp := c.tracer.StartOp("client.delete")
 	opDeadline := opStart.Add(c.cfg.OpDeadline)
@@ -507,13 +527,12 @@ func (c *Cluster) Delete(g guid.GUID) (removedCount int, err error) {
 	removed := 0
 	for _, p := range placements {
 		t, body, err := c.call(sp, p.AS, wire.MsgDelete, payload, opDeadline)
-		if err != nil || t != wire.MsgDeleteAck || len(body) < 1 {
-			if errors.Is(err, ErrDeadline) {
-				break
-			}
-			continue
+		existed := err == nil && t == wire.MsgDeleteAck && len(body) >= 1 && body[0] == 1
+		putBody(body)
+		if err != nil && errors.Is(err, ErrDeadline) {
+			break
 		}
-		if body[0] == 1 {
+		if existed {
 			removed++
 		}
 	}
@@ -522,7 +541,8 @@ func (c *Cluster) Delete(g guid.GUID) (removedCount int, err error) {
 
 // Ping checks liveness of the node serving an AS.
 func (c *Cluster) Ping(as int) error {
-	t, _, err := c.call(nil, as, wire.MsgPing, nil, time.Now().Add(c.cfg.OpDeadline))
+	t, body, err := c.call(nil, as, wire.MsgPing, nil, time.Now().Add(c.cfg.OpDeadline))
+	putBody(body)
 	if err != nil {
 		return err
 	}
@@ -593,6 +613,7 @@ func (c *Cluster) call(sp *trace.Span, as int, t wire.MsgType, payload []byte, o
 			if rt == wire.MsgError {
 				c.m.rejects.Inc()
 				reason, derr := wire.DecodeError(body)
+				putBody(body) // DecodeError copied the reason string
 				if derr != nil {
 					reason = "unreadable reason"
 				}

@@ -3,6 +3,12 @@
 // Concurrent callers to the same AS no longer race for the single pooled
 // connection or pay a fresh TCP dial each — they enqueue on the shared
 // conn and pool drops are impossible by construction.
+//
+// The request path is allocation-free in steady state (DESIGN.md §9):
+// reply slots in the in-flight table, response payload buffers and the
+// per-request timer are all recycled through pools, frames are encoded
+// straight into the connection's coalescing writer (wire.Writer), and
+// concurrent senders' frames ride out in shared syscalls.
 package client
 
 import (
@@ -12,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"dmap/internal/core"
 	"dmap/internal/trace"
 	"dmap/internal/wire"
 )
@@ -33,51 +40,150 @@ func (timeoutError) Error() string   { return "client: request timed out on mult
 func (timeoutError) Timeout() bool   { return true }
 func (timeoutError) Temporary() bool { return true }
 
-// muxReply is one demuxed response.
+// replyBufs recycles response payload buffers between the demux readers
+// (producers) and the operations that decode the responses (consumers).
+// Ops hand bodies back through putBody once decoding is done.
+var replyBufs = wire.NewBufPool(256)
+
+// payloadBufs recycles request payload buffers for the op layer.
+var payloadBufs = wire.NewBufPool(256)
+
+// putBody releases a response body obtained from a transport round
+// trip. Nil and foreign buffers (v1 reads, test transports) are
+// accepted, so ops can release unconditionally. The caller must be
+// completely done with the body — decoding copies, so nothing decoded
+// from it is at risk.
+func putBody(b []byte) { replyBufs.Put(b) }
+
+// placementBufs recycles the per-op []core.Placement scratch the
+// sequential request paths (Lookup, Delete) resolve into. A channel
+// free list for the same reason as wire.BufPool: slice headers move
+// without boxing, so Get and Put never allocate.
+var placementBufs = make(chan []core.Placement, 64)
+
+// getPlacements returns a zero-length placement scratch slice.
+func getPlacements() []core.Placement {
+	select {
+	case p := <-placementBufs:
+		return p[:0]
+	default:
+		return make([]core.Placement, 0, 8)
+	}
+}
+
+// putPlacements releases a placement scratch. The caller must be done
+// iterating: the backing array is handed to the next getPlacements.
+func putPlacements(p []core.Placement) {
+	if cap(p) == 0 {
+		return
+	}
+	select {
+	case placementBufs <- p:
+	default: // free list full; let the GC have it
+	}
+}
+
+// timerPool recycles the per-request reply timers. A timer is returned
+// only after Stop with its channel drained, so Reset on the next Get is
+// race-free.
+var timerPool = sync.Pool{
+	New: func() any {
+		t := time.NewTimer(time.Hour)
+		if !t.Stop() {
+			<-t.C
+		}
+		return t
+	},
+}
+
+func getTimer(d time.Duration) *time.Timer {
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// muxReply is one demuxed response. A non-nil body is pool-owned and
+// must be released with putBody by whoever consumes the reply.
 type muxReply struct {
 	t    wire.MsgType
 	body []byte
 	err  error
 }
 
-// muxConn is one shared v2 connection: writes are serialized under wmu,
+// muxSlot is one reusable in-flight table slot: the rendezvous between
+// a waiting requester and the demux reader. Slots are pooled — the
+// buffered channel is created once per slot and reused for the slot's
+// whole lifetime, replacing the per-request channel allocation the
+// in-flight table used to pay.
+type muxSlot struct {
+	ch chan muxReply
+}
+
+var slotPool = sync.Pool{
+	New: func() any { return &muxSlot{ch: make(chan muxReply, 1)} },
+}
+
+// muxConn is one shared v2 connection: writes are coalesced through w,
 // responses are matched to callers through the in-flight table by the
 // reader goroutine.
 type muxConn struct {
 	conn net.Conn
+	// w coalesces concurrent frame writes into shared syscalls; its
+	// onFail hook kills the connection on the first write error.
+	w *wire.Writer
 	// feat holds the hello-negotiated feature flags; FeatTrace set means
 	// the server accepts trace-prefixed frames on this connection.
 	feat byte
 
-	wmu sync.Mutex // serializes frame writes
-
 	mu       sync.Mutex
 	nextID   uint64
-	inflight map[uint64]chan muxReply
+	inflight map[uint64]*muxSlot
 	closed   bool
 	err      error // first connection-level failure
 }
 
-// register allocates a request ID and its reply channel.
-func (m *muxConn) register() (uint64, chan muxReply, error) {
+func newMuxConn(conn net.Conn, feat byte) *muxConn {
+	m := &muxConn{conn: conn, feat: feat, inflight: make(map[uint64]*muxSlot)}
+	m.w = wire.NewWriter(conn, m.fail)
+	return m
+}
+
+// register allocates a request ID and claims a pooled reply slot.
+func (m *muxConn) register() (uint64, *muxSlot, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
-		return 0, nil, fmt.Errorf("%w: %v", errConnDead, m.err)
+		err := m.err
+		m.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %v", errConnDead, err)
 	}
 	m.nextID++
 	id := m.nextID
-	ch := make(chan muxReply, 1)
-	m.inflight[id] = ch
-	return id, ch, nil
+	s := slotPool.Get().(*muxSlot)
+	m.inflight[id] = s
+	m.mu.Unlock()
+	return id, s, nil
 }
 
-// deregister abandons a request (timeout); the late reply, if any, is
-// dropped by the reader.
-func (m *muxConn) deregister(id uint64) {
+// deregister abandons a request. It reports whether the slot was still
+// in the table: false means the reader (or fail) has already claimed it
+// and a reply send is guaranteed — the caller must drain the slot's
+// channel before recycling it.
+func (m *muxConn) deregister(id uint64) bool {
 	m.mu.Lock()
+	_, ok := m.inflight[id]
 	delete(m.inflight, id)
 	m.mu.Unlock()
+	return ok
 }
 
 // dead reports whether the connection has failed.
@@ -88,7 +194,8 @@ func (m *muxConn) dead() bool {
 }
 
 // fail marks the connection dead and fails every in-flight request; the
-// first error wins. Safe to call from the reader and from writers.
+// first error wins. Safe to call from the reader, from writers and from
+// the coalescing writer's onFail hook.
 func (m *muxConn) fail(err error) {
 	m.mu.Lock()
 	if m.closed {
@@ -101,63 +208,92 @@ func (m *muxConn) fail(err error) {
 	m.inflight = nil
 	m.mu.Unlock()
 	m.conn.Close()
-	for _, ch := range pending {
-		ch <- muxReply{err: fmt.Errorf("%w: %v", errConnDead, err)}
+	for _, s := range pending {
+		s.ch <- muxReply{err: fmt.Errorf("%w: %v", errConnDead, err)}
 	}
 }
 
-// readLoop demuxes responses until the connection fails.
+// readLoop demuxes responses until the connection fails. Each payload
+// lands in a pooled buffer that travels with the reply; the consuming
+// op releases it after decoding.
 func (m *muxConn) readLoop() {
 	for {
-		t, id, body, err := wire.ReadFrameID(m.conn)
+		buf := replyBufs.Get(0)
+		t, id, body, err := wire.ReadFrameIDInto(m.conn, buf[:cap(buf)])
 		if err != nil {
+			replyBufs.Put(buf)
 			m.fail(err)
 			return
 		}
+		if cap(body) != cap(buf) {
+			// The payload outgrew the pooled buffer; recycle the original
+			// (the grown one travels with the reply instead).
+			replyBufs.Put(buf)
+		}
 		m.mu.Lock()
-		ch := m.inflight[id]
+		s := m.inflight[id]
 		delete(m.inflight, id)
 		m.mu.Unlock()
-		if ch != nil {
-			ch <- muxReply{t: t, body: body}
+		if s == nil {
+			// A reply nobody waits for belonged to a timed-out request.
+			replyBufs.Put(body)
+			continue
 		}
-		// A reply nobody waits for belonged to a timed-out request.
+		s.ch <- muxReply{t: t, body: body}
 	}
 }
 
 // do runs one pipelined request/response with a per-request reply timer.
 // A sampled trace context is prefixed onto the frame when the server
 // negotiated FeatTrace; otherwise the context is dropped silently (the
-// client's own span still records the attempt).
+// client's own span still records the attempt). The returned body, when
+// non-nil, is pool-owned: the caller must release it with putBody after
+// decoding.
 func (m *muxConn) do(t wire.MsgType, tc trace.Context, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
-	id, ch, err := m.register()
+	id, s, err := m.register()
 	if err != nil {
 		return 0, nil, err
 	}
-	m.wmu.Lock()
-	_ = m.conn.SetWriteDeadline(time.Now().Add(timeout))
+	m.w.SetTimeout(timeout)
 	var werr error
 	if tc.Sampled && m.feat&wire.FeatTrace != 0 {
-		werr = wire.WriteFrameIDTrace(m.conn, t, id, tc, payload)
+		werr = m.w.WriteFrameIDTrace(t, id, tc, payload)
 	} else {
-		werr = wire.WriteFrameID(m.conn, t, id, payload)
+		werr = m.w.WriteFrameID(t, id, payload)
 	}
-	m.wmu.Unlock()
 	if werr != nil {
 		// A failed or partial write desynchronizes the stream for every
-		// user of the connection, not just this request.
+		// user of the connection, not just this request. The writer's
+		// onFail hook has already killed the connection; claim the slot
+		// back (draining the error reply if fail got there first).
 		m.fail(werr)
-		m.deregister(id)
+		if !m.deregister(id) {
+			r := <-s.ch
+			putBody(r.body)
+		}
+		slotPool.Put(s)
 		return 0, nil, fmt.Errorf("%w: %v", errConnDead, werr)
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	timer := getTimer(timeout)
 	select {
-	case r := <-ch:
+	case r := <-s.ch:
+		putTimer(timer)
+		slotPool.Put(s)
 		return r.t, r.body, r.err
 	case <-timer.C:
-		m.deregister(id)
-		return 0, nil, timeoutError{}
+		putTimer(timer)
+		if m.deregister(id) {
+			// Removed from the table: no reply will ever be sent, the
+			// slot is clean and reusable.
+			slotPool.Put(s)
+			return 0, nil, timeoutError{}
+		}
+		// The reader (or fail) claimed the slot concurrently — the reply
+		// raced the timer and its send is guaranteed. Take it: a real
+		// answer beats reporting a timeout that lost the race.
+		r := <-s.ch
+		slotPool.Put(s)
+		return r.t, r.body, r.err
 	}
 }
 
@@ -284,7 +420,7 @@ func (c *Cluster) muxGet(addr string, timeout time.Duration) (mc *muxConn, fresh
 		conn.Close()
 		return nil, true, errUseV1
 	}
-	mc = &muxConn{conn: conn, feat: feat & wantFeat, inflight: make(map[uint64]chan muxReply)}
+	mc = newMuxConn(conn, feat&wantFeat)
 	e.conn = mc
 	go mc.readLoop()
 	return mc, true, nil

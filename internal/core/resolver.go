@@ -106,15 +106,26 @@ func (r *Resolver) PlaceReplica(g guid.GUID, replica int) (Placement, error) {
 // replicas may land on the same AS (the paper accepts this; with ~26k
 // candidate ASs it is rare).
 func (r *Resolver) Place(g guid.GUID) ([]Placement, error) {
-	out := make([]Placement, r.hasher.K())
-	for i := range out {
-		p, err := r.PlaceReplica(g, i)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = p
+	out, err := r.PlaceInto(g, make([]Placement, 0, r.hasher.K()))
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// PlaceInto appends all K placements for g to dst and returns the
+// extended slice, reusing dst's capacity — the allocation-free variant
+// of Place for hot request paths. On error the partially extended dst
+// is returned so callers pooling the slice can still recycle it.
+func (r *Resolver) PlaceInto(g guid.GUID, dst []Placement) ([]Placement, error) {
+	for i := 0; i < r.hasher.K(); i++ {
+		p, err := r.PlaceReplica(g, i)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, p)
+	}
+	return dst, nil
 }
 
 // PlaceExcluding runs Algorithm 1 for one replica as if exclude(addr)

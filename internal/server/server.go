@@ -322,24 +322,30 @@ func (n *Node) replyErrAndClose(conn net.Conn, reason string) {
 // is safe for concurrent use: the store has its own locking and every
 // counter is atomic. sp, when non-nil, is the request's server-side
 // span: handle attaches a store child span around the state access.
+//
+// dst is the caller's response scratch: every returned out slice is dst
+// with the response appended (grown if it did not fit), so the caller
+// owns out's storage and single-op responses never allocate. Callers
+// pass dst with len 0; handle never reads its contents.
+//
 // fatal reports a malformed or unknown frame — v1 closes the connection
 // after replying (its anonymous framing gives no way to resynchronize
 // blame), while v2 replies under the offending request ID and keeps the
 // connection (identified framing stays intact).
-func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace.Span) (respType wire.MsgType, out []byte, fatal bool) {
+func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace.Span, dst []byte) (respType wire.MsgType, out []byte, fatal bool) {
 	start := time.Now()
 	switch t {
 	case wire.MsgInsert:
 		if n.draining.Load() {
 			n.rejects.Add(1)
 			sp.Eventf("rejected: draining")
-			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
+			return wire.MsgError, wire.AppendError(dst, "draining: writes refused"), false
 		}
 		e, _, err := wire.DecodeEntry(payload)
 		if err != nil {
 			n.badReqs.Add(1)
 			n.logger.Warn("bad insert", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(nil, "malformed insert"), true
+			return wire.MsgError, wire.AppendError(dst, "malformed insert"), true
 		}
 		n.hot.ObserveInsert(e.GUID)
 		st := sp.NewChild("store.put")
@@ -350,21 +356,31 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 			// reject the request without tearing down the connection.
 			n.countErr()
 			n.logger.Warn("store rejected entry", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(nil, "store rejected entry"), false
+			return wire.MsgError, wire.AppendError(dst, "store rejected entry"), false
 		}
 		n.inserts.Add(1)
 		n.hInsert.ObserveSinceExemplar(start, sp.TraceID())
-		return wire.MsgInsertAck, nil, false
+		return wire.MsgInsertAck, dst, false
 
 	case wire.MsgLookup:
 		g, _, err := wire.DecodeGUID(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			return wire.MsgError, wire.AppendError(nil, "malformed lookup"), true
+			return wire.MsgError, wire.AppendError(dst, "malformed lookup"), true
 		}
 		n.hot.ObserveLookup(g)
 		st := sp.NewChild("store.get")
-		e, ok := n.store.Get(g)
+		var aerr error
+		// Encode inside View, under the store's read lock:
+		// AppendLookupResp copies every byte of the entry into dst, so
+		// nothing aliases store memory once View returns — a zero-copy
+		// read with a copy-out boundary, sparing the clone Get pays.
+		ok := n.store.View(g, func(e store.Entry) {
+			out, aerr = wire.AppendLookupResp(dst, wire.LookupResp{Found: true, Entry: e})
+		})
+		if !ok {
+			out, aerr = wire.AppendLookupResp(dst, wire.LookupResp{})
+		}
 		if st != nil { // skip the arg boxing entirely when unsampled
 			st.Eventf("found=%t", ok)
 			st.End()
@@ -373,10 +389,9 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		if ok {
 			n.hits.Add(1)
 		}
-		out, err = wire.AppendLookupResp(nil, wire.LookupResp{Found: ok, Entry: e})
-		if err != nil {
+		if aerr != nil {
 			n.countErr()
-			return wire.MsgError, wire.AppendError(nil, "internal error"), false
+			return wire.MsgError, wire.AppendError(dst, "internal error"), false
 		}
 		n.hLookup.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgLookupResp, out, false
@@ -385,12 +400,12 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		if n.draining.Load() {
 			n.rejects.Add(1)
 			sp.Eventf("rejected: draining")
-			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
+			return wire.MsgError, wire.AppendError(dst, "draining: writes refused"), false
 		}
 		g, _, err := wire.DecodeGUID(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			return wire.MsgError, wire.AppendError(nil, "malformed delete"), true
+			return wire.MsgError, wire.AppendError(dst, "malformed delete"), true
 		}
 		st := sp.NewChild("store.delete")
 		existed := n.store.Delete(g)
@@ -401,21 +416,21 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 			flag = 1
 		}
 		n.hDelete.ObserveSinceExemplar(start, sp.TraceID())
-		return wire.MsgDeleteAck, []byte{flag}, false
+		return wire.MsgDeleteAck, append(dst, flag), false
 
 	case wire.MsgPing:
-		return wire.MsgPong, nil, false
+		return wire.MsgPong, dst, false
 
 	case wire.MsgBatchInsert:
 		if n.draining.Load() {
 			n.rejects.Add(1)
-			return wire.MsgError, wire.AppendError(nil, "draining: writes refused"), false
+			return wire.MsgError, wire.AppendError(dst, "draining: writes refused"), false
 		}
 		entries, err := wire.DecodeBatchInsert(payload)
 		if err != nil {
 			n.badReqs.Add(1)
 			n.logger.Warn("bad batch insert", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(nil, "malformed batch insert"), true
+			return wire.MsgError, wire.AppendError(dst, "malformed batch insert"), true
 		}
 		n.hBatchSize.Observe(float64(len(entries)))
 		st := sp.NewChild("store.put_batch")
@@ -433,10 +448,10 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 			n.inserts.Add(1)
 		}
 		st.End()
-		out, err = wire.AppendBatchInsertAck(nil, acked)
+		out, err = wire.AppendBatchInsertAck(dst, acked)
 		if err != nil {
 			n.countErr()
-			return wire.MsgError, wire.AppendError(nil, "internal error"), false
+			return wire.MsgError, wire.AppendError(dst, "internal error"), false
 		}
 		n.hBatchIns.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgBatchInsertAck, out, false
@@ -446,7 +461,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		if err != nil {
 			n.badReqs.Add(1)
 			n.logger.Warn("bad batch lookup", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(nil, "malformed batch lookup"), true
+			return wire.MsgError, wire.AppendError(dst, "malformed batch lookup"), true
 		}
 		n.hBatchSize.Observe(float64(len(gs)))
 		st := sp.NewChild("store.get_batch")
@@ -469,10 +484,10 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 			st.Eventf("hits=%d", hits)
 			st.End()
 		}
-		out, err = wire.AppendBatchLookupResp(nil, rs)
+		out, err = wire.AppendBatchLookupResp(dst, rs)
 		if err != nil {
 			n.countErr()
-			return wire.MsgError, wire.AppendError(nil, "internal error"), false
+			return wire.MsgError, wire.AppendError(dst, "internal error"), false
 		}
 		n.hBatchLkp.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgBatchLookupResp, out, false
@@ -480,23 +495,45 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 	default:
 		n.countErr()
 		n.logger.Warn("unknown frame", "type", t, "remote", remote)
-		return wire.MsgError, wire.AppendError(nil, "unknown frame type"), true
+		return wire.MsgError, wire.AppendError(dst, "unknown frame type"), true
 	}
 }
+
+// serverBufs recycles read, scratch and response buffers across every
+// connection and worker on the node. See DESIGN.md §9 for the ownership
+// rules: a buffer obtained from the pool is owned until Put, and
+// nothing decoded from it may alias it after release.
+var serverBufs = wire.NewBufPool(256)
 
 // serveConn processes frames until the peer disconnects. A connection
 // starts in sequential v1 framing (strictly request/response); a client
 // that sends MsgHello upgrades it to the multiplexed v2 protocol. v1
 // clients never send MsgHello and keep the sequential loop forever.
+//
+// The loop owns two pooled per-connection buffers: readBuf receives
+// each request frame in place and scratch receives each response, so a
+// steady-state v1 request costs no codec allocations either.
 func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
+	readBuf := serverBufs.Get(0)
+	scratch := serverBufs.Get(0)
+	defer func() {
+		serverBufs.Put(readBuf)
+		serverBufs.Put(scratch)
+	}()
 	for {
-		t, payload, err := wire.ReadFrame(conn)
+		t, payload, err := wire.ReadFrameInto(conn, readBuf[:cap(readBuf)])
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				n.logger.Debug("read failed", "remote", conn.RemoteAddr(), "err", err)
 			}
 			return
+		}
+		if cap(payload) > cap(readBuf) {
+			// The frame outgrew the pooled buffer; keep the bigger one
+			// for the rest of the connection and recycle the old.
+			serverBufs.Put(readBuf)
+			readBuf = payload
 		}
 		if t == wire.MsgHello {
 			v, feat, err := wire.DecodeHello(payload)
@@ -526,7 +563,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			continue // negotiated v1: stay sequential
 		}
-		respType, out, fatal := n.handle(t, payload, conn.RemoteAddr(), nil)
+		respType, out, fatal := n.handle(t, payload, conn.RemoteAddr(), nil, scratch[:0])
+		if cap(out) > cap(scratch) {
+			serverBufs.Put(scratch)
+			scratch = out
+		}
 		if fatal {
 			// Anonymous framing cannot attribute the error to a request;
 			// reply and close so the peer does not mispair responses.
@@ -545,12 +586,29 @@ func (n *Node) serveConn(conn net.Conn) {
 // misbehaving client cannot fan unbounded goroutines out of one socket.
 const maxConnWorkers = 32
 
-// serveConnV2 processes identified frames concurrently: each request is
-// handled on its own goroutine (bounded by maxConnWorkers) and responses
-// are written under a per-connection mutex in completion order, which is
-// the whole point — a slow batch insert does not block the pings behind
-// it. Responses carry the request ID they answer; ordering is the
-// client demuxer's job.
+// v2Work is one identified frame awaiting a worker. It travels by value
+// through an unbuffered channel, so handing a frame off allocates
+// nothing. payload is pool-owned; the worker releases it.
+type v2Work struct {
+	t       wire.MsgType
+	id      uint64
+	payload []byte
+}
+
+// serveConnV2 processes identified frames concurrently on a per-connection
+// worker pool: the read loop hands each frame to an idle worker, lazily
+// spawning up to maxConnWorkers, and workers write responses through a
+// shared coalescing wire.Writer in completion order — which is the whole
+// point: a slow batch insert does not block the pings behind it.
+// Responses carry the request ID they answer; ordering is the client
+// demuxer's job.
+//
+// The pool replaces the old goroutine-per-frame dispatch: a sequential
+// request stream is served by one long-lived worker with zero per-frame
+// goroutine or closure allocations, while a pipelined burst still fans
+// out to maxConnWorkers. When every worker is busy the read loop blocks
+// handing off the frame and TCP backpressure throttles the peer,
+// exactly as the old semaphore did.
 //
 // feat holds the hello-granted feature flags: when FeatTrace was
 // negotiated, frames with the trace bit carry a trace-context prefix
@@ -559,68 +617,94 @@ const maxConnWorkers = 32
 // simply an unknown type — handle answers MsgError, the interop
 // contract for peers that never asked for the extension.
 func (n *Node) serveConnV2(conn net.Conn, feat byte) {
-	var (
-		wg  sync.WaitGroup
-		wmu sync.Mutex // serializes response writes
-	)
-	sem := make(chan struct{}, maxConnWorkers)
-	defer wg.Wait()
+	var wg sync.WaitGroup
+	// A failed flush desynchronizes nothing (identified framing), but the
+	// connection is done for: kill it, which also unblocks the read loop.
+	w := wire.NewWriter(conn, func(error) { conn.Close() })
+	work := make(chan v2Work)
+	workers := 0
+	defer wg.Wait()   // runs second: workers drain after close
+	defer close(work) // runs first: stop the workers
 	for {
-		t, id, payload, err := wire.ReadFrameID(conn)
+		buf := serverBufs.Get(0)
+		t, id, payload, err := wire.ReadFrameIDInto(conn, buf[:cap(buf)])
 		if err != nil {
+			serverBufs.Put(buf)
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				n.logger.Debug("v2 read failed", "remote", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}
+		if cap(payload) != cap(buf) {
+			// The frame outgrew the pooled buffer; recycle the original.
+			// The worker releases the grown one.
+			serverBufs.Put(buf)
+		}
 		n.v2Frames.Add(1)
-		sem <- struct{}{}
-		wg.Add(1)
 		n.inflight.Add(1)
-		go func(t wire.MsgType, id uint64, payload []byte) {
-			defer func() {
-				n.inflight.Add(-1)
-				<-sem
-				wg.Done()
-			}()
-			start := time.Now()
-			var tc trace.Context
-			if wire.IsTraced(t) && feat&wire.FeatTrace != 0 {
-				var terr error
-				tc, payload, terr = wire.DecodeTraceContext(payload)
-				if terr != nil {
-					n.badReqs.Add(1)
-					wmu.Lock()
-					werr := wire.WriteFrameID(conn, wire.MsgError, id,
-						wire.AppendError(nil, "malformed trace context"))
-					wmu.Unlock()
-					if werr != nil {
-						conn.Close()
+		wk := v2Work{t: t, id: id, payload: payload}
+		select {
+		case work <- wk: // an idle worker exists
+		default:
+			if workers < maxConnWorkers {
+				workers++
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for wk := range work {
+						n.serveFrameV2(conn, feat, w, wk)
 					}
-					return
-				}
-				t = wire.BaseType(t)
+				}()
 			}
-			var sp *trace.Span
-			if tc.Sampled {
-				sp = n.tracer.StartSpanFromContext("server."+t.String(), tc)
-			}
-			// fatal is ignored: a malformed payload under identified
-			// framing is answered with MsgError on its own request ID
-			// and the connection stays usable — only a framing-layer
-			// error (handled by the read loop) desynchronizes the
-			// stream.
-			respType, out, _ := n.handle(t, payload, conn.RemoteAddr(), sp)
-			sp.End()
-			if n.tracer.SlowEnabled() {
-				n.tracer.ObserveServerOp("server."+t.String(), id, tc, start)
-			}
-			wmu.Lock()
-			err := wire.WriteFrameID(conn, respType, id, out)
-			wmu.Unlock()
-			if err != nil {
-				conn.Close() // unblocks the read loop
-			}
-		}(t, id, payload)
+			work <- wk // block until some worker frees up
+		}
 	}
+}
+
+// serveFrameV2 handles one identified frame on a worker goroutine and
+// writes the response through the connection's shared Writer. It owns
+// wk.payload (pool-released on return) and draws a response buffer from
+// the pool; the Writer copies the response into its pending buffer
+// before returning, so both buffers recycle immediately.
+func (n *Node) serveFrameV2(conn net.Conn, feat byte, w *wire.Writer, wk v2Work) {
+	defer n.inflight.Add(-1)
+	t, id, payload := wk.t, wk.id, wk.payload
+	readBuf := wk.payload // payload may be re-sliced below; release this
+	defer serverBufs.Put(readBuf)
+	start := time.Now()
+	var tc trace.Context
+	if wire.IsTraced(t) && feat&wire.FeatTrace != 0 {
+		var terr error
+		tc, payload, terr = wire.DecodeTraceContext(payload)
+		if terr != nil {
+			n.badReqs.Add(1)
+			dst := serverBufs.Get(64)
+			out := wire.AppendError(dst, "malformed trace context")
+			// On write failure the Writer's onFail already closed the
+			// connection; nothing more to do here.
+			_ = w.WriteFrameID(wire.MsgError, id, out)
+			serverBufs.Put(out)
+			return
+		}
+		t = wire.BaseType(t)
+	}
+	var sp *trace.Span
+	if tc.Sampled {
+		sp = n.tracer.StartSpanFromContext("server."+t.String(), tc)
+	}
+	// fatal is ignored: a malformed payload under identified framing is
+	// answered with MsgError on its own request ID and the connection
+	// stays usable — only a framing-layer error (handled by the read
+	// loop) desynchronizes the stream.
+	dst := serverBufs.Get(0)
+	respType, out, _ := n.handle(t, payload, conn.RemoteAddr(), sp, dst)
+	sp.End()
+	if n.tracer.SlowEnabled() {
+		n.tracer.ObserveServerOp("server."+t.String(), id, tc, start)
+	}
+	_ = w.WriteFrameID(respType, id, out)
+	if cap(out) != cap(dst) {
+		serverBufs.Put(dst) // the response outgrew dst; recycle it too
+	}
+	serverBufs.Put(out)
 }

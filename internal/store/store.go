@@ -155,6 +155,30 @@ func (s *Store) Get(g guid.GUID) (Entry, bool) {
 	return e.clone(), true
 }
 
+// View calls fn with the stored entry for g, without cloning, and
+// reports whether the entry existed (fn is not called on a miss). The
+// entry — including its NAs slice — is valid only for the duration of
+// fn and must not be mutated or retained; copy out whatever must
+// outlive the call. This is the zero-allocation read path: servers
+// encode the entry to the wire inside fn, so the clone Get pays per
+// call never happens.
+func (s *Store) View(g guid.GUID, fn func(Entry)) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[g]
+	if s.ins != nil {
+		s.ins.gets.Inc()
+		if ok {
+			s.ins.hits.Inc()
+		}
+	}
+	if !ok {
+		return false
+	}
+	fn(e)
+	return true
+}
+
 // Delete removes the mapping for g, reporting whether it existed.
 func (s *Store) Delete(g guid.GUID) bool {
 	s.mu.Lock()

@@ -123,6 +123,41 @@ func TestGetReturnsCopy(t *testing.T) {
 	}
 }
 
+func TestView(t *testing.T) {
+	s := New()
+	e := entry("view", 3, 1, 2)
+	if _, err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	var seen Entry
+	if !s.View(e.GUID, func(v Entry) { seen = v.clone() }) {
+		t.Fatal("View missed an existing entry")
+	}
+	if seen.GUID != e.GUID || seen.Version != 3 || len(seen.NAs) != 2 {
+		t.Fatalf("View observed %+v", seen)
+	}
+	// A miss must not invoke fn.
+	if s.View(guid.New("absent"), func(Entry) { t.Error("fn called on a miss") }) {
+		t.Fatal("View claimed a hit for an absent GUID")
+	}
+	// View hands out the stored entry without cloning, so — unlike Get —
+	// the callback's view aliases the store; that is the point. What is
+	// gated here is that the counters still track it like a read.
+	reg := metrics.NewRegistry()
+	s.Instrument(reg, "store")
+	if !s.View(e.GUID, func(Entry) {}) {
+		t.Fatal("View missed after instrumentation")
+	}
+	s.View(guid.New("absent"), func(Entry) {})
+	snap := reg.Snapshot()
+	if got := snap.Counters["store.gets"]; got != 2 {
+		t.Errorf("store.gets = %d after two Views, want 2", got)
+	}
+	if got := snap.Counters["store.hits"]; got != 1 {
+		t.Errorf("store.hits = %d, want 1", got)
+	}
+}
+
 func TestSizeBits(t *testing.T) {
 	// §IV-A: 160 + 32×5 + 32 = 352 bits with 5 NAs.
 	e := entry("z", 1, 1, 2, 3, 4, 5)

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBufPoolGetPutRecycles(t *testing.T) {
+	p := NewBufPool(2)
+	b := p.Get(64)
+	if len(b) != 0 || cap(b) < 64 {
+		t.Fatalf("Get(64) = len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	p.Put(b)
+	c := p.Get(1)
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(c))
+	}
+	if cap(c) != cap(b) {
+		t.Fatalf("Get after Put returned cap %d, want recycled cap %d", cap(c), cap(b))
+	}
+}
+
+func TestBufPoolGetMinCapacity(t *testing.T) {
+	p := NewBufPool(2)
+	// A pooled buffer too small for the request is dropped, not returned.
+	p.Put(make([]byte, 0, 16))
+	b := p.Get(1024)
+	if cap(b) < 1024 {
+		t.Fatalf("Get(1024) after small Put: cap %d", cap(b))
+	}
+	// Small requests still converge on the 256-byte floor.
+	if c := p.Get(1); cap(c) < 256 {
+		t.Fatalf("Get(1) fresh buffer cap %d, want >= 256", cap(c))
+	}
+}
+
+func TestBufPoolPutRejectsDegenerate(t *testing.T) {
+	p := NewBufPool(2)
+	p.Put(nil)                             // must not panic or pool a nil
+	p.Put(make([]byte, 0))                 // cap 0: nothing to recycle
+	p.Put(make([]byte, 0, maxPooledBuf+1)) // oversized: left to the GC
+	if b := p.Get(1); cap(b) != 256 {
+		t.Fatalf("pool retained a degenerate buffer: Get cap %d", cap(b))
+	}
+}
+
+func TestBufPoolFullDrops(t *testing.T) {
+	p := NewBufPool(1)
+	p.Put(make([]byte, 0, 300))
+	p.Put(make([]byte, 0, 400)) // pool full: dropped, must not block
+	if b := p.Get(1); cap(b) != 300 {
+		t.Fatalf("Get cap %d, want the first pooled buffer (300)", cap(b))
+	}
+}
+
+func TestBufPoolPoisonOverwrites(t *testing.T) {
+	saved := Poison
+	Poison = true
+	defer func() { Poison = saved }()
+
+	p := NewBufPool(1)
+	b := append(p.Get(256), "precious bytes"...)
+	p.Put(b)
+	for i, v := range b[:cap(b)] {
+		if v != poisonByte {
+			t.Fatalf("byte %d = %#x after poisoned Put, want %#x", i, v, poisonByte)
+		}
+	}
+}
+
+func TestBufPoolConcurrent(t *testing.T) {
+	p := NewBufPool(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := p.Get(64)
+				b = append(b, seed, byte(i))
+				if b[0] != seed || b[1] != byte(i) {
+					panic("buffer shared while owned")
+				}
+				p.Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+package wire
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets scripts/check.sh run the whole package with buffer
+// poisoning on (DMAP_POISON_BUFS=1): every BufPool.Put scribbles over
+// the released buffer, so any decoded value that illegally aliases
+// pooled storage fails loudly under load instead of flaking in
+// production.
+func TestMain(m *testing.M) {
+	if os.Getenv("DMAP_POISON_BUFS") == "1" {
+		Poison = true
+	}
+	os.Exit(m.Run())
+}

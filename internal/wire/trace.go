@@ -86,12 +86,34 @@ func DecodeTraceContext(b []byte) (trace.Context, []byte, error) {
 	return tc, b[TraceContextLen:], nil
 }
 
+// AppendFrameIDTrace appends one complete traced identified frame to
+// dst: the frame type gains TraceBit and the payload is prefixed with
+// the encoded tc. Callers must have negotiated FeatTrace on the
+// connection. Like AppendFrameID it preserves existing dst bytes, so
+// traced and plain frames coalesce into the same buffer.
+func AppendFrameIDTrace(dst []byte, t MsgType, id uint64, tc trace.Context, payload []byte) ([]byte, error) {
+	t = WithTrace(t)
+	if TraceContextLen+len(payload) > MaxPayload(t) {
+		return nil, ErrFrameTooLarge
+	}
+	var hdr [FrameIDHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(idSize+TraceContextLen+len(payload)))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint64(hdr[5:FrameIDHeaderLen], id)
+	dst = append(dst, hdr[:]...)
+	dst = AppendTraceContext(dst, tc)
+	return append(dst, payload...), nil
+}
+
 // WriteFrameIDTrace writes one traced identified frame: the frame type
 // gains TraceBit and the payload is prefixed with tc. Callers must
-// have negotiated FeatTrace on the connection.
+// have negotiated FeatTrace on the connection. It allocates per call;
+// hot paths go through Writer or AppendFrameIDTrace.
 func WriteFrameIDTrace(w io.Writer, t MsgType, id uint64, tc trace.Context, payload []byte) error {
-	buf := make([]byte, 0, TraceContextLen+len(payload))
-	buf = AppendTraceContext(buf, tc)
-	buf = append(buf, payload...)
-	return WriteFrameID(w, WithTrace(t), id, buf)
+	buf, err := AppendFrameIDTrace(nil, t, id, tc, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
 }

@@ -114,28 +114,60 @@ func DecodeHelloAck(b []byte) (version, feat byte, err error) {
 // idSize is the per-frame request-ID width in v2 framing.
 const idSize = 8
 
+// FrameIDHeaderLen is the identified (v2) frame header:
+// uint32 length ‖ type ‖ uint64 request ID.
+const FrameIDHeaderLen = 4 + 1 + idSize
+
+// AppendFrameID appends one complete identified (v2) frame (header +
+// request ID + payload) to dst. Existing dst bytes are preserved, so
+// frames can be coalesced back to back into one buffer and written with
+// a single syscall (Writer does exactly that).
+func AppendFrameID(dst []byte, t MsgType, id uint64, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload(t) {
+		return nil, ErrFrameTooLarge
+	}
+	var hdr [FrameIDHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(idSize+len(payload)))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint64(hdr[5:FrameIDHeaderLen], id)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
 // WriteFrameID writes one identified (v2) frame:
 // uint32 length (= 8 + payload) ‖ type ‖ uint64 request ID ‖ payload.
 // Header and payload go out in a single Write so a frame is one syscall
-// on the pipelined path.
+// on the pipelined path. It allocates a frame buffer per call; hot
+// paths should append with AppendFrameID into a pooled buffer or go
+// through Writer instead.
 func WriteFrameID(w io.Writer, t MsgType, id uint64, payload []byte) error {
-	if len(payload) > MaxPayload(t) {
-		return ErrFrameTooLarge
+	buf, err := AppendFrameID(nil, t, id, payload)
+	if err != nil {
+		return err
 	}
-	buf := make([]byte, 13+len(payload))
-	binary.BigEndian.PutUint32(buf[:4], uint32(idSize+len(payload)))
-	buf[4] = byte(t)
-	binary.BigEndian.PutUint64(buf[5:13], id)
-	copy(buf[13:], payload)
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	return err
 }
 
 // ReadFrameID reads one identified (v2) frame, rejecting oversized
-// payloads before allocating.
+// payloads before allocating. The payload is freshly allocated; prefer
+// ReadFrameIDInto on hot paths.
 func ReadFrameID(r io.Reader) (MsgType, uint64, []byte, error) {
-	var hdr [13]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameIDInto(r, nil)
+}
+
+// ReadFrameIDInto reads one identified (v2) frame into dst's capacity,
+// growing it only when the payload does not fit. The returned payload
+// aliases the (possibly grown) dst: the caller owns it and must not
+// release dst (e.g. back to a BufPool) until it is done with the
+// payload and everything decoded-with-aliasing from it.
+//
+// The header is staged through dst's own storage rather than a local
+// array: a stack array passed to io.ReadFull escapes through the
+// io.Reader interface and would cost one heap allocation per frame.
+func ReadFrameIDInto(r io.Reader, dst []byte) (MsgType, uint64, []byte, error) {
+	hdr := grow(dst, FrameIDHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
@@ -146,8 +178,8 @@ func ReadFrameID(r io.Reader) (MsgType, uint64, []byte, error) {
 	if n-idSize > uint32(MaxPayload(t)) {
 		return 0, 0, nil, ErrFrameTooLarge
 	}
-	id := binary.BigEndian.Uint64(hdr[5:13])
-	payload := make([]byte, n-idSize)
+	id := binary.BigEndian.Uint64(hdr[5:FrameIDHeaderLen])
+	payload := grow(dst, int(n-idSize))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, 0, nil, err
 	}

@@ -116,12 +116,30 @@ var (
 	ErrTruncated     = errors.New("wire: truncated message")
 )
 
+// FrameHeaderLen is the v1 frame header: uint32 length ‖ type byte.
+const FrameHeaderLen = 5
+
+// AppendFrame appends one complete v1 frame (header + payload) to dst.
+// Like every Append* in this package it works against a reused,
+// non-empty dst: existing bytes are preserved and the frame lands after
+// them.
+func AppendFrame(dst []byte, t MsgType, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload(t) {
+		return nil, ErrFrameTooLarge
+	}
+	var hdr [FrameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
 // WriteFrame writes one frame: uint32 payload length, type byte, payload.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxPayload(t) {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
+	var hdr [FrameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -136,21 +154,42 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 }
 
 // ReadFrame reads one frame, rejecting oversized payloads before
-// allocating.
+// allocating. The payload is freshly allocated; prefer ReadFrameInto on
+// hot paths.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one frame into dst's capacity, growing it only
+// when the payload does not fit. The returned payload aliases the
+// (possibly grown) dst: the caller owns it and must not hand dst to
+// anyone else until it is done with the payload.
+func ReadFrameInto(r io.Reader, dst []byte) (MsgType, []byte, error) {
+	// Stage the header through dst's storage: a local array passed to
+	// io.ReadFull escapes through the interface and allocates per frame.
+	hdr := grow(dst, FrameHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > uint32(MaxPayload(MsgType(hdr[4]))) {
+	t := MsgType(hdr[4])
+	if n > uint32(MaxPayload(t)) {
 		return 0, nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	// The payload overwrites the header bytes — they are fully parsed.
+	payload := grow(dst, int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
-	return MsgType(hdr[4]), payload, nil
+	return t, payload, nil
+}
+
+// grow returns a length-n slice reusing dst's storage when it fits.
+func grow(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
 }
 
 // AppendEntry encodes a mapping entry:

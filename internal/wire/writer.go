@@ -1,0 +1,135 @@
+// Writer: a coalescing, allocation-free frame writer for multiplexed
+// connections.
+//
+// Many goroutines enqueue frames concurrently; whichever goroutine
+// finds no flush in progress becomes the flusher and drains the pending
+// buffer in a small loop, so frames enqueued while a syscall is in
+// flight ride out together on the next one — writev-style coalescing
+// without platform-specific syscalls. Under no contention a frame is
+// exactly one Write; under contention N frames collapse into far fewer
+// syscalls than N. Two persistent buffers ping-pong between "being
+// appended to" and "being written", so the steady state allocates
+// nothing.
+package wire
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmap/internal/trace"
+)
+
+// Writer serializes and coalesces frame writes to one connection. It is
+// safe for concurrent use. Create with NewWriter.
+type Writer struct {
+	conn net.Conn
+	// onFail, when set, is called exactly once with the first write
+	// error. It runs outside the Writer's lock, so it may close the
+	// connection or fail in-flight requests without deadlocking.
+	onFail func(error)
+	// timeout, when positive, is applied as a write deadline before
+	// each flush syscall (stored as nanoseconds).
+	timeout atomic.Int64
+
+	mu       sync.Mutex
+	pending  []byte // frames waiting for the flusher
+	spare    []byte // the flusher's swap buffer
+	flushing bool
+	err      error // first write error; sticky
+}
+
+// NewWriter returns a Writer for conn. onFail (optional) observes the
+// first write error — a partial frame write desynchronizes the stream
+// for every user of the connection, so the callback should kill it.
+func NewWriter(conn net.Conn, onFail func(error)) *Writer {
+	return &Writer{conn: conn, onFail: onFail}
+}
+
+// SetTimeout sets the per-flush write deadline. Zero or negative
+// disables it. Concurrent callers race benignly: some flush gets some
+// caller's deadline, which is all a shared connection can promise.
+func (w *Writer) SetTimeout(d time.Duration) { w.timeout.Store(int64(d)) }
+
+// WriteFrameID enqueues one identified frame and flushes the pending
+// buffer unless another goroutine is already doing so. A nil return
+// means the frame was queued on a healthy connection — not that it
+// reached the kernel; if a later flush fails, onFail fires and every
+// queued frame dies with the connection.
+func (w *Writer) WriteFrameID(t MsgType, id uint64, payload []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	p, err := AppendFrameID(w.pending, t, id, payload)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.pending = p
+	return w.flushLocked()
+}
+
+// WriteFrameIDTrace enqueues one traced identified frame (TraceBit set,
+// payload prefixed with tc). Callers must have negotiated FeatTrace.
+func (w *Writer) WriteFrameIDTrace(t MsgType, id uint64, tc trace.Context, payload []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	p, err := AppendFrameIDTrace(w.pending, t, id, tc, payload)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.pending = p
+	return w.flushLocked()
+}
+
+// flushLocked is called with w.mu held and the caller's frame already
+// appended to pending; it returns with w.mu released. If a flush is in
+// progress the frame is left for the flusher; otherwise this goroutine
+// flushes until the pending buffer stays empty.
+func (w *Writer) flushLocked() error {
+	if w.flushing {
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushing = true
+	var failed error
+	for w.err == nil && len(w.pending) > 0 {
+		w.pending, w.spare = w.spare[:0], w.pending
+		buf := w.spare
+		w.mu.Unlock()
+		if d := time.Duration(w.timeout.Load()); d > 0 {
+			_ = w.conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		_, werr := w.conn.Write(buf)
+		w.mu.Lock()
+		if werr != nil && w.err == nil {
+			w.err = werr
+			failed = werr
+		}
+	}
+	w.flushing = false
+	err := w.err
+	w.mu.Unlock()
+	if failed != nil && w.onFail != nil {
+		// Only the flusher that recorded the error reports it, so onFail
+		// fires exactly once.
+		w.onFail(failed)
+	}
+	return err
+}
+
+// Err returns the sticky write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

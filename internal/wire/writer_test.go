@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWriterConcurrent drives many goroutines through one coalescing
+// Writer and checks that every frame arrives intact: coalescing must
+// only batch whole frames, never interleave or tear them.
+func TestWriterConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 200
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	w := NewWriter(client, nil)
+	got := make(map[uint64]string, writers*perWriter)
+	done := make(chan error, 1)
+	go func() {
+		r := bufio.NewReader(server)
+		for i := 0; i < writers*perWriter; i++ {
+			typ, id, payload, err := ReadFrameID(r)
+			if err != nil {
+				done <- err
+				return
+			}
+			if typ != MsgLookup {
+				done <- fmt.Errorf("frame %d: type %v", i, typ)
+				return
+			}
+			got[id] = string(payload)
+		}
+		done <- nil
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(g*perWriter + i)
+				payload := []byte(fmt.Sprintf("frame-%d", id))
+				if err := w.WriteFrameID(MsgLookup, id, payload); err != nil {
+					t.Errorf("WriteFrameID(%d): %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < writers*perWriter; id++ {
+		if want := fmt.Sprintf("frame-%d", id); got[id] != want {
+			t.Fatalf("frame %d payload = %q, want %q", id, got[id], want)
+		}
+	}
+}
+
+// TestWriterPayloadNotRetained proves the ownership contract: the
+// payload is serialized into the Writer's own pending buffer before
+// WriteFrameID returns, so the caller may recycle it immediately even
+// if the flush happens later.
+func TestWriterPayloadNotRetained(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	// Signal when the flush reaches conn.Write: by then the payload has
+	// been serialized into the Writer's pending buffer, and the pipe is
+	// unbuffered so the frame itself is still in flight.
+	serialized := make(chan struct{})
+	w := NewWriter(&signalConn{Conn: client, entered: serialized}, nil)
+	payload := []byte("do not retain me")
+	errc := make(chan error, 1)
+	go func() { errc <- w.WriteFrameID(MsgInsert, 7, payload) }()
+
+	<-serialized
+	for i := range payload {
+		payload[i] = 0xFF
+	}
+
+	_, id, body, err := ReadFrameID(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || string(body) != "do not retain me" {
+		t.Fatalf("frame = id %d payload %q; caller's buffer aliased", id, body)
+	}
+}
+
+// signalConn closes entered the first time Write is called.
+type signalConn struct {
+	net.Conn
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (c *signalConn) Write(b []byte) (int, error) {
+	c.once.Do(func() { close(c.entered) })
+	return c.Conn.Write(b)
+}
+
+// failConn fails every Write after the first n.
+type failConn struct {
+	net.Conn
+	allowed atomic.Int64
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (c *failConn) Write(b []byte) (int, error) {
+	if c.allowed.Add(-1) < 0 {
+		return 0, errInjected
+	}
+	return len(b), nil
+}
+
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+func (discardConn) Close() error                     { return nil }
+
+func TestWriterErrorStickyAndOnFailOnce(t *testing.T) {
+	var fails atomic.Int64
+	conn := &failConn{Conn: discardConn{}}
+	conn.allowed.Store(1)
+	w := NewWriter(conn, func(error) { fails.Add(1) })
+
+	if err := w.WriteFrameID(MsgPing, 1, nil); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	// Hammer the broken connection from several goroutines: exactly one
+	// flusher records the error and fires onFail; everyone else sees the
+	// sticky error.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = w.WriteFrameID(MsgPing, 2, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if !errors.Is(w.Err(), errInjected) {
+		t.Fatalf("sticky err = %v", w.Err())
+	}
+	if err := w.WriteFrameID(MsgPing, 3, nil); !errors.Is(err, errInjected) {
+		t.Fatalf("write after failure = %v, want sticky error", err)
+	}
+	if n := fails.Load(); n != 1 {
+		t.Fatalf("onFail fired %d times, want exactly 1", n)
+	}
+}
+
+func TestWriterRejectsOversizedFrame(t *testing.T) {
+	w := NewWriter(discardConn{}, nil)
+	if err := w.WriteFrameID(MsgInsert, 1, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame err = %v", err)
+	}
+	// A rejected frame must not poison the writer.
+	if err := w.WriteFrameID(MsgPing, 2, nil); err != nil {
+		t.Fatalf("write after rejected frame: %v", err)
+	}
+}

@@ -5,6 +5,9 @@
 #   scripts/bench.sh smoke     # CI gate: metrics overhead budget
 #   scripts/bench.sh pipelined # v1 vs v2 transport throughput gate
 #   scripts/bench.sh trace     # tracing-off request overhead gate
+#   scripts/bench.sh alloc     # single-op allocation budget gate
+#   scripts/bench.sh soak      # >=1k-connection soak (informational)
+#   scripts/bench.sh validate  # parse every BENCH_*.json record file
 #
 # Default mode runs the hot-path micro-benchmarks (hashing, prefix
 # match, placement, wire codec, store ops, metrics primitives) with
@@ -18,12 +21,21 @@
 #      adds per served request: two clock reads, one histogram
 #      observation, two counters) must be below BENCH_TOLERANCE_PCT of
 #      BenchmarkTCPLookup, a real served wire round trip.
-# Pipelined mode runs the 64-concurrent-client sustained-lookup
-# benchmarks over the sequential v1 transport, the multiplexed v2
-# transport and the v2 batched path, asserts that v2 (batched or
-# pipelined) sustains at least BENCH_SPEEDUP_MIN (default 3) times the
-# v1 throughput, and appends the measurements plus the speedup records
-# to BENCH_<date>.json.
+#   3. codec pair: the absolute ns delta between
+#      BenchmarkWireEntryRoundTripInstrumented and
+#      BenchmarkWireEntryRoundTrip must be below BENCH_TOLERANCE_PCT of
+#      BenchmarkTCPLookup. The pair is deliberately NOT compared
+#      relatively: a ~100 ns encode/decode doubles under two clock reads
+#      and a histogram observation, but what the budget protects is the
+#      served request, and against a full round trip the same delta is
+#      nearly invisible.
+#
+# Pipelined mode runs the concurrent-client sustained-lookup benchmarks
+# (64 clients by default; override with BENCH_CLIENTS) over the
+# sequential v1 transport, the multiplexed v2 transport and the v2
+# batched path, asserts that v2 (batched or pipelined) sustains at least
+# BENCH_SPEEDUP_MIN (default 3) times the v1 throughput, and appends the
+# measurements plus the speedup records to BENCH_<date>.json.
 #
 # Trace mode runs the request-path tracing benchmarks
 # (BenchmarkRequestTraceOff / BenchmarkRequestTraceOn) against the
@@ -33,6 +45,23 @@
 # tracing-off budget — then appends all three rows to BENCH_<date>.json.
 # The fully-sampled cost (TraceOn vs TraceOff) is reported but not
 # gated: 100% sampling is a debugging posture, not a production one.
+#
+# Alloc mode locks the explicit-buffer-ownership refactor in place
+# (DESIGN.md §9): the minimum-ns run of BenchmarkLookup64ClientsV2 must
+# stay at or under BENCH_MAX_ALLOCS allocs/op (default 6) and
+# BENCH_MAX_BYTES B/op (default 364). Any regression — a pool bypassed,
+# a buffer escaping, a closure sneaking back into the demux path —
+# fails CI the day it lands.
+#
+# Soak mode drives BENCH_SOAK_CONNS (default 1024) concurrent
+# multiplexed connections against one node (BenchmarkLookupSoakConns)
+# and records the result; it is informational, not a gate — its job is
+# flushing pool races and fd/goroutine leaks at a connection count the
+# other modes never reach.
+#
+# Validate mode builds cmd/benchcheck and parses every BENCH_*.json in
+# the repository root, failing on any malformed record file. Every
+# record-writing mode also validates the file it just wrote.
 #
 # Each benchmark runs -count times; the minimum ns/op is compared (the
 # minimum is the least noisy location statistic for benchmarks).
@@ -83,17 +112,33 @@ min_allocs() {
     ' "$2"
 }
 
+# bench_record <date> <name> <file>: one JSON record line for the
+# minimum-ns run of a benchmark (no trailing comma or newline).
+bench_record() {
+    printf '  {"date": "%s", "name": "%s", "ns_per_op": %s, "bytes_per_op": %s, "allocs_per_op": %s}' \
+        "$1" "$2" "$(min_ns "$2" "$3")" "$(min_bytes "$2" "$3")" "$(min_allocs "$2" "$3")"
+}
+
 # append_records <file> <records>: add JSON rows to today's record set,
-# creating the file if it does not exist yet.
+# creating the file if it does not exist. The existing array is rebuilt
+# by dropping everything from the closing bracket on (not just the last
+# line, which silently corrupted files whose final line was not a lone
+# "]"), and the result is validated before it replaces the original —
+# a malformed emit fails loudly instead of poisoning the record file.
 append_records() {
+    tmp=$(mktemp)
     if [ -s "$1" ]; then
-        tmp=$(mktemp)
-        sed '$d' "$1" > "$tmp"
-        { cat "$tmp"; printf ",\n%s\n]\n" "$2"; } > "$1"
-        rm -f "$tmp"
+        awk '/^\]/{exit} {print}' "$1" > "$tmp"
+        printf ",\n%s\n]\n" "$2" >> "$tmp"
     else
-        printf "[\n%s\n]\n" "$2" > "$1"
+        printf "[\n%s\n]\n" "$2" > "$tmp"
     fi
+    if ! go run ./cmd/benchcheck "$tmp" > /dev/null; then
+        echo "FAIL: refusing to write malformed records to $1" >&2
+        rm -f "$tmp"
+        exit 1
+    fi
+    mv "$tmp" "$1"
 }
 
 case "$mode" in
@@ -104,8 +149,7 @@ micro)
     trap 'rm -f "$raw"' EXIT
     run_bench 'BenchmarkHashGUID|BenchmarkLPMLookup|BenchmarkNearestPrefix|BenchmarkPlaceReplica|BenchmarkStorePutGet|BenchmarkWireEntryRoundTrip|BenchmarkPercentile|BenchmarkMetrics' \
         | tee "$raw"
-    awk -v date="$date_tag" '
-        BEGIN { print "[" }
+    records=$(awk -v date="$date_tag" '
         /^Benchmark/ {
             name = $1; sub(/-[0-9]+$/, "", name)
             ns = $3; bytes = "null"; allocs = "null"
@@ -117,21 +161,23 @@ micro)
             printf "  {\"date\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
                 date, name, ns, bytes, allocs
         }
-        END { print "\n]" }
-    ' "$raw" > "$out"
+    ' "$raw")
+    append_records "$out" "$records"
     echo "wrote $out"
     ;;
 
 smoke)
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
-    run_bench '^(BenchmarkStorePutGet|BenchmarkStorePutGetInstrumented|BenchmarkMetricsRequestOverhead|BenchmarkTCPLookup)$' \
+    run_bench '^(BenchmarkStorePutGet|BenchmarkStorePutGetInstrumented|BenchmarkMetricsRequestOverhead|BenchmarkTCPLookup|BenchmarkWireEntryRoundTrip|BenchmarkWireEntryRoundTripInstrumented)$' \
         | tee "$raw"
 
     store_base=$(min_ns BenchmarkStorePutGet "$raw")
     store_inst=$(min_ns BenchmarkStorePutGetInstrumented "$raw")
     req_over=$(min_ns BenchmarkMetricsRequestOverhead "$raw")
     tcp=$(min_ns BenchmarkTCPLookup "$raw")
+    wire_base=$(min_ns BenchmarkWireEntryRoundTrip "$raw")
+    wire_inst=$(min_ns BenchmarkWireEntryRoundTripInstrumented "$raw")
 
     awk -v base="$store_base" -v inst="$store_inst" -v tol="$tolerance" '
         BEGIN {
@@ -146,6 +192,18 @@ smoke)
             printf "wire path: %.1f ns overhead on a %.1f ns served round trip (%.2f%%, budget %s%%)\n", over, tcp, pct, tol
             exit (pct > tol) ? 1 : 0
         }' || { echo "FAIL: wire-path instrumentation over budget" >&2; exit 1; }
+
+    # The codec pair is gated on its ABSOLUTE delta against a served
+    # round trip: relative to a ~100 ns encode/decode the clock reads
+    # look enormous, but no request ever consists of a bare codec call.
+    awk -v base="$wire_base" -v inst="$wire_inst" -v tcp="$tcp" -v tol="$tolerance" '
+        BEGIN {
+            delta = inst - base
+            pct = delta / tcp * 100
+            printf "codec pair: %.1f ns -> %.1f ns (+%.1f ns, %.2f%% of a served round trip, budget %s%%)\n", \
+                base, inst, delta, pct, tol
+            exit (pct > tol) ? 1 : 0
+        }' || { echo "FAIL: instrumented codec delta over budget" >&2; exit 1; }
 
     echo "metrics overhead within budget"
     ;;
@@ -164,17 +222,12 @@ pipelined)
 
     # -benchmem is always on, so B/op and allocs/op are real numbers
     # here, not nulls (taken from the same minimum-ns run the gate uses).
-    records=$(awk -v date="$date_tag" -v v1="$v1" -v v2="$v2" -v v2b="$v2b" \
-        -v v1b="$(min_bytes BenchmarkLookup64ClientsV1 "$raw")" \
-        -v v1a="$(min_allocs BenchmarkLookup64ClientsV1 "$raw")" \
-        -v v2bytes="$(min_bytes BenchmarkLookup64ClientsV2 "$raw")" \
-        -v v2a="$(min_allocs BenchmarkLookup64ClientsV2 "$raw")" \
-        -v v2bb="$(min_bytes BenchmarkLookup64ClientsV2Batch "$raw")" \
-        -v v2ba="$(min_allocs BenchmarkLookup64ClientsV2Batch "$raw")" '
+    records=$(
+        bench_record "$date_tag" BenchmarkLookup64ClientsV1 "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkLookup64ClientsV2 "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkLookup64ClientsV2Batch "$raw"; printf ',\n'
+        awk -v date="$date_tag" -v v1="$v1" -v v2="$v2" -v v2b="$v2b" '
         BEGIN {
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV1\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, v1, v1b, v1a
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, v2, v2bytes, v2a
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkLookup64ClientsV2Batch\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, v2b, v2bb, v2ba
             printf "  {\"date\": \"%s\", \"name\": \"speedup.v2_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": 0, \"allocs_per_op\": 0},\n", date, v1 / v2
             printf "  {\"date\": \"%s\", \"name\": \"speedup.v2batch_vs_v1\", \"ns_per_op\": %.2f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", date, v1 / v2b
         }')
@@ -206,16 +259,10 @@ trace)
     base_allocs=$(min_allocs BenchmarkTCPLookup "$raw")
     off_allocs=$(min_allocs BenchmarkRequestTraceOff "$raw")
 
-    records=$(awk -v date="$date_tag" -v base="$base" -v off="$off" -v on="$on" \
-        -v baseb="$(min_bytes BenchmarkTCPLookup "$raw")" -v basea="$base_allocs" \
-        -v offb="$(min_bytes BenchmarkRequestTraceOff "$raw")" -v offa="$off_allocs" \
-        -v onb="$(min_bytes BenchmarkRequestTraceOn "$raw")" \
-        -v ona="$(min_allocs BenchmarkRequestTraceOn "$raw")" '
-        BEGIN {
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkTCPLookup\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, base, baseb, basea
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkRequestTraceOff\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", date, off, offb, offa
-            printf "  {\"date\": \"%s\", \"name\": \"BenchmarkRequestTraceOn\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", date, on, onb, ona
-        }')
+    records=$(
+        bench_record "$date_tag" BenchmarkTCPLookup "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkRequestTraceOff "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkRequestTraceOn "$raw")
     append_records "$out" "$records"
     echo "wrote $out"
 
@@ -236,8 +283,62 @@ trace)
     echo "tracing-off request path within budget"
     ;;
 
+alloc)
+    max_allocs="${BENCH_MAX_ALLOCS:-6}"
+    max_bytes="${BENCH_MAX_BYTES:-364}"
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    run_bench '^(BenchmarkLookup64ClientsV2|BenchmarkTCPLookup)$' | tee "$raw"
+
+    v2_allocs=$(min_allocs BenchmarkLookup64ClientsV2 "$raw")
+    v2_bytes=$(min_bytes BenchmarkLookup64ClientsV2 "$raw")
+
+    records=$(
+        bench_record "$date_tag" BenchmarkLookup64ClientsV2 "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkTCPLookup "$raw")
+    append_records "$out" "$records"
+    echo "wrote $out"
+
+    echo "single-op v2 lookup: ${v2_allocs} allocs/op (budget ${max_allocs}), ${v2_bytes} B/op (budget ${max_bytes})"
+    if [ "$v2_allocs" = "null" ] || [ "$v2_bytes" = "null" ]; then
+        echo "FAIL: could not extract allocation figures" >&2
+        exit 1
+    fi
+    if [ "$v2_allocs" -gt "$max_allocs" ]; then
+        echo "FAIL: single-op path allocates $v2_allocs/op, budget $max_allocs (a pool was bypassed or a buffer escaped)" >&2
+        exit 1
+    fi
+    if [ "$v2_bytes" -gt "$max_bytes" ]; then
+        echo "FAIL: single-op path allocates $v2_bytes B/op, budget $max_bytes" >&2
+        exit 1
+    fi
+    echo "single-op allocation budget held"
+    ;;
+
+soak)
+    conns="${BENCH_SOAK_CONNS:-1024}"
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    BENCH_SOAK=1 BENCH_SOAK_CONNS="$conns" \
+        go test -run '^$' -bench '^BenchmarkLookupSoakConns$' -benchmem \
+        -benchtime="${BENCH_TIME:-2s}" . | tee "$raw"
+
+    records=$(bench_record "$date_tag" BenchmarkLookupSoakConns "$raw")
+    append_records "$out" "$records"
+    echo "wrote $out"
+    echo "soaked $conns concurrent connections"
+    ;;
+
+validate)
+    go run ./cmd/benchcheck
+    ;;
+
 *)
-    echo "usage: $0 [micro|smoke|pipelined|trace]" >&2
+    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|soak|validate]" >&2
     exit 2
     ;;
 esac

@@ -30,6 +30,16 @@ go test -race ./internal/trace/...
 go test -race ./internal/experiments/... -run 'BatchFrameModel|Determinism'
 go test -race -run '^$' -bench '^BenchmarkLookup64ClientsV2$' -benchtime=10x .
 
+# Pool paths under load: the buffer-ownership refactor (DESIGN.md §9)
+# recycles frame payloads, response slots and encode scratch through
+# free lists, so a lifetime bug is a cross-goroutine race by
+# construction. Hammer the mux and the coalescing writer under -race
+# with buffer poisoning on, so a buffer released while still referenced
+# is overwritten with a sentinel instead of silently surviving.
+DMAP_POISON_BUFS=1 go test -race \
+    -run 'TestMux|TestPlacementPool|TestWriter|TestBufPool|TestAppend|TestDecodedValuesSurvive|TestReadFrame' \
+    ./internal/client/... ./internal/wire/...
+
 # Fuzz smoke on the trace-context wire extension: ten seconds of live
 # fuzzing over DecodeTraceContext (the seed corpus alone replays in the
 # -race run above; this hunts new frames).
