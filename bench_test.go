@@ -9,6 +9,7 @@ package dmap_test
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -860,4 +861,126 @@ func BenchmarkLookupSoakConns(b *testing.B) {
 		}(cl)
 	}
 	wg.Wait()
+}
+
+// BenchmarkLookupInto64ClientsV2 is BenchmarkLookup64ClientsV2 with a
+// caller-supplied entry buffer per simulated client: the full TCP round
+// trip with zero heap allocations (the last alloc — the returned NAs
+// slice — dies in the reused buffer). scripts/bench.sh alloc gates it
+// at 0 allocs/op.
+func BenchmarkLookupInto64ClientsV2(b *testing.B) {
+	cl, gs := benchLookupCluster(b, client.Config{}, 1024)
+	var next int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c := 0; c < benchConcurrentClients(); c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var e store.Entry
+			e.NAs = make([]store.NA, 0, store.MaxNAs)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= b.N {
+					return
+				}
+				if err := cl.LookupInto(gs[i%len(gs)], &e); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildRecoveryDir writes a data dir whose whole population lives in
+// the WALs (snapshots disabled), so recovery must replay every record.
+func buildRecoveryDir(b *testing.B, entries int) string {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := store.Open(store.Options{Dir: dir, SnapshotBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(i) + 1),
+			NAs:     []store.NA{{AS: 0, Addr: netaddr.AddrFromOctets(10, 0, byte(i>>8), byte(i))}},
+			Version: 1,
+		}
+		if _, err := st.Put(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkWALReplay measures cold-start recovery throughput: Open
+// replays BENCH_RECOVER_ENTRIES WAL records (default 50k) per
+// iteration. The extra metric is replayed entries per second.
+func BenchmarkWALReplay(b *testing.B) {
+	entries := envInt("BENCH_RECOVER_ENTRIES", 50000)
+	dir := buildRecoveryDir(b, entries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(store.Options{Dir: dir, SnapshotBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Len() != entries {
+			b.Fatalf("recovered %d entries, want %d", st.Len(), entries)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(entries)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+// BenchmarkRecoverTimeToServe measures restart-to-first-answer: open
+// the durable store (full WAL replay), start the TCP listener, and
+// serve one lookup over a fresh connection. ns/op is the
+// time-to-serve after a crash.
+func BenchmarkRecoverTimeToServe(b *testing.B) {
+	entries := envInt("BENCH_RECOVER_ENTRIES", 50000)
+	dir := buildRecoveryDir(b, entries)
+	payload := wire.AppendGUID(nil, guid.FromUint64(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node, err := server.Open(server.Options{DataDir: dir, SnapshotBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := node.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wire.WriteFrame(conn, wire.MsgLookup, payload); err != nil {
+			b.Fatal(err)
+		}
+		typ, body, err := wire.ReadFrame(conn)
+		if err != nil || typ != wire.MsgLookupResp {
+			b.Fatalf("first lookup = (%v, %v)", typ, err)
+		}
+		resp, err := wire.DecodeLookupResp(body)
+		if err != nil || !resp.Found {
+			b.Fatalf("first lookup decode = (%+v, %v)", resp, err)
+		}
+		b.StopTimer()
+		conn.Close()
+		if err := node.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
 }

@@ -88,10 +88,18 @@ func serve(args []string) error {
 	traceSample := fs.Int("trace-sample", 0, "join 1 in N traced requests into /debug/traces (0 = tracing off)")
 	slowOpMs := fs.Int("slow-op-ms", 0, "log any request slower than this many milliseconds (0 = off)")
 	hotKeys := fs.Int("hotkeys", 32, "track the hottest N GUIDs per class at /debug/hotkeys (0 = off)")
+	dataDir := fs.String("data-dir", "", "durable store directory: WAL + snapshots, recovered on restart (empty = memory-only)")
+	fsyncMode := fs.String("fsync", "os", "WAL flush policy: os (write-only, survives process crash), always (fsync per record), interval (periodic fsync)")
+	shards := fs.Int("shards", 0, "store shard count, power of two (0 = default; must match an existing -data-dir)")
+	snapshotMB := fs.Int("snapshot-mb", 0, "per-shard WAL growth in MiB before a background snapshot truncates it (0 = default 4, negative = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	level, err := trace.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	fsync, err := store.ParseFsyncMode(*fsyncMode)
 	if err != nil {
 		return err
 	}
@@ -106,16 +114,28 @@ func serve(args []string) error {
 	if *hotKeys > 0 {
 		hot = trace.NewHotKeys(*hotKeys)
 	}
-	node := server.NewWithOptions(nil, server.Options{
-		Logger:  trace.NewLogger(os.Stderr, level),
-		Tracer:  tracer,
-		HotKeys: hot,
+	node, err := server.Open(server.Options{
+		Logger:        trace.NewLogger(os.Stderr, level),
+		Tracer:        tracer,
+		HotKeys:       hot,
+		DataDir:       *dataDir,
+		Fsync:         fsync,
+		Shards:        *shards,
+		SnapshotBytes: int64(*snapshotMB) << 20,
 	})
+	if err != nil {
+		return err
+	}
 	bound, err := node.Start(*addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("mapping node listening on %s\n", bound)
+	if *dataDir != "" {
+		rec := node.Store().Recovery()
+		fmt.Printf("recovered %d mappings from %s (%d snapshot entries, %d WAL records replayed, %d torn bytes discarded) in %v\n",
+			node.Store().Len(), *dataDir, rec.SnapshotEntries, rec.ReplayedRecords, rec.TornBytes, rec.Elapsed.Round(time.Millisecond))
+	}
 	if *debugAddr != "" {
 		dbgBound, stop, err := startDebugServer(*debugAddr, node.Metrics(), tracer, hot)
 		if err != nil {

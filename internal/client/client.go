@@ -338,11 +338,24 @@ func (c *Cluster) Update(e store.Entry) (int, error) { return c.Insert(e) }
 // Lookup resolves g, walking replicas in Algorithm 1's placement order:
 // a miss reply, timeout, connection error or rejection moves to the next
 // replica until the per-operation deadline expires (§III-D3).
-func (c *Cluster) Lookup(g guid.GUID) (entry store.Entry, err error) {
+func (c *Cluster) Lookup(g guid.GUID) (store.Entry, error) {
+	var e store.Entry
+	if err := c.LookupInto(g, &e); err != nil {
+		return store.Entry{}, err
+	}
+	return e, nil
+}
+
+// LookupInto is Lookup with a caller-supplied result buffer: the found
+// entry is decoded into e, reusing its NAs capacity, so a caller that
+// keeps one entry per goroutine (cap(NAs) >= store.MaxNAs) resolves
+// GUIDs with zero heap allocations. On a miss or error e's contents are
+// unspecified.
+func (c *Cluster) LookupInto(g guid.GUID, e *store.Entry) (err error) {
 	placements, perr := c.resolver.PlaceInto(g, getPlacements())
 	defer putPlacements(placements) // the replica walk below is sequential
 	if perr != nil {
-		return store.Entry{}, perr
+		return perr
 	}
 	payload := wire.AppendGUID(payloadBufs.Get(32), g)
 	defer payloadBufs.Put(payload) // the replica walk below is sequential
@@ -373,23 +386,23 @@ func (c *Cluster) Lookup(g guid.GUID) (entry store.Entry, err error) {
 			lastErr = fmt.Errorf("client: unexpected frame %v", t)
 			continue
 		}
-		resp, derr := wire.DecodeLookupResp(body)
-		putBody(body) // DecodeLookupResp copied everything it kept
+		found, derr := wire.DecodeLookupRespInto(e, body)
+		putBody(body) // DecodeLookupRespInto copied everything it kept
 		if derr != nil {
 			lastErr = derr
 			continue
 		}
-		if resp.Found {
-			return resp.Entry, nil
+		if found {
+			return nil
 		}
 	}
 	if lastErr != nil {
 		if errors.Is(lastErr, ErrDeadline) {
-			return store.Entry{}, lastErr
+			return lastErr
 		}
-		return store.Entry{}, fmt.Errorf("%w (last error: %v)", ErrNotFound, lastErr)
+		return fmt.Errorf("%w (last error: %v)", ErrNotFound, lastErr)
 	}
-	return store.Entry{}, ErrNotFound
+	return ErrNotFound
 }
 
 // LookupFastest queries all K replicas in parallel — the latency-optimal

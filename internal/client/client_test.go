@@ -118,6 +118,54 @@ func TestLookupUnknownGUID(t *testing.T) {
 	}
 }
 
+func TestLookupInto(t *testing.T) {
+	c, _ := testCluster(t, 12, 3)
+	e := clusterEntry("laptop", 7)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	var got store.Entry
+	got.NAs = make([]store.NA, 0, store.MaxNAs)
+	if err := c.LookupInto(e.GUID, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.GUID != e.GUID || got.Version != 7 || got.NAs[0].AS != 3 {
+		t.Fatalf("LookupInto = %+v", got)
+	}
+	if err := c.LookupInto(guid.New("ghost"), &got); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss err = %v, want ErrNotFound", err)
+	}
+}
+
+// LookupInto with a reused entry buffer is the ROADMAP's "last alloc"
+// kill: the full TCP round trip must not touch the heap.
+func TestLookupIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the alloc budget is asserted in non-race builds and by scripts/bench.sh alloc")
+	}
+	c, _ := testCluster(t, 4, 1)
+	e := clusterEntry("hot", 1)
+	if _, err := c.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	var got store.Entry
+	got.NAs = make([]store.NA, 0, store.MaxNAs)
+	// Warm the connection, pools and reply slots.
+	for i := 0; i < 16; i++ {
+		if err := c.LookupInto(e.GUID, &got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.LookupInto(e.GUID, &got); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LookupInto allocs/op = %v, want 0", allocs)
+	}
+}
+
 func TestUpdateMovesMapping(t *testing.T) {
 	c, _ := testCluster(t, 16, 3)
 	if _, err := c.Insert(clusterEntry("phone", 1)); err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates on its own, so exact allocs/op is only
+// meaningful in non-race builds (scripts/bench.sh alloc is the gate).
+const raceEnabled = true

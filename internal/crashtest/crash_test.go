@@ -1,0 +1,266 @@
+// Package crashtest proves the store's durability claim end to end: a
+// real dmap node (child process, real TCP, durable store) is SIGKILLed
+// mid-write-burst at a randomized point, restarted, and every
+// acknowledged insert/update must be readable at (at least) its acked
+// version. The kill point is seeded and logged so a failure reproduces
+// with DMAP_CRASH_SEED.
+//
+// The ack-durability contract under test: the server writes the WAL
+// record (a completed write(2), which survives SIGKILL under any fsync
+// policy) before it acknowledges, so an ack the client observed implies
+// the write is recoverable.
+package crashtest
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+
+	"dmap/internal/client"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("DMAP_CRASH_CHILD") == "1" {
+		runChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runChild is the process under test: a durable node serving real
+// traffic until the parent SIGKILLs it. It prints its bound address and
+// then blocks forever — the only way out is the kill.
+func runChild() {
+	n, err := server.Open(server.Options{
+		DataDir: os.Getenv("DMAP_CRASH_DIR"),
+		// Small snapshot threshold so the burst also exercises
+		// compaction (snapshot + WAL truncation) racing the kill.
+		SnapshotBytes: 32 << 10,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	addr, err := n.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	rec := n.Store().Recovery()
+	fmt.Printf("ADDR %s replayed=%d snapshot=%d torn=%d\n",
+		addr, rec.ReplayedRecords, rec.SnapshotEntries, rec.TornBytes)
+	select {}
+}
+
+type child struct {
+	cmd  *exec.Cmd
+	addr string
+	torn int64
+}
+
+func startChild(t *testing.T, dir string) *child {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "DMAP_CRASH_CHILD=1", "DMAP_CRASH_DIR="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("child produced no address line: %v", sc.Err())
+	}
+	line := sc.Text()
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "ADDR" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected child line %q", line)
+	}
+	c := &child{cmd: cmd, addr: fields[1]}
+	for _, f := range fields[2:] {
+		if v, ok := strings.CutPrefix(f, "torn="); ok {
+			c.torn, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	t.Logf("child up at %s (%s)", c.addr, strings.Join(fields[2:], " "))
+	t.Cleanup(func() { c.kill() })
+	return c
+}
+
+func (c *child) kill() {
+	if c.cmd.Process != nil {
+		c.cmd.Process.Kill()
+	}
+	c.cmd.Wait()
+}
+
+// newClient returns a cluster client for the single-AS world the child
+// serves (AS 0 owns the whole address space, K=1).
+func newClient(t *testing.T, addr string) *client.Cluster {
+	t.Helper()
+	tbl := prefixtable.New()
+	p, err := netaddr.NewPrefix(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Announce(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.New(resolver, map[int]string{0: addr}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+const (
+	crashGUIDs   = 256
+	crashWriters = 4
+)
+
+func crashGUID(i int) guid.GUID { return guid.FromUint64(uint64(i + 1)) }
+
+// TestCrashRecovery is the harness: several rounds of (restart child →
+// verify every previously acked write → concurrent write burst →
+// SIGKILL at a random acked-op count), then a final restart + verify.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	seed := time.Now().UnixNano()
+	if env := os.Getenv("DMAP_CRASH_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("DMAP_CRASH_SEED: %v", err)
+		}
+		seed = v
+	}
+	t.Logf("seed %d (set DMAP_CRASH_SEED=%d to reproduce)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	dir := t.TempDir()
+	var (
+		mu    sync.Mutex
+		acked = make(map[guid.GUID]uint64) // max acked version per GUID
+	)
+	// Version numbers are issued per GUID, strictly increasing across
+	// rounds (§III-D2: freshest wins).
+	var versions [crashGUIDs]atomic.Uint64
+
+	tornSeen := false
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		c := startChild(t, dir)
+		if c.torn > 0 {
+			tornSeen = true
+		}
+		cl := newClient(t, c.addr)
+		verifyAcked(t, cl, acked, fmt.Sprintf("round %d pre-burst", round))
+
+		killAfter := 100 + rng.Intn(400)
+		t.Logf("round %d: killing after %d acked ops", round, killAfter)
+
+		var (
+			ackedOps atomic.Int64
+			stop     atomic.Bool
+			wg       sync.WaitGroup
+		)
+		for w := 0; w < crashWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wrng := rand.New(rand.NewSource(seed + int64(w) + 1))
+				for !stop.Load() {
+					i := wrng.Intn(crashGUIDs)
+					g := crashGUID(i)
+					v := versions[i].Add(1)
+					e := store.Entry{
+						GUID:    g,
+						NAs:     []store.NA{{AS: 0, Addr: netaddr.Addr(uint32(v))}},
+						Version: v,
+						Meta:    uint32(w),
+					}
+					acks, err := cl.Insert(e)
+					if err != nil || acks < 1 {
+						continue // unacked: no durability promise
+					}
+					mu.Lock()
+					if v > acked[g] {
+						acked[g] = v
+					}
+					mu.Unlock()
+					ackedOps.Add(1)
+				}
+			}(w)
+		}
+		for ackedOps.Load() < int64(killAfter) {
+			time.Sleep(time.Millisecond)
+		}
+		c.kill() // SIGKILL mid-burst: in-flight writes may tear the WAL
+		stop.Store(true)
+		wg.Wait()
+		t.Logf("round %d: killed after %d acked ops", round, ackedOps.Load())
+	}
+
+	c := startChild(t, dir)
+	if c.torn > 0 {
+		tornSeen = true
+	}
+	cl := newClient(t, c.addr)
+	verifyAcked(t, cl, acked, "final")
+	if !tornSeen {
+		t.Log("note: no torn WAL tail observed this run (kill landed between appends every time)")
+	}
+}
+
+// verifyAcked asserts every acknowledged write is readable at (at
+// least) its acked version — the §III-D2 guarantee a restarted replica
+// must uphold before rejoining.
+func verifyAcked(t *testing.T, cl *client.Cluster, acked map[guid.GUID]uint64, phase string) {
+	t.Helper()
+	var e store.Entry
+	e.NAs = make([]store.NA, 0, store.MaxNAs)
+	missing, stale := 0, 0
+	for g, v := range acked {
+		if err := cl.LookupInto(g, &e); err != nil {
+			missing++
+			t.Errorf("%s: acked GUID %s unreadable: %v", phase, g.Short(), err)
+			continue
+		}
+		if e.Version < v {
+			stale++
+			t.Errorf("%s: GUID %s served at v%d, acked v%d", phase, g.Short(), e.Version, v)
+		}
+	}
+	if missing > 0 || stale > 0 {
+		t.Fatalf("%s: %d acked writes missing, %d stale of %d", phase, missing, stale, len(acked))
+	}
+	t.Logf("%s: %d acked writes verified", phase, len(acked))
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"testing"
+
+	"dmap/internal/store"
+)
+
+// Open → write → Close → Open must serve the written state: the node
+// owns the durable store and flushes it on clean shutdown.
+func TestOpenDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry()
+	if _, err := n.Store().Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store was closed with the node: further writes must fail.
+	fresh := e
+	fresh.GUID[0] ^= 0xFF
+	if _, err := n.Store().Put(fresh); err == nil {
+		t.Fatal("store still writable after node Close")
+	}
+
+	r, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, ok := r.Store().Get(e.GUID)
+	if !ok || got.Version != e.Version {
+		t.Fatalf("recovered entry = (%+v, %v)", got, ok)
+	}
+}
+
+// An empty DataDir falls back to a memory-only store, and Close leaves
+// a caller-provided store open (the node does not own it).
+func TestOpenWithoutDataDir(t *testing.T) {
+	n, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := store.New()
+	m := NewWithOptions(st, Options{})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(testEntry()); err != nil {
+		t.Fatalf("caller-owned store closed by node: %v", err)
+	}
+}
+
+// Drain must leave every acknowledged write durable (Sync), and a
+// shard-count mismatch must surface as an Open error.
+func TestOpenDrainSyncsAndShardMismatch(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Open(Options{DataDir: dir, Fsync: store.FsyncInterval, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Store().Put(testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+	if !n.Draining() {
+		t.Fatal("not draining")
+	}
+	n.Close()
+	if _, err := Open(Options{DataDir: dir, Shards: 8}); err == nil {
+		t.Fatal("shard-count change accepted")
+	}
+	r, err := Open(Options{DataDir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}

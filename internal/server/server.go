@@ -28,8 +28,11 @@ import (
 // Node is a TCP mapping server. Create with New, start with Serve or
 // Start, stop with Close.
 type Node struct {
-	store  *store.Store
-	logger *trace.Logger
+	store *store.Store
+	// ownsStore marks a store this node opened itself (Open): Close
+	// flushes and closes it once the last handler has drained.
+	ownsStore bool
+	logger    *trace.Logger
 	// tracer, when set, joins sampled request traces arriving over the
 	// v2 trace extension and feeds the slow-op log. Nil = tracing off;
 	// the frame loop then never touches trace state.
@@ -105,12 +108,49 @@ type Options struct {
 	// HotKeys tracks the hottest GUIDs by lookup and insert load;
 	// nil = off.
 	HotKeys *trace.HotKeys
+
+	// DataDir, when non-empty, makes Open build a durable store there
+	// (WAL + snapshots) instead of a memory-only one: acknowledged
+	// writes survive a crash and are recovered on the next Open.
+	// NewWithOptions ignores it — it takes the store it is given.
+	DataDir string
+	// Fsync selects the durable store's flush policy (store.FsyncOS,
+	// FsyncAlways, FsyncInterval).
+	Fsync store.FsyncMode
+	// Shards overrides the store's shard count (0 = store default).
+	Shards int
+	// SnapshotBytes overrides the per-shard WAL growth that triggers a
+	// snapshot (0 = store default, negative disables).
+	SnapshotBytes int64
 }
 
 // New creates a node around st (a fresh store if nil). logger may be nil
 // to discard logs.
 func New(st *store.Store, logger *trace.Logger) *Node {
 	return NewWithOptions(st, Options{Logger: logger})
+}
+
+// Open creates a node backed by a durable store in opts.DataDir: it
+// recovers whatever a previous process persisted (snapshot + WAL tail,
+// tolerating a torn final record), then serves from it. The node owns
+// the store — Close flushes and closes it. With an empty DataDir it is
+// NewWithOptions over a fresh memory-only store.
+func Open(opts Options) (*Node, error) {
+	if opts.DataDir == "" {
+		return NewWithOptions(nil, opts), nil
+	}
+	st, err := store.Open(store.Options{
+		Dir:           opts.DataDir,
+		Shards:        opts.Shards,
+		Fsync:         opts.Fsync,
+		SnapshotBytes: opts.SnapshotBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := NewWithOptions(st, opts)
+	n.ownsStore = true
+	return n, nil
 }
 
 // NewWithOptions creates a node with the full observability surface.
@@ -219,7 +259,14 @@ func (n *Node) Stats() Stats {
 // served, inserts and deletes are answered with a MsgError frame so
 // clients fail over to another replica immediately instead of hanging
 // into their timeout. Use before withdrawing the node's share.
-func (n *Node) Drain() { n.draining.Store(true) }
+func (n *Node) Drain() {
+	n.draining.Store(true)
+	// A drained node is the §III-D1 handoff posture: make everything it
+	// acknowledged durable now, whatever the fsync policy.
+	if err := n.store.Sync(); err != nil && n.logger != nil {
+		n.logger.Warn("drain sync failed", "err", err)
+	}
+}
 
 // Resume ends draining.
 func (n *Node) Resume() { n.draining.Store(false) }
@@ -303,6 +350,13 @@ func (n *Node) Close() error {
 		err = ln.Close()
 	}
 	n.wg.Wait()
+	if n.ownsStore {
+		// Handlers have drained: flush and close the durable store so a
+		// clean shutdown needs no WAL replay beyond the last snapshot.
+		if serr := n.store.Close(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 

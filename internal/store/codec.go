@@ -1,0 +1,74 @@
+// On-disk entry codec shared by the WAL, the snapshot files and the
+// deterministic dump. The layout deliberately mirrors the §IV-A storage
+// accounting (and the wire protocol's entry encoding), but it is an
+// independent format: the durable files version themselves and may
+// evolve separately from what peers speak on the wire.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+)
+
+// ErrShortEntry reports a truncated on-disk entry encoding.
+var ErrShortEntry = errors.New("store: truncated entry encoding")
+
+// entryFixedLen is the fixed prefix of an encoded entry:
+// GUID(20) ‖ version(8) ‖ meta(4) ‖ naCount(1).
+const entryFixedLen = guid.Size + 8 + 4 + 1
+
+// maxEntryLen bounds one encoded entry (5 NAs at 8 bytes each).
+const maxEntryLen = entryFixedLen + 8*MaxNAs
+
+// appendEntry encodes e:
+// GUID(20) ‖ version(8) ‖ meta(4) ‖ naCount(1) ‖ naCount × (AS(4) ‖ addr(4)).
+// The caller has validated e; appendEntry never fails.
+func appendEntry(dst []byte, e Entry) []byte {
+	dst = append(dst, e.GUID[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, e.Version)
+	dst = binary.BigEndian.AppendUint32(dst, e.Meta)
+	dst = append(dst, byte(len(e.NAs)))
+	for _, na := range e.NAs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(na.AS))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(na.Addr))
+	}
+	return dst
+}
+
+// decodeEntry decodes one entry into e, reusing e.NAs' capacity, and
+// returns the remaining bytes. The decoded entry is validated, so a
+// corrupt or hostile file cannot smuggle a structurally invalid entry
+// into the store.
+func decodeEntry(e *Entry, b []byte) ([]byte, error) {
+	if len(b) < entryFixedLen {
+		return nil, ErrShortEntry
+	}
+	copy(e.GUID[:], b[:guid.Size])
+	b = b[guid.Size:]
+	e.Version = binary.BigEndian.Uint64(b)
+	e.Meta = binary.BigEndian.Uint32(b[8:])
+	n := int(b[12])
+	b = b[13:]
+	if n == 0 || n > MaxNAs {
+		return nil, fmt.Errorf("store: NA count %d out of range", n)
+	}
+	if len(b) < 8*n {
+		return nil, ErrShortEntry
+	}
+	e.NAs = e.NAs[:0]
+	for i := 0; i < n; i++ {
+		e.NAs = append(e.NAs, NA{
+			AS:   int(binary.BigEndian.Uint32(b)),
+			Addr: netaddr.Addr(binary.BigEndian.Uint32(b[4:])),
+		})
+		b = b[8:]
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -209,13 +209,27 @@ func AppendEntry(dst []byte, e store.Entry) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeEntry decodes an entry and returns the remaining bytes.
+// DecodeEntry decodes an entry and returns the remaining bytes. It
+// allocates a fresh NAs slice; hot paths that can reuse a buffer should
+// call DecodeEntryInto.
 func DecodeEntry(b []byte) (store.Entry, []byte, error) {
+	var e store.Entry
+	rest, err := DecodeEntryInto(&e, b)
+	if err != nil {
+		return store.Entry{}, nil, err
+	}
+	return e, rest, nil
+}
+
+// DecodeEntryInto decodes an entry into e, reusing e.NAs' capacity, and
+// returns the remaining bytes. With cap(e.NAs) >= store.MaxNAs it
+// allocates nothing — the caller-supplied-buffer decode the client's
+// LookupInto path is built on. On error e's contents are unspecified.
+func DecodeEntryInto(e *store.Entry, b []byte) ([]byte, error) {
 	const fixed = guid.Size + 8 + 4 + 1
 	if len(b) < fixed {
-		return store.Entry{}, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
-	var e store.Entry
 	copy(e.GUID[:], b[:guid.Size])
 	b = b[guid.Size:]
 	e.Version = binary.BigEndian.Uint64(b)
@@ -223,23 +237,23 @@ func DecodeEntry(b []byte) (store.Entry, []byte, error) {
 	n := int(b[12])
 	b = b[13:]
 	if n == 0 || n > store.MaxNAs {
-		return store.Entry{}, nil, fmt.Errorf("wire: NA count %d out of range", n)
+		return nil, fmt.Errorf("wire: NA count %d out of range", n)
 	}
 	if len(b) < 8*n {
-		return store.Entry{}, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
-	e.NAs = make([]store.NA, n)
+	e.NAs = e.NAs[:0]
 	for i := 0; i < n; i++ {
-		e.NAs[i] = store.NA{
+		e.NAs = append(e.NAs, store.NA{
 			AS:   int(binary.BigEndian.Uint32(b)),
 			Addr: netaddr.Addr(binary.BigEndian.Uint32(b[4:])),
-		}
+		})
 		b = b[8:]
 	}
 	if err := e.Validate(); err != nil {
-		return store.Entry{}, nil, err
+		return nil, err
 	}
-	return e, b, nil
+	return b, nil
 }
 
 // AppendGUID encodes a bare GUID.
@@ -292,21 +306,35 @@ func AppendLookupResp(dst []byte, r LookupResp) ([]byte, error) {
 	return AppendEntry(dst, r.Entry)
 }
 
-// DecodeLookupResp decodes a lookup response.
+// DecodeLookupResp decodes a lookup response, allocating a fresh entry.
 func DecodeLookupResp(b []byte) (LookupResp, error) {
+	var e store.Entry
+	found, err := DecodeLookupRespInto(&e, b)
+	if err != nil {
+		return LookupResp{}, err
+	}
+	if !found {
+		return LookupResp{}, nil
+	}
+	return LookupResp{Found: true, Entry: e}, nil
+}
+
+// DecodeLookupRespInto decodes a lookup response into e, reusing its
+// NAs capacity, and reports whether the entry was found (e is untouched
+// on a miss). On error e's contents are unspecified.
+func DecodeLookupRespInto(e *store.Entry, b []byte) (bool, error) {
 	if len(b) < 1 {
-		return LookupResp{}, ErrTruncated
+		return false, ErrTruncated
 	}
 	switch b[0] {
 	case 0:
-		return LookupResp{}, nil
+		return false, nil
 	case 1:
-		e, _, err := DecodeEntry(b[1:])
-		if err != nil {
-			return LookupResp{}, err
+		if _, err := DecodeEntryInto(e, b[1:]); err != nil {
+			return false, err
 		}
-		return LookupResp{Found: true, Entry: e}, nil
+		return true, nil
 	default:
-		return LookupResp{}, fmt.Errorf("wire: bad found flag %d", b[0])
+		return false, fmt.Errorf("wire: bad found flag %d", b[0])
 	}
 }

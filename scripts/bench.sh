@@ -6,6 +6,7 @@
 #   scripts/bench.sh pipelined # v1 vs v2 transport throughput gate
 #   scripts/bench.sh trace     # tracing-off request overhead gate
 #   scripts/bench.sh alloc     # single-op allocation budget gate
+#   scripts/bench.sh recover   # WAL replay + restart time-to-serve
 #   scripts/bench.sh soak      # >=1k-connection soak (informational)
 #   scripts/bench.sh validate  # parse every BENCH_*.json record file
 #
@@ -47,11 +48,21 @@
 # gated: 100% sampling is a debugging posture, not a production one.
 #
 # Alloc mode locks the explicit-buffer-ownership refactor in place
-# (DESIGN.md §9): the minimum-ns run of BenchmarkLookup64ClientsV2 must
-# stay at or under BENCH_MAX_ALLOCS allocs/op (default 6) and
-# BENCH_MAX_BYTES B/op (default 364). Any regression — a pool bypassed,
+# (DESIGN.md §9-§10): the minimum-ns run of BenchmarkLookup64ClientsV2
+# must stay at or under BENCH_MAX_ALLOCS allocs/op (default 1: the
+# returned entry's NAs slice) and BENCH_MAX_BYTES B/op (default 64),
+# and BenchmarkLookupInto64ClientsV2 — the caller-supplied entry buffer
+# path — at or under BENCH_MAX_ALLOCS_INTO (default 0) and
+# BENCH_MAX_BYTES_INTO (default 16). Any regression — a pool bypassed,
 # a buffer escaping, a closure sneaking back into the demux path —
 # fails CI the day it lands.
+#
+# Recover mode measures crash recovery: BenchmarkWALReplay (cold-start
+# replay of BENCH_RECOVER_ENTRIES WAL records, default 50k; the
+# entries/s metric is recorded as recover.replay_entries_per_s) and
+# BenchmarkRecoverTimeToServe (durable Open + listener start + first
+# answered lookup). Informational — both rows land in BENCH_<date>.json
+# for longitudinal tracking.
 #
 # Soak mode drives BENCH_SOAK_CONNS (default 1024) concurrent
 # multiplexed connections against one node (BenchmarkLookupSoakConns)
@@ -110,6 +121,20 @@ min_allocs() {
         }
         END { if (min == "") { exit 1 }; print v }
     ' "$2"
+}
+
+# min_metric <name> <unit> <file>: a custom b.ReportMetric column (e.g.
+# entries/s) from the minimum-ns/op run of one benchmark.
+min_metric() {
+    awk -v name="$1" -v want="$2" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            if (min == "" || $3 < min) {
+                min = $3; v = "null"
+                for (i = 4; i <= NF; i++) if ($i == want) v = $(i-1)
+            }
+        }
+        END { if (min == "") { exit 1 }; print v }
+    ' "$3"
 }
 
 # bench_record <date> <name> <file>: one JSON record line for the
@@ -284,25 +309,31 @@ trace)
     ;;
 
 alloc)
-    max_allocs="${BENCH_MAX_ALLOCS:-6}"
-    max_bytes="${BENCH_MAX_BYTES:-364}"
+    max_allocs="${BENCH_MAX_ALLOCS:-1}"
+    max_bytes="${BENCH_MAX_BYTES:-64}"
+    max_allocs_into="${BENCH_MAX_ALLOCS_INTO:-0}"
+    max_bytes_into="${BENCH_MAX_BYTES_INTO:-16}"
     date_tag=$(date +%Y%m%d)
     out="BENCH_${date_tag}.json"
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
-    run_bench '^(BenchmarkLookup64ClientsV2|BenchmarkTCPLookup)$' | tee "$raw"
+    run_bench '^(BenchmarkLookup64ClientsV2|BenchmarkLookupInto64ClientsV2|BenchmarkTCPLookup)$' | tee "$raw"
 
     v2_allocs=$(min_allocs BenchmarkLookup64ClientsV2 "$raw")
     v2_bytes=$(min_bytes BenchmarkLookup64ClientsV2 "$raw")
+    into_allocs=$(min_allocs BenchmarkLookupInto64ClientsV2 "$raw")
+    into_bytes=$(min_bytes BenchmarkLookupInto64ClientsV2 "$raw")
 
     records=$(
         bench_record "$date_tag" BenchmarkLookup64ClientsV2 "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkLookupInto64ClientsV2 "$raw"; printf ',\n'
         bench_record "$date_tag" BenchmarkTCPLookup "$raw")
     append_records "$out" "$records"
     echo "wrote $out"
 
     echo "single-op v2 lookup: ${v2_allocs} allocs/op (budget ${max_allocs}), ${v2_bytes} B/op (budget ${max_bytes})"
-    if [ "$v2_allocs" = "null" ] || [ "$v2_bytes" = "null" ]; then
+    echo "LookupInto v2 lookup: ${into_allocs} allocs/op (budget ${max_allocs_into}), ${into_bytes} B/op (budget ${max_bytes_into})"
+    if [ "$v2_allocs" = "null" ] || [ "$v2_bytes" = "null" ] || [ "$into_allocs" = "null" ] || [ "$into_bytes" = "null" ]; then
         echo "FAIL: could not extract allocation figures" >&2
         exit 1
     fi
@@ -314,7 +345,42 @@ alloc)
         echo "FAIL: single-op path allocates $v2_bytes B/op, budget $max_bytes" >&2
         exit 1
     fi
-    echo "single-op allocation budget held"
+    if [ "$into_allocs" -gt "$max_allocs_into" ]; then
+        echo "FAIL: LookupInto path allocates $into_allocs/op, budget $max_allocs_into (the caller-supplied buffer is being bypassed)" >&2
+        exit 1
+    fi
+    if [ "$into_bytes" -gt "$max_bytes_into" ]; then
+        echo "FAIL: LookupInto path allocates $into_bytes B/op, budget $max_bytes_into" >&2
+        exit 1
+    fi
+    echo "single-op allocation budgets held"
+    ;;
+
+recover)
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    # Recovery iterations are whole Open cycles (tens of ms each):
+    # -benchtime=5x keeps the mode fast while still taking a minimum.
+    BENCH_RECOVER_ENTRIES="${BENCH_RECOVER_ENTRIES:-50000}" \
+        go test -run '^$' -bench '^(BenchmarkWALReplay|BenchmarkRecoverTimeToServe)$' \
+        -benchmem -count="$count" -benchtime="${BENCH_RECOVER_TIME:-5x}" . | tee "$raw"
+
+    replay_rate=$(min_metric BenchmarkWALReplay entries/s "$raw")
+    serve_ns=$(min_ns BenchmarkRecoverTimeToServe "$raw")
+
+    records=$(
+        bench_record "$date_tag" BenchmarkWALReplay "$raw"; printf ',\n'
+        bench_record "$date_tag" BenchmarkRecoverTimeToServe "$raw"; printf ',\n'
+        printf '  {"date": "%s", "name": "recover.replay_entries_per_s", "ns_per_op": %s, "bytes_per_op": 0, "allocs_per_op": 0}' \
+            "$date_tag" "$replay_rate")
+    append_records "$out" "$records"
+    echo "wrote $out"
+
+    awk -v rate="$replay_rate" -v serve="$serve_ns" 'BEGIN {
+        printf "WAL replay: %.0f entries/s; restart time-to-serve: %.1f ms\n", rate, serve / 1e6
+    }'
     ;;
 
 soak)
@@ -338,7 +404,7 @@ validate)
     ;;
 
 *)
-    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|soak|validate]" >&2
+    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|validate]" >&2
     exit 2
     ;;
 esac

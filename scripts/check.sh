@@ -26,9 +26,16 @@ go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
 go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
 go test -race ./internal/server/... ./internal/client/... ./internal/metrics/...
-go test -race ./internal/trace/...
+go test -race ./internal/trace/... ./internal/store/...
 go test -race ./internal/experiments/... -run 'BatchFrameModel|Determinism'
 go test -race -run '^$' -bench '^BenchmarkLookup64ClientsV2$' -benchtime=10x .
+
+# Crash-injection harness (DESIGN.md §10): a durable child node is
+# SIGKILLed mid-write-burst at a seeded random point and restarted;
+# every acknowledged write must be readable at its acked version. The
+# WAL append, compactor and syncer all race the kill, so this runs
+# under -race end to end.
+go test -race ./internal/crashtest/
 
 # Pool paths under load: the buffer-ownership refactor (DESIGN.md §9)
 # recycles frame payloads, response slots and encode scratch through
@@ -44,3 +51,10 @@ DMAP_POISON_BUFS=1 go test -race \
 # fuzzing over DecodeTraceContext (the seed corpus alone replays in the
 # -race run above; this hunts new frames).
 go test -run '^$' -fuzz '^FuzzDecodeTraceContext$' -fuzztime=10s ./internal/wire
+
+# Fuzz smoke on the durability decoders: WAL record replay must treat
+# any byte soup as (at worst) a torn tail, and snapshot decode must
+# reject corruption without panicking. Seed corpora replay in the -race
+# run above; these hunt new inputs.
+go test -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s ./internal/store
+go test -run '^$' -fuzz '^FuzzLoadSnapshot$' -fuzztime=10s ./internal/store
