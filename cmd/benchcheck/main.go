@@ -17,12 +17,68 @@ import (
 // record is one benchmark measurement row. NsPerOp is required;
 // BytesPerOp and AllocsPerOp are null for benchmarks run without
 // -benchmem (and zero for derived rows like speedups).
+//
+// Load-sweep rows (scripts/bench.sh load) carry the kind field plus
+// offered/completed rates, latency quantiles and a shed rate; for them
+// ns_per_op is the point's p99 in nanoseconds. The extension fields are
+// validated as a unit: a row either has none of them or is a complete,
+// internally consistent sweep record.
 type record struct {
 	Date        string   `json:"date"`
 	Name        string   `json:"name"`
 	NsPerOp     *float64 `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+
+	Kind         string   `json:"kind,omitempty"`
+	OfferedRPS   *float64 `json:"offered_rps,omitempty"`
+	CompletedRPS *float64 `json:"completed_rps,omitempty"`
+	P50us        *float64 `json:"p50_us,omitempty"`
+	P99us        *float64 `json:"p99_us,omitempty"`
+	P999us       *float64 `json:"p999_us,omitempty"`
+	ShedRPS      *float64 `json:"shed_rps,omitempty"`
+}
+
+// isLoadRecord reports whether any load-sweep extension field is set.
+func (r record) isLoadRecord() bool {
+	return r.Kind != "" || r.OfferedRPS != nil || r.CompletedRPS != nil ||
+		r.P50us != nil || r.P99us != nil || r.P999us != nil || r.ShedRPS != nil
+}
+
+// checkLoadRecord validates one load-sweep row: every extension field
+// present, a known kind, positive offered load, non-negative goodput
+// and shed rate, and ordered latency quantiles.
+func checkLoadRecord(r record) error {
+	switch r.Kind {
+	case "point", "knee", "overload":
+	case "":
+		return fmt.Errorf("load fields present but kind missing")
+	default:
+		return fmt.Errorf("unknown load record kind %q", r.Kind)
+	}
+	for name, f := range map[string]*float64{
+		"offered_rps": r.OfferedRPS, "completed_rps": r.CompletedRPS,
+		"p50_us": r.P50us, "p99_us": r.P99us, "p999_us": r.P999us,
+		"shed_rps": r.ShedRPS,
+	} {
+		if f == nil {
+			return fmt.Errorf("load record missing %s", name)
+		}
+	}
+	if *r.OfferedRPS <= 0 {
+		return fmt.Errorf("offered_rps %g not positive", *r.OfferedRPS)
+	}
+	if *r.CompletedRPS < 0 {
+		return fmt.Errorf("completed_rps %g negative", *r.CompletedRPS)
+	}
+	if *r.ShedRPS < 0 {
+		return fmt.Errorf("shed_rps %g negative", *r.ShedRPS)
+	}
+	if *r.P50us < 0 || *r.P99us < *r.P50us || *r.P999us < *r.P99us {
+		return fmt.Errorf("latency quantiles out of order: p50=%g p99=%g p999=%g",
+			*r.P50us, *r.P99us, *r.P999us)
+	}
+	return nil
 }
 
 func checkFile(path string) error {
@@ -48,6 +104,11 @@ func checkFile(path string) error {
 		}
 		if r.NsPerOp == nil {
 			return fmt.Errorf("record %d (%s): missing ns_per_op", i, r.Name)
+		}
+		if r.isLoadRecord() {
+			if err := checkLoadRecord(r); err != nil {
+				return fmt.Errorf("record %d (%s): %w", i, r.Name, err)
+			}
 		}
 	}
 	fmt.Printf("%s: %d records ok\n", path, len(records))

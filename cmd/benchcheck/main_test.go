@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkJSON(t *testing.T, body string) error {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(path)
+}
+
+func TestCheckFileClassicRecords(t *testing.T) {
+	good := `[
+  {"date": "20260807", "name": "BenchmarkHashGUID", "ns_per_op": 12.5, "bytes_per_op": 0, "allocs_per_op": 0},
+  {"date": "20260807", "name": "BenchmarkLPMLookup", "ns_per_op": 40, "bytes_per_op": null, "allocs_per_op": null}
+]`
+	if err := checkJSON(t, good); err != nil {
+		t.Errorf("valid classic records rejected: %v", err)
+	}
+	for name, body := range map[string]string{
+		"missing ns_per_op": `[{"date": "20260807", "name": "x", "bytes_per_op": 0, "allocs_per_op": 0}]`,
+		"missing date":      `[{"name": "x", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0}]`,
+		"unknown field":     `[{"date": "20260807", "name": "x", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0, "bogus": 1}]`,
+		"not an array":      `{"date": "20260807"}`,
+		"trailing data":     "[]\n[]",
+	} {
+		if err := checkJSON(t, body); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestCheckFileLoadRecords(t *testing.T) {
+	good := `[
+  {"date": "20260807", "name": "load.point", "ns_per_op": 812000, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 50000, "completed_rps": 49500, "p50_us": 120, "p99_us": 812, "p999_us": 2400, "shed_rps": 0},
+  {"date": "20260807", "name": "load.knee", "ns_per_op": 812000, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "knee", "offered_rps": 50000, "completed_rps": 49500, "p50_us": 120, "p99_us": 812, "p999_us": 2400, "shed_rps": 0},
+  {"date": "20260807", "name": "load.overload", "ns_per_op": 9e6, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "overload", "offered_rps": 150000, "completed_rps": 48000, "p50_us": 4000, "p99_us": 9000, "p999_us": 15000, "shed_rps": 2000}
+]`
+	if err := checkJSON(t, good); err != nil {
+		t.Errorf("valid load records rejected: %v", err)
+	}
+
+	row := func(mutation string) string {
+		base := `{"date": "20260807", "name": "load.point", "ns_per_op": 812000, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 50000, "completed_rps": 49500, "p50_us": 120, "p99_us": 812, "p999_us": 2400, "shed_rps": 0}`
+		return "[\n  " + strings.NewReplacer(mutation, "").Replace(base) + "\n]"
+	}
+	cases := map[string]string{
+		// Dropping a required extension field must fail once any other
+		// extension field marks the row as a load record.
+		"missing offered_rps":   `"offered_rps": 50000, `,
+		"missing completed_rps": `"completed_rps": 49500, `,
+		"missing shed_rps":      `, "shed_rps": 0`,
+		"missing p999_us":       `"p999_us": 2400, `,
+		"missing kind":          `"kind": "point", `,
+	}
+	for name, cut := range cases {
+		if err := checkJSON(t, row(cut)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	bad := map[string]string{
+		"unknown kind": `[{"date": "20260807", "name": "load.point", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "spike", "offered_rps": 1, "completed_rps": 1, "p50_us": 1, "p99_us": 1, "p999_us": 1, "shed_rps": 0}]`,
+		"zero offered_rps": `[{"date": "20260807", "name": "load.point", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 0, "completed_rps": 1, "p50_us": 1, "p99_us": 1, "p999_us": 1, "shed_rps": 0}]`,
+		"negative shed_rps": `[{"date": "20260807", "name": "load.point", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 1, "completed_rps": 1, "p50_us": 1, "p99_us": 1, "p999_us": 1, "shed_rps": -1}]`,
+		"quantiles out of order": `[{"date": "20260807", "name": "load.point", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 1, "completed_rps": 1, "p50_us": 9, "p99_us": 1, "p999_us": 1, "shed_rps": 0}]`,
+	}
+	for name, body := range bad {
+		if err := checkJSON(t, body); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -92,6 +92,8 @@ func serve(args []string) error {
 	fsyncMode := fs.String("fsync", "os", "WAL flush policy: os (write-only, survives process crash), always (fsync per record), interval (periodic fsync)")
 	shards := fs.Int("shards", 0, "store shard count, power of two (0 = default; must match an existing -data-dir)")
 	snapshotMB := fs.Int("snapshot-mb", 0, "per-shard WAL growth in MiB before a background snapshot truncates it (0 = default 4, negative = disabled)")
+	maxInflight := fs.Int("max-inflight", 0, "shed requests beyond this many in flight node-wide (0 = unbounded)")
+	maxConnInflight := fs.Int("max-conn-inflight", 0, "shed requests beyond this many in flight per connection (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,13 +117,15 @@ func serve(args []string) error {
 		hot = trace.NewHotKeys(*hotKeys)
 	}
 	node, err := server.Open(server.Options{
-		Logger:        trace.NewLogger(os.Stderr, level),
-		Tracer:        tracer,
-		HotKeys:       hot,
-		DataDir:       *dataDir,
-		Fsync:         fsync,
-		Shards:        *shards,
-		SnapshotBytes: int64(*snapshotMB) << 20,
+		Logger:          trace.NewLogger(os.Stderr, level),
+		Tracer:          tracer,
+		HotKeys:         hot,
+		DataDir:         *dataDir,
+		Fsync:           fsync,
+		Shards:          *shards,
+		SnapshotBytes:   int64(*snapshotMB) << 20,
+		MaxInflight:     *maxInflight,
+		MaxConnInflight: *maxConnInflight,
 	})
 	if err != nil {
 		return err

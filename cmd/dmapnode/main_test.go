@@ -103,8 +103,11 @@ func TestDebugMetricsEndpoint(t *testing.T) {
 		"counter server.lookups 2",
 		"counter server.hits 2",
 		"hist server.op.lookup_us count=2",
-		"p50=", "p95=", "p99=",
+		"p50=", "p95=", "p99=", "p999=",
 		"gauge store.size 1",
+		"counter server.sheds_conn 0",
+		"counter server.sheds_global 0",
+		"gauge server.inflight 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/debug/metrics missing %q in:\n%s", want, text)

@@ -121,6 +121,7 @@ type clusterMetrics struct {
 	retries   *metrics.Counter
 	failovers *metrics.Counter
 	rejects   *metrics.Counter
+	sheds     *metrics.Counter
 	timeouts  *metrics.Counter
 	deadlines *metrics.Counter
 	// attempt is the per-attempt round-trip latency (µs), including
@@ -150,6 +151,7 @@ func newClusterMetrics() clusterMetrics {
 		retries:   reg.Counter("client.retries"),
 		failovers: reg.Counter("client.failovers"),
 		rejects:   reg.Counter("client.rejects"),
+		sheds:     reg.Counter("client.sheds"),
 		timeouts:  reg.Counter("client.timeouts"),
 		deadlines: reg.Counter("client.deadlines"),
 		attempt:   reg.Histogram("client.attempt_us"),
@@ -207,6 +209,7 @@ func (c *Cluster) Stats() Stats {
 		Retries:   c.m.retries.Value(),
 		Failovers: c.m.failovers.Value(),
 		Rejects:   c.m.rejects.Value(),
+		Sheds:     c.m.sheds.Value(),
 		Timeouts:  c.m.timeouts.Value(),
 		Deadlines: c.m.deadlines.Value(),
 	}
@@ -232,6 +235,10 @@ var (
 	// ErrDeadline reports that the per-operation deadline expired before
 	// the operation could complete.
 	ErrDeadline = errors.New("client: operation deadline exceeded")
+	// ErrOverload reports a load-shed refusal (wire.ErrKindShed): the
+	// node is healthy but at its in-flight limit. The retry loop backs
+	// off and retries the same replica rather than failing over.
+	ErrOverload = errors.New("client: node overloaded")
 	// ErrRejected reports an explicit MsgError refusal from a node
 	// (e.g. a draining store). Rejections fail over immediately: the
 	// node answered, so retrying it is pointless.
@@ -571,7 +578,9 @@ func (c *Cluster) Ping(as int) error {
 // replaced without consuming an attempt (once per call) — and without
 // sleeping a backoff or ticking the retries counter, since no logical
 // retry happened. A MsgError reply aborts the retries — the node
-// answered and said no.
+// answered and said no — except for ErrKindShed, which means "too busy
+// right now": that consumes an attempt and backs off on the same
+// replica instead of failing over.
 //
 // sp is the operation's span (nil when unsampled): each round trip
 // opens a child attempt span carrying the AS, attempt number and
@@ -623,25 +632,38 @@ func (c *Cluster) call(sp *trace.Span, as int, t wire.MsgType, payload []byte, o
 			continue
 		}
 		if err == nil {
-			if rt == wire.MsgError {
+			if rt != wire.MsgError {
+				att.End()
+				return rt, body, nil
+			}
+			kind, reason, derr := wire.DecodeErrorKind(body)
+			putBody(body) // DecodeErrorKind copied the reason string
+			if derr != nil {
+				reason = "unreadable reason"
+			}
+			if kind != wire.ErrKindShed {
+				// The node answered and said no for a condition that won't
+				// clear by itself (draining, malformed request): abort the
+				// retries so the caller fails over immediately.
 				c.m.rejects.Inc()
-				reason, derr := wire.DecodeError(body)
-				putBody(body) // DecodeError copied the reason string
-				if derr != nil {
-					reason = "unreadable reason"
-				}
 				att.Eventf("rejected: %s", reason)
 				att.End()
 				return 0, nil, fmt.Errorf("%w: %s", ErrRejected, reason)
 			}
-			att.End()
-			return rt, body, nil
+			// Admission shed: the replica is healthy but saturated, and
+			// unlike a drain reject the condition clears on its own.
+			// Consume an attempt and back off on this replica instead of
+			// failing over, which would stampede the load onto the next
+			// replica and take it down too.
+			c.m.sheds.Inc()
+			att.Eventf("shed: %s", reason)
+			err = fmt.Errorf("%w: %s", ErrOverload, reason)
 		}
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
 			c.m.timeouts.Inc()
 			att.Eventf("timeout: %v", err)
-		} else {
+		} else if !errors.Is(err, ErrOverload) {
 			att.Eventf("error: %v", err)
 		}
 		att.End()

@@ -92,7 +92,12 @@ type Stats struct {
 	// failure or rejection (§III-D3's "try the next hashed replica").
 	Failovers int64
 	// Rejects counts MsgError refusals from nodes (e.g. draining).
+	// Load-shed refusals are counted separately under Sheds.
 	Rejects int64
+	// Sheds counts ErrKindShed refusals: the node was at an in-flight
+	// admission limit. Each one is retried on the same replica after a
+	// backoff rather than failed over.
+	Sheds int64
 	// Timeouts counts attempts that died on the per-attempt deadline.
 	Timeouts int64
 	// Deadlines counts operations aborted by the per-operation budget.

@@ -1,0 +1,203 @@
+// Shed-vs-drain retry semantics: an ErrKindShed refusal means "healthy
+// but saturated", so the client backs off and retries the same replica;
+// every other MsgError kind means "retrying is pointless", so the
+// client aborts toward failover. These tests drive the retry loop with
+// a scripted v1 server so each refusal flavor is exact and repeatable.
+package client
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/prefixtable"
+	"dmap/internal/wire"
+)
+
+// scriptedServer is a v1-only fake node: each received request frame is
+// answered by script(reqNum, type, payload), where reqNum counts
+// requests across all connections starting at 1.
+func scriptedServer(t *testing.T, script func(req int64, typ wire.MsgType, payload []byte) (wire.MsgType, []byte)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var reqs atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					typ, payload, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					rt, body := script(reqs.Add(1), typ, payload)
+					if err := wire.WriteFrame(conn, rt, body); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// scriptedCluster wires a single-replica client (K=1, so there is no
+// replica to fail over to — any recovery must come from retrying) to a
+// scripted server, forcing the v1 transport the fake speaks.
+func scriptedCluster(t *testing.T, addr string, retry RetryPolicy) *Cluster {
+	t.Helper()
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             2,
+		NumPrefixes:       24,
+		AnnouncedFraction: 0.52,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWithConfig(resolver, map[int]string{0: addr, 1: addr}, Config{
+		Timeout:    time.Second,
+		OpDeadline: 5 * time.Second,
+		Retry:      retry,
+		ForceV1:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func lookupRespBody(t *testing.T, found bool) []byte {
+	t.Helper()
+	var body []byte
+	var err error
+	if found {
+		body, err = wire.AppendLookupResp(nil, wire.LookupResp{Found: true, Entry: clusterEntry("shed", 1)})
+	} else {
+		body, err = wire.AppendLookupResp(nil, wire.LookupResp{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestShedBacksOffAndRetriesSameReplica: a shed first attempt must be
+// retried on the same replica after a backoff — and succeed — rather
+// than aborting like a drain reject would. With K=1 there is nowhere to
+// fail over, so success here proves the retry happened.
+func TestShedBacksOffAndRetriesSameReplica(t *testing.T) {
+	addr := scriptedServer(t, func(req int64, typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+		if req == 1 {
+			return wire.MsgError, wire.AppendErrorKind(nil, wire.ErrKindShed, "overloaded")
+		}
+		return wire.MsgLookupResp, lookupRespBody(t, true)
+	})
+	c := scriptedCluster(t, addr, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	start := time.Now()
+	if _, err := c.Lookup(guid.New("shed-once")); err != nil {
+		t.Fatalf("lookup after one shed failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 500*time.Microsecond {
+		t.Errorf("retry came back in %v; expected at least the jittered backoff (≥0.5ms)", elapsed)
+	}
+	st := c.Stats()
+	if st.Sheds != 1 {
+		t.Errorf("Sheds = %d, want 1", st.Sheds)
+	}
+	if st.Retries != 1 {
+		t.Errorf("Retries = %d, want 1 (the shed must consume a policy attempt)", st.Retries)
+	}
+	if st.Rejects != 0 {
+		t.Errorf("Rejects = %d, want 0 (sheds must not count as rejects)", st.Rejects)
+	}
+	if st.Failovers != 0 {
+		t.Errorf("Failovers = %d, want 0", st.Failovers)
+	}
+}
+
+// TestShedExhaustionReturnsErrOverload: a replica that sheds every
+// attempt exhausts the policy and surfaces ErrOverload, not ErrRejected.
+func TestShedExhaustionReturnsErrOverload(t *testing.T) {
+	addr := scriptedServer(t, func(int64, wire.MsgType, []byte) (wire.MsgType, []byte) {
+		return wire.MsgError, wire.AppendErrorKind(nil, wire.ErrKindShed, "overloaded")
+	})
+	c := scriptedCluster(t, addr, RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	// Drive the retry loop directly: Lookup folds the cause into
+	// ErrNotFound text, but call's own error is the contract.
+	_, _, err := c.call(nil, 0, wire.MsgLookup, wire.AppendGUID(nil, guid.New("shed-always")), time.Now().Add(5*time.Second))
+	if err == nil {
+		t.Fatal("lookup against an always-shedding replica succeeded")
+	}
+	if !errors.Is(err, ErrOverload) {
+		t.Errorf("error %v does not wrap ErrOverload", err)
+	}
+	if errors.Is(err, ErrRejected) {
+		t.Errorf("error %v wraps ErrRejected; shed exhaustion must stay distinct", err)
+	}
+	st := c.Stats()
+	if st.Sheds != 2 {
+		t.Errorf("Sheds = %d, want 2 (one per attempt)", st.Sheds)
+	}
+}
+
+// TestDrainAbortsRetriesImmediately: the pre-existing contract stays —
+// a non-shed MsgError (draining) burns no retries on that replica.
+func TestDrainAbortsRetriesImmediately(t *testing.T) {
+	var served atomic.Int64
+	addr := scriptedServer(t, func(req int64, typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+		served.Store(req)
+		return wire.MsgError, wire.AppendErrorKind(nil, wire.ErrKindDraining, "draining: writes refused")
+	})
+	c := scriptedCluster(t, addr, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	_, _, err := c.call(nil, 0, wire.MsgLookup, wire.AppendGUID(nil, guid.New("drained")), time.Now().Add(5*time.Second))
+	if err == nil {
+		t.Fatal("lookup against a refusing replica succeeded")
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("error %v does not wrap ErrRejected", err)
+	}
+	if got := served.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (drain must abort the retry loop)", got)
+	}
+	st := c.Stats()
+	if st.Rejects != 1 || st.Sheds != 0 || st.Retries != 0 {
+		t.Errorf("stats = %+v, want Rejects=1 Sheds=0 Retries=0", st)
+	}
+}
+
+// TestLegacyGenericErrorStillRejects: a bare-reason error from an old
+// peer (kind byte = generic) keeps the abort-and-fail-over behavior.
+func TestLegacyGenericErrorStillRejects(t *testing.T) {
+	addr := scriptedServer(t, func(int64, wire.MsgType, []byte) (wire.MsgType, []byte) {
+		return wire.MsgError, wire.AppendError(nil, "no")
+	})
+	c := scriptedCluster(t, addr, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, _, err := c.call(nil, 0, wire.MsgLookup, wire.AppendGUID(nil, guid.New("legacy")), time.Now().Add(5*time.Second))
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("legacy generic error = %v, want ErrRejected", err)
+	}
+	if st := c.Stats(); st.Sheds != 0 {
+		t.Errorf("Sheds = %d, want 0", st.Sheds)
+	}
+}

@@ -1,0 +1,106 @@
+// Package load is an open-loop load driver for real DMap TCP nodes.
+//
+// Closed-loop benchmarks (testing.B, the bench_test.go fixtures) measure
+// service time with a fixed worker count: when the server slows down,
+// the workers slow down with it, and offered load gracefully tracks
+// capacity. Real Internet query streams do not behave that way — DNS-ish
+// lookup traffic arrives on its own schedule whether or not the server
+// is keeping up, which is what makes overload a distinct regime with its
+// own failure modes (queues growing without bound, latency exploding at
+// the knee). This package generates that schedule: Poisson or bursty
+// MMPP arrivals, Zipf GUID popularity, thousands of simulated clients
+// multiplexed over pooled v2 connections, and per-second accounting of
+// offered vs completed rate with p50/p99/p999 latency measured from the
+// scheduled arrival instant (queue wait included — the open-loop rule).
+package load
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess produces inter-arrival gaps. Implementations are
+// deterministic for a given seed and are not safe for concurrent use —
+// one pacer goroutine owns the process.
+type ArrivalProcess interface {
+	// Next returns the gap between the previous arrival and the next.
+	Next() time.Duration
+}
+
+// Poisson is a homogeneous Poisson arrival process: exponential
+// inter-arrival gaps with the given mean rate (arrivals/second) — the
+// classic model for aggregate request streams from many independent
+// clients.
+type Poisson struct {
+	rng  *rand.Rand
+	mean float64 // mean gap in seconds (1/rate)
+}
+
+// NewPoisson returns a Poisson process at rate arrivals/second.
+func NewPoisson(rate float64, seed int64) *Poisson {
+	if rate <= 0 {
+		panic("load: Poisson rate must be positive")
+	}
+	return &Poisson{rng: rand.New(rand.NewSource(seed)), mean: 1 / rate}
+}
+
+// Next draws one exponential inter-arrival gap.
+func (p *Poisson) Next() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() * p.mean * float64(time.Second))
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: a quiet state
+// and a burst state, each a Poisson stream at its own rate, with
+// exponentially distributed sojourn times. It models the on/off
+// burstiness of real query traffic (flash crowds, synchronized mobile
+// wake-ups) that a plain Poisson stream averages away — the p999 and
+// the admission limiter care about the bursts, not the mean.
+type MMPP struct {
+	rng     *rand.Rand
+	rate    [2]float64 // arrivals/second per state
+	sojourn [2]float64 // mean state dwell in seconds
+	state   int
+	left    float64 // seconds remaining in the current state
+}
+
+// NewMMPP returns a two-state MMPP alternating between quietRate and
+// burstRate arrivals/second, dwelling a mean of quietDwell/burstDwell
+// in each state. The long-run mean rate is the dwell-weighted average.
+func NewMMPP(quietRate, burstRate float64, quietDwell, burstDwell time.Duration, seed int64) *MMPP {
+	if quietRate <= 0 || burstRate <= 0 || quietDwell <= 0 || burstDwell <= 0 {
+		panic("load: MMPP rates and dwells must be positive")
+	}
+	m := &MMPP{
+		rng:     rand.New(rand.NewSource(seed)),
+		rate:    [2]float64{quietRate, burstRate},
+		sojourn: [2]float64{quietDwell.Seconds(), burstDwell.Seconds()},
+	}
+	m.left = m.rng.ExpFloat64() * m.sojourn[0]
+	return m
+}
+
+// MeanRate returns the long-run arrival rate (arrivals/second).
+func (m *MMPP) MeanRate() float64 {
+	w0, w1 := m.sojourn[0], m.sojourn[1]
+	return (m.rate[0]*w0 + m.rate[1]*w1) / (w0 + w1)
+}
+
+// Next draws the gap to the next arrival, crossing state boundaries as
+// needed: if the candidate gap outlives the current state's remaining
+// dwell, time advances to the boundary, the state flips, and a fresh
+// gap is drawn at the new rate (the memoryless property makes the
+// redraw exact, not an approximation).
+func (m *MMPP) Next() time.Duration {
+	var total float64
+	for {
+		gap := m.rng.ExpFloat64() / m.rate[m.state]
+		if gap < m.left {
+			m.left -= gap
+			total += gap
+			return time.Duration(total * float64(time.Second))
+		}
+		total += m.left
+		m.state = 1 - m.state
+		m.left = m.rng.ExpFloat64() * m.sojourn[m.state]
+	}
+}

@@ -1,0 +1,133 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	const rate = 5000.0
+	p := NewPoisson(rate, 42)
+	const n = 200000
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		total += g
+	}
+	got := float64(n) / total.Seconds()
+	if got < rate*0.95 || got > rate*1.05 {
+		t.Errorf("empirical rate %.0f/s, want %.0f/s ±5%%", got, rate)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := NewPoisson(100, 7), NewPoisson(100, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewPoisson(100, 8)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMMPPMeanRateBetweenStates(t *testing.T) {
+	quiet, burst := 1000.0, 8000.0
+	m := NewMMPP(quiet, burst, 50*time.Millisecond, 50*time.Millisecond, 11)
+	if mr := m.MeanRate(); mr != (quiet+burst)/2 {
+		t.Errorf("MeanRate = %g, want %g", mr, (quiet+burst)/2)
+	}
+	const n = 400000
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += m.Next()
+	}
+	got := float64(n) / total.Seconds()
+	if got <= quiet || got >= burst {
+		t.Errorf("empirical rate %.0f/s not strictly between states (%.0f, %.0f)", got, quiet, burst)
+	}
+	// Equal dwells: the long-run rate should sit near the midpoint.
+	want := m.MeanRate()
+	if got < want*0.9 || got > want*1.1 {
+		t.Errorf("empirical rate %.0f/s, want %.0f/s ±10%%", got, want)
+	}
+}
+
+// TestMMPPBurstiness: an MMPP with a hot burst state must show more
+// short-gap clustering than a Poisson stream of the same mean rate —
+// the variance of per-window counts is strictly larger (index of
+// dispersion > 1 is the defining property of MMPP over Poisson).
+func TestMMPPBurstiness(t *testing.T) {
+	m := NewMMPP(500, 9500, 20*time.Millisecond, 20*time.Millisecond, 3)
+	p := NewPoisson(m.MeanRate(), 3)
+
+	disp := func(next func() time.Duration) float64 {
+		const window = 10 * time.Millisecond
+		counts := make([]float64, 0, 4096)
+		var tAbs time.Duration
+		cur, n := 0, 0.0
+		for i := 0; i < 300000; i++ {
+			tAbs += next()
+			for int(tAbs/window) > cur {
+				counts = append(counts, n)
+				n = 0
+				cur++
+			}
+			n++
+		}
+		var mean, v float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			v += (c - mean) * (c - mean)
+		}
+		v /= float64(len(counts))
+		return v / mean
+	}
+
+	dm, dp := disp(m.Next), disp(p.Next)
+	if dm <= dp {
+		t.Errorf("MMPP dispersion %.2f not above Poisson %.2f — no burstiness", dm, dp)
+	}
+	if dm < 2 {
+		t.Errorf("MMPP index of dispersion %.2f, want ≥2 for a 19x burst ratio", dm)
+	}
+}
+
+func TestDetectKnee(t *testing.T) {
+	pts := []Point{
+		{OfferedRPS: 100, CompletedRPS: 100},
+		{OfferedRPS: 200, CompletedRPS: 198},
+		{OfferedRPS: 400, CompletedRPS: 390},
+		{OfferedRPS: 800, CompletedRPS: 430}, // overload: goodput flattens
+		{OfferedRPS: 1600, CompletedRPS: 440},
+	}
+	if k := DetectKnee(pts, 0.9); k != 2 {
+		t.Errorf("knee = %d, want 2", k)
+	}
+	// Default fraction applies when 0 is passed.
+	if k := DetectKnee(pts, 0); k != 2 {
+		t.Errorf("knee with default frac = %d, want 2", k)
+	}
+	// All overloaded → -1.
+	if k := DetectKnee(pts[3:], 0.9); k != -1 {
+		t.Errorf("knee of all-overloaded sweep = %d, want -1", k)
+	}
+	if k := DetectKnee(nil, 0.9); k != -1 {
+		t.Errorf("knee of empty sweep = %d, want -1", k)
+	}
+}

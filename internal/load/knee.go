@@ -1,0 +1,34 @@
+package load
+
+// Point is one sweep measurement: a run at a fixed offered rate.
+type Point struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	CompletedRPS float64 `json:"completed_rps"`
+	P50us        float64 `json:"p50_us"`
+	P99us        float64 `json:"p99_us"`
+	P999us       float64 `json:"p999_us"`
+	// ShedRPS is server-refused work per second observed by clients.
+	ShedRPS float64 `json:"shed_rps"`
+}
+
+// DetectKnee locates the throughput knee in a sweep ordered by
+// ascending offered rate: the last point whose goodput keeps up with
+// its offered load (completed ≥ frac × offered, default frac 0.9).
+// Past the knee the system is in overload — goodput flattens or sags
+// while latency and sheds climb. Returns -1 when even the lightest
+// point is already overloaded.
+func DetectKnee(points []Point, frac float64) int {
+	if frac <= 0 {
+		frac = 0.9
+	}
+	knee := -1
+	for i, p := range points {
+		if p.OfferedRPS <= 0 {
+			continue
+		}
+		if p.CompletedRPS >= frac*p.OfferedRPS {
+			knee = i
+		}
+	}
+	return knee
+}

@@ -1,0 +1,252 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmap/internal/client"
+	"dmap/internal/guid"
+	"dmap/internal/metrics"
+	"dmap/internal/store"
+)
+
+// Config drives one open-loop run.
+type Config struct {
+	// Clusters are the client stacks to multiplex over, each owning one
+	// pooled v2 mux connection per node. Workers round-robin across
+	// them, so several clusters = several TCP conns per node — the way
+	// to put more than one conn's worth of in-flight load on a server.
+	Clusters []*client.Cluster
+	// Arrivals is the arrival schedule; it is consumed by a single
+	// pacer goroutine. Required.
+	Arrivals ArrivalProcess
+	// Duration bounds arrival generation (completions may land a little
+	// after). Required.
+	Duration time.Duration
+	// Workers is the number of simulated clients draining the arrival
+	// queue (default 64). Each holds one lookup in flight at a time;
+	// in-flight concurrency per cluster is Workers/len(Clusters).
+	Workers int
+	// Queue bounds the arrival queue (default 4×Workers). An arrival
+	// finding the queue full is dropped and counted as Overflow — the
+	// load driver itself refusing work, distinct from a server shed.
+	Queue int
+	// Keys is the GUID population to look up. Required.
+	Keys []guid.GUID
+	// ZipfS skews key popularity with a Zipf(s) distribution (s > 1);
+	// 0 selects uniform popularity.
+	ZipfS float64
+	// Seed feeds key selection. The arrival process carries its own.
+	Seed int64
+}
+
+// SecondSample is one second of offered vs completed accounting.
+// Offered is bucketed by scheduled arrival time, Completed/Failed by
+// completion time — under overload the completions visibly lag.
+type SecondSample struct {
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Offered counts scheduled arrivals, including overflowed ones.
+	Offered int64
+	// Completed counts lookups that returned without error.
+	Completed int64
+	// Failed counts lookups that returned an error (deadline, overload
+	// exhaustion, …).
+	Failed int64
+	// Overflow counts arrivals dropped at the full queue.
+	Overflow int64
+	// ClientSheds is the shed replies observed across the clusters
+	// during the run (server said ErrKindShed; the client backed off).
+	ClientSheds int64
+	// Seconds is the per-second offered/completed record.
+	Seconds []SecondSample
+	// P50us/P99us/P999us are open-loop latency quantiles in µs,
+	// measured from the scheduled arrival instant: queue wait counts.
+	P50us, P99us, P999us float64
+	// Elapsed is wall time from first arrival to last completion.
+	Elapsed time.Duration
+}
+
+// OfferedRate returns scheduled arrivals per second.
+func (r Result) OfferedRate() float64 { return rate(r.Offered, r.Elapsed) }
+
+// CompletedRate returns successful completions per second (goodput).
+func (r Result) CompletedRate() float64 { return rate(r.Completed, r.Elapsed) }
+
+func rate(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// job is one scheduled arrival. It travels by value through the queue,
+// so pacing a request allocates nothing.
+type job struct {
+	g   guid.GUID
+	due time.Time
+}
+
+// Run executes one open-loop run: a pacer goroutine emits arrivals on
+// the configured schedule (sleeping only when ahead of it — when the
+// system falls behind, arrivals keep coming, which is the whole point),
+// workers drain them through the clusters, and latency is recorded
+// against the scheduled arrival instant.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Clusters) == 0 {
+		return Result{}, errors.New("load: no clusters")
+	}
+	if cfg.Arrivals == nil {
+		return Result{}, errors.New("load: no arrival process")
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, errors.New("load: non-positive duration")
+	}
+	if len(cfg.Keys) == 0 {
+		return Result{}, errors.New("load: no keys")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	queue := cfg.Queue
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+
+	pick, err := keyPicker(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var shedsBefore int64
+	for _, c := range cfg.Clusters {
+		shedsBefore += c.Stats().Sheds
+	}
+
+	// Per-second buckets, indexed by whole seconds since start; one
+	// spare bucket catches completions that straggle past Duration.
+	nsec := int(cfg.Duration/time.Second) + 2
+	offeredBy := make([]atomic.Int64, nsec)
+	completedBy := make([]atomic.Int64, nsec)
+	failedBy := make([]atomic.Int64, nsec)
+
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("load.latency_us")
+
+	var offered, completed, failed, overflow atomic.Int64
+	jobs := make(chan job, queue)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		c := cfg.Clusters[w%len(cfg.Clusters)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var e store.Entry // reused across lookups: LookupInto is 0-alloc
+			for jb := range jobs {
+				err := c.LookupInto(jb.g, &e)
+				done := time.Now()
+				lat.Observe(float64(done.Sub(jb.due)) / float64(time.Microsecond))
+				if sec := int(done.Sub(start) / time.Second); sec >= 0 {
+					if sec >= nsec {
+						sec = nsec - 1
+					}
+					if err != nil {
+						failedBy[sec].Add(1)
+					} else {
+						completedBy[sec].Add(1)
+					}
+				}
+				if err != nil {
+					failed.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+
+	// The pacer: arrival times come from the process alone. Sleeping
+	// happens only when the schedule is ahead of the wall clock; once
+	// behind, arrivals are emitted back to back at their scheduled
+	// timestamps, so latency measured from jb.due includes the backlog.
+	due := start
+	for {
+		due = due.Add(cfg.Arrivals.Next())
+		if due.Sub(start) >= cfg.Duration {
+			break
+		}
+		if ahead := time.Until(due); ahead > 0 {
+			time.Sleep(ahead)
+		}
+		offered.Add(1)
+		if sec := int(due.Sub(start) / time.Second); sec >= 0 && sec < nsec {
+			offeredBy[sec].Add(1)
+		}
+		select {
+		case jobs <- job{g: pick(), due: due}:
+		default:
+			overflow.Add(1)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var shedsAfter int64
+	for _, c := range cfg.Clusters {
+		shedsAfter += c.Stats().Sheds
+	}
+
+	h := reg.Snapshot().Histograms["load.latency_us"]
+	res := Result{
+		Offered:     offered.Load(),
+		Completed:   completed.Load(),
+		Failed:      failed.Load(),
+		Overflow:    overflow.Load(),
+		ClientSheds: shedsAfter - shedsBefore,
+		Seconds:     make([]SecondSample, nsec),
+		P50us:       h.Quantile(50),
+		P99us:       h.Quantile(99),
+		P999us:      h.Quantile(99.9),
+		Elapsed:     elapsed,
+	}
+	for i := range res.Seconds {
+		res.Seconds[i] = SecondSample{
+			Offered:   offeredBy[i].Load(),
+			Completed: completedBy[i].Load(),
+			Failed:    failedBy[i].Load(),
+		}
+	}
+	return res, nil
+}
+
+// keyPicker builds the popularity distribution over cfg.Keys: Zipf(s)
+// when ZipfS > 1 — rank-1 keys dominating, exactly the skew the PR-5
+// hot-GUID trackers exist to surface — or uniform otherwise. The picker
+// is called by the pacer goroutine only.
+func keyPicker(cfg Config) (func() guid.GUID, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.ZipfS == 0 {
+		return func() guid.GUID { return cfg.Keys[rng.Intn(len(cfg.Keys))] }, nil
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("load: ZipfS must be > 1 (or 0 for uniform), got %g", cfg.ZipfS)
+	}
+	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Keys)-1))
+	if z == nil {
+		return nil, fmt.Errorf("load: bad Zipf parameters (s=%g, n=%d)", cfg.ZipfS, len(cfg.Keys))
+	}
+	return func() guid.GUID { return cfg.Keys[z.Uint64()] }, nil
+}

@@ -1,0 +1,210 @@
+package load
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dmap/internal/client"
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+	"dmap/internal/trace"
+)
+
+// testWorld spins up real TCP nodes over a generated DFZ and returns
+// nClusters independent client stacks (one pooled mux conn per node
+// each) plus the nodes, with keys pre-inserted.
+func testWorld(t *testing.T, numAS, nClusters, nKeys int, opts server.Options) ([]*client.Cluster, []*server.Node, []guid.GUID) {
+	t.Helper()
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             numAS,
+		NumPrefixes:       numAS * 12,
+		AnnouncedFraction: 0.52,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*server.Node, numAS)
+	addrs := make(map[int]string, numAS)
+	for as := 0; as < numAS; as++ {
+		n := server.NewWithOptions(nil, opts)
+		addr, err := n.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[as] = n
+		addrs[as] = addr
+		t.Cleanup(func() { n.Close() })
+	}
+	clusters := make([]*client.Cluster, nClusters)
+	for i := range clusters {
+		resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := client.NewWithConfig(resolver, addrs, client.Config{
+			Timeout:    time.Second,
+			OpDeadline: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		clusters[i] = c
+	}
+	keys := make([]guid.GUID, nKeys)
+	for i := range keys {
+		keys[i] = guid.New(fmt.Sprintf("load-key-%d", i))
+		e := store.Entry{
+			GUID:    keys[i],
+			NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(192, 0, 2, byte(i%250+1))}},
+			Version: 1,
+		}
+		if _, err := clusters[0].Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return clusters, nodes, keys
+}
+
+func TestRunOpenLoopAccounting(t *testing.T) {
+	clusters, _, keys := testWorld(t, 2, 2, 32, server.Options{})
+	res, err := Run(Config{
+		Clusters: clusters,
+		Arrivals: NewPoisson(3000, 1),
+		Duration: 400 * time.Millisecond,
+		Workers:  16,
+		Keys:     keys,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Completed == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	// Every offered arrival was either queued (and then completed or
+	// failed — the queue drains before Run returns) or overflowed.
+	if got := res.Completed + res.Failed + res.Overflow; got != res.Offered {
+		t.Errorf("completed+failed+overflow = %d, offered = %d", got, res.Offered)
+	}
+	var secOffered, secDone, secFailed int64
+	for _, s := range res.Seconds {
+		secOffered += s.Offered
+		secDone += s.Completed
+		secFailed += s.Failed
+	}
+	if secOffered != res.Offered {
+		t.Errorf("per-second offered sums to %d, want %d", secOffered, res.Offered)
+	}
+	if secDone != res.Completed || secFailed != res.Failed {
+		t.Errorf("per-second done/failed = %d/%d, want %d/%d", secDone, secFailed, res.Completed, res.Failed)
+	}
+	if res.P50us <= 0 || res.P99us < res.P50us || res.P999us < res.P99us {
+		t.Errorf("quantiles out of order: p50=%g p99=%g p999=%g", res.P50us, res.P99us, res.P999us)
+	}
+	if res.OfferedRate() <= 0 || res.CompletedRate() <= 0 {
+		t.Errorf("rates = %g / %g", res.OfferedRate(), res.CompletedRate())
+	}
+}
+
+// TestRunShedsUnderTightAdmission: with a per-conn in-flight limit far
+// below the pipelined worker count, the servers must shed, the clients
+// must observe those sheds (and keep some goodput via backoff-retry),
+// and the run must still account for every arrival.
+func TestRunShedsUnderTightAdmission(t *testing.T) {
+	clusters, nodes, keys := testWorld(t, 2, 1, 32, server.Options{MaxConnInflight: 1})
+	res, err := Run(Config{
+		Clusters: clusters,
+		Arrivals: NewPoisson(4000, 2),
+		Duration: 400 * time.Millisecond,
+		Workers:  32,
+		Keys:     keys,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serverSheds int64
+	for _, n := range nodes {
+		serverSheds += n.Stats().Sheds
+	}
+	if serverSheds == 0 {
+		t.Error("no server sheds despite MaxConnInflight=1 under 32 pipelined workers")
+	}
+	if res.ClientSheds == 0 {
+		t.Error("clients observed no sheds")
+	}
+	if res.Completed == 0 {
+		t.Error("no goodput at all under shedding; backoff-retry should recover some")
+	}
+	if got := res.Completed + res.Failed + res.Overflow; got != res.Offered {
+		t.Errorf("accounting broke under shedding: %d vs offered %d", got, res.Offered)
+	}
+}
+
+// TestRunZipfFeedsHotKeys: Zipf popularity must reach the server-side
+// hot-GUID trackers with rank-1 dominance a uniform stream cannot show.
+func TestRunZipfFeedsHotKeys(t *testing.T) {
+	hot := trace.NewHotKeys(8)
+	clusters, _, keys := testWorld(t, 1, 1, 64, server.Options{HotKeys: hot})
+	res, err := Run(Config{
+		Clusters: clusters,
+		Arrivals: NewPoisson(3000, 3),
+		Duration: 400 * time.Millisecond,
+		Workers:  8,
+		Keys:     keys,
+		ZipfS:    1.3,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookups, _ := hot.Totals()
+	if lookups == 0 {
+		t.Fatal("hot-key tracker saw no lookups")
+	}
+	top := hot.TopLookups(1)
+	if len(top) == 0 {
+		t.Fatal("no top lookup key")
+	}
+	// Uniform would give ~1/64 ≈ 1.6% per key; Zipf(1.3) concentrates a
+	// large share on rank 1. 10% is a conservative floor.
+	if share := float64(top[0].Count) / float64(lookups); share < 0.10 {
+		t.Errorf("top key share = %.1f%% of %d lookups; Zipf skew not reaching the tracker", share*100, lookups)
+	}
+	if res.Completed == 0 {
+		t.Error("no completions")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	clusters, _, keys := testWorld(t, 1, 1, 4, server.Options{})
+	base := Config{
+		Clusters: clusters,
+		Arrivals: NewPoisson(100, 1),
+		Duration: 50 * time.Millisecond,
+		Keys:     keys,
+	}
+	bad := []Config{
+		{Arrivals: base.Arrivals, Duration: base.Duration, Keys: keys},       // no clusters
+		{Clusters: clusters, Duration: base.Duration, Keys: keys},            // no arrivals
+		{Clusters: clusters, Arrivals: base.Arrivals, Keys: keys},            // no duration
+		{Clusters: clusters, Arrivals: base.Arrivals, Duration: time.Second}, // no keys
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	cfg := base
+	cfg.ZipfS = 0.5 // not > 1 and not uniform
+	if _, err := Run(cfg); err == nil {
+		t.Error("ZipfS=0.5 accepted")
+	}
+}

@@ -157,7 +157,7 @@ func (h HistogramSnapshot) Stats() *stats.Histogram {
 //
 //	counter <name> <value>
 //	gauge <name> <value>
-//	hist <name> count=<n> sum=<s> min=<m> mean=<m> p50=<v> p95=<v> p99=<v> max=<m>
+//	hist <name> count=<n> sum=<s> min=<m> mean=<m> p50=<v> p95=<v> p99=<v> p999=<v> max=<m>
 //
 // Lines are grouped by kind and sorted by name.
 func (s Snapshot) WriteText(w io.Writer) error {
@@ -174,9 +174,9 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		if _, err := fmt.Fprintf(w,
-			"hist %s count=%d sum=%g min=%g mean=%g p50=%g p95=%g p99=%g max=%g\n",
+			"hist %s count=%d sum=%g min=%g mean=%g p50=%g p95=%g p99=%g p999=%g max=%g\n",
 			name, h.Count, h.Sum, h.Min, h.Mean(),
-			h.Quantile(50), h.Quantile(95), h.Quantile(99), h.Max); err != nil {
+			h.Quantile(50), h.Quantile(95), h.Quantile(99), h.Quantile(99.9), h.Max); err != nil {
 			return err
 		}
 	}

@@ -56,6 +56,13 @@ type Node struct {
 	// share keeps answering lookups but refuses new state.
 	draining atomic.Bool
 
+	// admit is the global in-flight admission limiter; every request
+	// frame claims a slot here (and in its connection's own limiter)
+	// before dispatch, or is answered with an ErrKindShed MsgError.
+	// maxConnInflight seeds each connection's limiter.
+	admit           limiter
+	maxConnInflight int64
+
 	// All operational counters live on the node's metrics registry —
 	// the same numbers Stats() reports are what /debug/metrics serves.
 	// Handles are resolved once in New; the request path never touches
@@ -73,10 +80,13 @@ type Node struct {
 	hInsert *metrics.Histogram
 	hLookup *metrics.Histogram
 	hDelete *metrics.Histogram
-	// v2 pipelined-path instrumentation: requests currently being
-	// handled across all multiplexed connections, entries/GUIDs per
-	// batch frame, and per-frame service time for the batch ops.
-	inflight   *metrics.Gauge
+	// Admission outcomes: frames refused at the per-conn and global
+	// in-flight limits. The matching inflight figure is the GaugeFunc
+	// server.inflight over the global limiter.
+	shedsConn   *metrics.Counter
+	shedsGlobal *metrics.Counter
+	// v2 pipelined-path instrumentation: entries/GUIDs per batch frame
+	// and per-frame service time for the batch ops.
 	hBatchSize *metrics.Histogram
 	hBatchIns  *metrics.Histogram
 	hBatchLkp  *metrics.Histogram
@@ -96,6 +106,9 @@ type Stats struct {
 	Rejects int64
 	// BadRequests counts malformed frames answered with MsgError.
 	BadRequests int64
+	// Sheds counts frames refused by admission control (per-conn plus
+	// global in-flight limits), answered with an ErrKindShed MsgError.
+	Sheds int64
 }
 
 // Options configures optional node subsystems. The zero value is a
@@ -122,6 +135,14 @@ type Options struct {
 	// SnapshotBytes overrides the per-shard WAL growth that triggers a
 	// snapshot (0 = store default, negative disables).
 	SnapshotBytes int64
+
+	// MaxInflight caps requests in flight across the whole node;
+	// beyond it new frames are answered with an ErrKindShed MsgError
+	// instead of queueing. 0 = unbounded.
+	MaxInflight int
+	// MaxConnInflight caps requests in flight per connection, bounding
+	// how much of the node one peer can occupy. 0 = unbounded.
+	MaxConnInflight int
 }
 
 // New creates a node around st (a fresh store if nil). logger may be nil
@@ -177,14 +198,22 @@ func NewWithOptions(st *store.Store, opts Options) *Node {
 		hLookup: reg.Histogram("server.op.lookup_us"),
 		hDelete: reg.Histogram("server.op.delete_us"),
 
-		inflight:   reg.Gauge("server.inflight"),
-		hBatchSize: reg.Histogram("server.batch_size"),
-		hBatchIns:  reg.Histogram("server.op.batch_insert_us"),
-		hBatchLkp:  reg.Histogram("server.op.batch_lookup_us"),
-		v2Conns:    reg.Counter("server.v2_conns"),
-		v2Frames:   reg.Counter("server.v2_frames"),
+		shedsConn:   reg.Counter("server.sheds_conn"),
+		shedsGlobal: reg.Counter("server.sheds_global"),
+		hBatchSize:  reg.Histogram("server.batch_size"),
+		hBatchIns:   reg.Histogram("server.op.batch_insert_us"),
+		hBatchLkp:   reg.Histogram("server.op.batch_lookup_us"),
+		v2Conns:     reg.Counter("server.v2_conns"),
+		v2Frames:    reg.Counter("server.v2_frames"),
 	}
+	n.admit.max = int64(opts.MaxInflight)
+	n.maxConnInflight = int64(opts.MaxConnInflight)
 	st.Instrument(reg, "store")
+	// Requests currently being handled across every connection, v1 and
+	// v2 alike: the global admission limiter's live count.
+	reg.GaugeFunc("server.inflight", func() float64 {
+		return float64(n.admit.inflight())
+	})
 	reg.GaugeFunc("server.conns", func() float64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -252,6 +281,7 @@ func (n *Node) Stats() Stats {
 		Errors:      n.errors.Value(),
 		Rejects:     n.rejects.Value(),
 		BadRequests: n.badReqs.Value(),
+		Sheds:       n.shedsConn.Value() + n.shedsGlobal.Value(),
 	}
 }
 
@@ -367,8 +397,8 @@ func (n *Node) countErr() {
 // replyErrAndClose best-effort answers a broken request with a MsgError
 // frame so the peer learns why instead of watching its timeout expire;
 // the caller closes the connection (the stream may be desynchronized).
-func (n *Node) replyErrAndClose(conn net.Conn, reason string) {
-	_ = wire.WriteFrame(conn, wire.MsgError, wire.AppendError(nil, reason))
+func (n *Node) replyErrAndClose(conn net.Conn, kind wire.ErrKind, reason string) {
+	_ = wire.WriteFrame(conn, wire.MsgError, wire.AppendErrorKind(nil, kind, reason))
 }
 
 // handle executes one decoded request and returns the response frame.
@@ -393,13 +423,13 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		if n.draining.Load() {
 			n.rejects.Add(1)
 			sp.Eventf("rejected: draining")
-			return wire.MsgError, wire.AppendError(dst, "draining: writes refused"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindDraining, "draining: writes refused"), false
 		}
 		e, _, err := wire.DecodeEntry(payload)
 		if err != nil {
 			n.badReqs.Add(1)
 			n.logger.Warn("bad insert", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(dst, "malformed insert"), true
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "malformed insert"), true
 		}
 		n.hot.ObserveInsert(e.GUID)
 		st := sp.NewChild("store.put")
@@ -410,7 +440,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 			// reject the request without tearing down the connection.
 			n.countErr()
 			n.logger.Warn("store rejected entry", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(dst, "store rejected entry"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "store rejected entry"), false
 		}
 		n.inserts.Add(1)
 		n.hInsert.ObserveSinceExemplar(start, sp.TraceID())
@@ -420,7 +450,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		g, _, err := wire.DecodeGUID(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			return wire.MsgError, wire.AppendError(dst, "malformed lookup"), true
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "malformed lookup"), true
 		}
 		n.hot.ObserveLookup(g)
 		st := sp.NewChild("store.get")
@@ -445,7 +475,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		}
 		if aerr != nil {
 			n.countErr()
-			return wire.MsgError, wire.AppendError(dst, "internal error"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindInternal, "internal error"), false
 		}
 		n.hLookup.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgLookupResp, out, false
@@ -454,12 +484,12 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		if n.draining.Load() {
 			n.rejects.Add(1)
 			sp.Eventf("rejected: draining")
-			return wire.MsgError, wire.AppendError(dst, "draining: writes refused"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindDraining, "draining: writes refused"), false
 		}
 		g, _, err := wire.DecodeGUID(payload)
 		if err != nil {
 			n.badReqs.Add(1)
-			return wire.MsgError, wire.AppendError(dst, "malformed delete"), true
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "malformed delete"), true
 		}
 		st := sp.NewChild("store.delete")
 		existed := n.store.Delete(g)
@@ -478,13 +508,13 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 	case wire.MsgBatchInsert:
 		if n.draining.Load() {
 			n.rejects.Add(1)
-			return wire.MsgError, wire.AppendError(dst, "draining: writes refused"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindDraining, "draining: writes refused"), false
 		}
 		entries, err := wire.DecodeBatchInsert(payload)
 		if err != nil {
 			n.badReqs.Add(1)
 			n.logger.Warn("bad batch insert", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(dst, "malformed batch insert"), true
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "malformed batch insert"), true
 		}
 		n.hBatchSize.Observe(float64(len(entries)))
 		st := sp.NewChild("store.put_batch")
@@ -505,7 +535,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		out, err = wire.AppendBatchInsertAck(dst, acked)
 		if err != nil {
 			n.countErr()
-			return wire.MsgError, wire.AppendError(dst, "internal error"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindInternal, "internal error"), false
 		}
 		n.hBatchIns.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgBatchInsertAck, out, false
@@ -515,7 +545,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		if err != nil {
 			n.badReqs.Add(1)
 			n.logger.Warn("bad batch lookup", "remote", remote, "err", err)
-			return wire.MsgError, wire.AppendError(dst, "malformed batch lookup"), true
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "malformed batch lookup"), true
 		}
 		n.hBatchSize.Observe(float64(len(gs)))
 		st := sp.NewChild("store.get_batch")
@@ -541,7 +571,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 		out, err = wire.AppendBatchLookupResp(dst, rs)
 		if err != nil {
 			n.countErr()
-			return wire.MsgError, wire.AppendError(dst, "internal error"), false
+			return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindInternal, "internal error"), false
 		}
 		n.hBatchLkp.ObserveSinceExemplar(start, sp.TraceID())
 		return wire.MsgBatchLookupResp, out, false
@@ -549,7 +579,7 @@ func (n *Node) handle(t wire.MsgType, payload []byte, remote net.Addr, sp *trace
 	default:
 		n.countErr()
 		n.logger.Warn("unknown frame", "type", t, "remote", remote)
-		return wire.MsgError, wire.AppendError(dst, "unknown frame type"), true
+		return wire.MsgError, wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "unknown frame type"), true
 	}
 }
 
@@ -575,6 +605,10 @@ func (n *Node) serveConn(conn net.Conn) {
 		serverBufs.Put(readBuf)
 		serverBufs.Put(scratch)
 	}()
+	// Per-connection admission limiter; shared with serveConnV2 if the
+	// connection upgrades. Claims always drain when the connection dies:
+	// v1 releases inline, v2 releases as each in-flight worker finishes.
+	ca := &limiter{max: n.maxConnInflight}
 	for {
 		t, payload, err := wire.ReadFrameInto(conn, readBuf[:cap(readBuf)])
 		if err != nil {
@@ -593,7 +627,7 @@ func (n *Node) serveConn(conn net.Conn) {
 			v, feat, err := wire.DecodeHello(payload)
 			if err != nil {
 				n.badReqs.Add(1)
-				n.replyErrAndClose(conn, "malformed hello")
+				n.replyErrAndClose(conn, wire.ErrKindBadRequest, "malformed hello")
 				return
 			}
 			if v > wire.Version2 {
@@ -612,12 +646,22 @@ func (n *Node) serveConn(conn net.Conn) {
 			if v >= wire.Version2 {
 				n.v2Conns.Add(1)
 				n.logger.Debug("v2 upgrade", "remote", conn.RemoteAddr(), "feat", granted)
-				n.serveConnV2(conn, granted)
+				n.serveConnV2(conn, granted, ca)
 				return
 			}
 			continue // negotiated v1: stay sequential
 		}
+		if ok, global := n.tryAdmit(ca, t); !ok {
+			// Sequential framing keeps the stream aligned: the shed reply
+			// answers the refused request and the connection lives on.
+			n.countShed(global)
+			if err := wire.WriteFrame(conn, wire.MsgError, shedBody(global)); err != nil {
+				return
+			}
+			continue
+		}
 		respType, out, fatal := n.handle(t, payload, conn.RemoteAddr(), nil, scratch[:0])
+		n.admitRelease(ca)
 		if cap(out) > cap(scratch) {
 			serverBufs.Put(scratch)
 			scratch = out
@@ -647,6 +691,9 @@ type v2Work struct {
 	t       wire.MsgType
 	id      uint64
 	payload []byte
+	// ca is the connection's admission limiter; the read loop claimed a
+	// per-conn + global slot for this frame, the worker releases both.
+	ca *limiter
 }
 
 // serveConnV2 processes identified frames concurrently on a per-connection
@@ -670,7 +717,15 @@ type v2Work struct {
 // with the base frame type. Without the negotiation, a traced frame is
 // simply an unknown type — handle answers MsgError, the interop
 // contract for peers that never asked for the extension.
-func (n *Node) serveConnV2(conn net.Conn, feat byte) {
+//
+// ca is the connection's admission limiter (created by serveConn). The
+// read loop claims per-conn + global slots for each frame before the
+// worker handoff and answers refusals with a pre-encoded ErrKindShed
+// MsgError — so under overload the queue stops at the limiter instead
+// of stacking behind busy workers, and the peer learns to back off
+// rather than fail over. Workers release the claims as they finish,
+// which also drains them naturally when the connection dies mid-burst.
+func (n *Node) serveConnV2(conn net.Conn, feat byte, ca *limiter) {
 	var wg sync.WaitGroup
 	// A failed flush desynchronizes nothing (identified framing), but the
 	// connection is done for: kill it, which also unblocks the read loop.
@@ -695,8 +750,16 @@ func (n *Node) serveConnV2(conn net.Conn, feat byte) {
 			serverBufs.Put(buf)
 		}
 		n.v2Frames.Add(1)
-		n.inflight.Add(1)
-		wk := v2Work{t: t, id: id, payload: payload}
+		if ok, global := n.tryAdmit(ca, wire.BaseType(t)); !ok {
+			// Refuse before the worker handoff: the reply goes out on the
+			// read loop through the shared Writer (safe — workers already
+			// write to it concurrently) with zero allocations.
+			n.countShed(global)
+			_ = w.WriteFrameID(wire.MsgError, id, shedBody(global))
+			serverBufs.Put(payload)
+			continue
+		}
+		wk := v2Work{t: t, id: id, payload: payload, ca: ca}
 		select {
 		case work <- wk: // an idle worker exists
 		default:
@@ -721,7 +784,7 @@ func (n *Node) serveConnV2(conn net.Conn, feat byte) {
 // the pool; the Writer copies the response into its pending buffer
 // before returning, so both buffers recycle immediately.
 func (n *Node) serveFrameV2(conn net.Conn, feat byte, w *wire.Writer, wk v2Work) {
-	defer n.inflight.Add(-1)
+	defer n.admitRelease(wk.ca)
 	t, id, payload := wk.t, wk.id, wk.payload
 	readBuf := wk.payload // payload may be re-sliced below; release this
 	defer serverBufs.Put(readBuf)
@@ -733,7 +796,7 @@ func (n *Node) serveFrameV2(conn net.Conn, feat byte, w *wire.Writer, wk v2Work)
 		if terr != nil {
 			n.badReqs.Add(1)
 			dst := serverBufs.Get(64)
-			out := wire.AppendError(dst, "malformed trace context")
+			out := wire.AppendErrorKind(dst, wire.ErrKindBadRequest, "malformed trace context")
 			// On write failure the Writer's onFail already closed the
 			// connection; nothing more to do here.
 			_ = w.WriteFrameID(wire.MsgError, id, out)

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestErrorKindRoundTrip proves every kind survives encode/decode with
+// its reason intact, including against a reused dirty dst.
+func TestErrorKindRoundTrip(t *testing.T) {
+	dirty := []byte("leftover")
+	for _, kind := range []ErrKind{ErrKindGeneric, ErrKindBadRequest, ErrKindDraining, ErrKindShed, ErrKindInternal} {
+		enc := AppendErrorKind(append([]byte(nil), dirty...), kind, "reason for "+kind.String())
+		got, reason, err := DecodeErrorKind(enc[len(dirty):])
+		if err != nil {
+			t.Fatalf("kind %v: decode: %v", kind, err)
+		}
+		if got != kind {
+			t.Errorf("kind round trip: got %v, want %v", got, kind)
+		}
+		if want := "reason for " + kind.String(); reason != want {
+			t.Errorf("reason round trip: got %q, want %q", reason, want)
+		}
+	}
+}
+
+// TestShedDistinctFromDrainOnTheWire is the contract the client's
+// backoff logic rests on: the bytes of a load-shed refusal and a
+// draining refusal differ in their kind byte, so a decoder can
+// distinguish them even with identical reason text.
+func TestShedDistinctFromDrainOnTheWire(t *testing.T) {
+	shed := AppendErrorKind(nil, ErrKindShed, "refused")
+	drain := AppendErrorKind(nil, ErrKindDraining, "refused")
+	if string(shed) == string(drain) {
+		t.Fatalf("shed and drain refusals are byte-identical on the wire: %q", shed)
+	}
+	ks, _, err := DecodeErrorKind(shed)
+	if err != nil || ks != ErrKindShed {
+		t.Fatalf("shed decodes to (%v, %v), want ErrKindShed", ks, err)
+	}
+	kd, _, err := DecodeErrorKind(drain)
+	if err != nil || kd != ErrKindDraining {
+		t.Fatalf("drain decodes to (%v, %v), want ErrKindDraining", kd, err)
+	}
+}
+
+// TestDecodeErrorKindEdges covers the legacy/hostile payload shapes.
+func TestDecodeErrorKindEdges(t *testing.T) {
+	// Empty payload: the legacy "no reason" error decodes as generic.
+	if k, reason, err := DecodeErrorKind(nil); err != nil || k != ErrKindGeneric || reason != "" {
+		t.Errorf("empty payload = (%v, %q, %v), want (generic, \"\", nil)", k, reason, err)
+	}
+	// A bare kind byte carries an empty reason.
+	if k, reason, err := DecodeErrorKind([]byte{byte(ErrKindShed)}); err != nil || k != ErrKindShed || reason != "" {
+		t.Errorf("bare kind = (%v, %q, %v), want (shed, \"\", nil)", k, reason, err)
+	}
+	// Unknown kinds pass through rather than failing the decode.
+	if k, _, err := DecodeErrorKind([]byte{200, 'x'}); err != nil || k != ErrKind(200) {
+		t.Errorf("unknown kind = (%v, %v), want (ErrKind(200), nil)", k, err)
+	}
+	// Oversized reasons are rejected on decode...
+	big := AppendErrorKind(nil, ErrKindGeneric, strings.Repeat("x", MaxErrorLen))
+	big = append(big, 'y') // one byte beyond what an honest encoder emits
+	if _, _, err := DecodeErrorKind(big); err == nil {
+		t.Error("oversized reason should fail to decode")
+	}
+	// ...and truncated on encode, so encode output always decodes.
+	enc := AppendErrorKind(nil, ErrKindInternal, strings.Repeat("y", 2*MaxErrorLen))
+	if len(enc) != 1+MaxErrorLen {
+		t.Errorf("encoded oversized reason is %d bytes, want %d", len(enc), 1+MaxErrorLen)
+	}
+	if _, reason, err := DecodeErrorKind(enc); err != nil || len(reason) != MaxErrorLen {
+		t.Errorf("truncated reason decode = (%d bytes, %v)", len(reason), err)
+	}
+}
+
+// TestAppendErrorKindZeroAlloc proves the shed-reply encode path adds no
+// allocations when the destination has capacity — admission control
+// refuses requests on the hot read loop, so its reply must be free.
+func TestAppendErrorKindZeroAlloc(t *testing.T) {
+	dst := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendErrorKind(dst[:0], ErrKindShed, "overloaded: node in-flight limit")
+	})
+	if allocs != 0 {
+		t.Errorf("AppendErrorKind allocates %.1f/op into a sized buffer, want 0", allocs)
+	}
+}

@@ -274,21 +274,88 @@ func DecodeGUID(b []byte) (guid.GUID, []byte, error) {
 // MaxErrorLen bounds a MsgError reason string.
 const MaxErrorLen = 256
 
-// AppendError encodes a MsgError body, truncating oversized reasons.
+// ErrKind classifies a MsgError reply so clients can react per cause
+// instead of string-matching reasons. The split that matters under load:
+// a draining node (ErrKindDraining) has answered and will keep refusing,
+// so the client should fail over to another replica immediately, while
+// an overloaded node (ErrKindShed) refused only this instant's excess —
+// the client should back off and retry rather than migrate its load to
+// the next replica and overload that one too.
+type ErrKind byte
+
+// MsgError kinds. The byte is the first payload byte of every MsgError
+// frame: kind(1) ‖ reason(UTF-8).
+const (
+	// ErrKindGeneric is an unclassified refusal (also what an empty
+	// MsgError payload decodes to).
+	ErrKindGeneric ErrKind = 0
+	// ErrKindBadRequest reports a malformed or unknown frame.
+	ErrKindBadRequest ErrKind = 1
+	// ErrKindDraining reports a write refused by a draining node
+	// (§III-D1 handoff posture): fail over, the node stays read-only.
+	ErrKindDraining ErrKind = 2
+	// ErrKindShed reports a request refused by admission control: the
+	// node is over its in-flight limit right now. Back off and retry;
+	// do not treat the node as down.
+	ErrKindShed ErrKind = 3
+	// ErrKindInternal reports a server-side failure handling a
+	// well-formed request.
+	ErrKindInternal ErrKind = 4
+)
+
+// String names the error kind.
+func (k ErrKind) String() string {
+	switch k {
+	case ErrKindGeneric:
+		return "generic"
+	case ErrKindBadRequest:
+		return "bad-request"
+	case ErrKindDraining:
+		return "draining"
+	case ErrKindShed:
+		return "shed"
+	case ErrKindInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("ErrKind(%d)", byte(k))
+	}
+}
+
+// AppendError encodes a generic-kind MsgError body, truncating
+// oversized reasons.
 func AppendError(dst []byte, reason string) []byte {
+	return AppendErrorKind(dst, ErrKindGeneric, reason)
+}
+
+// AppendErrorKind encodes a MsgError body — kind(1) ‖ reason —
+// truncating oversized reasons.
+func AppendErrorKind(dst []byte, kind ErrKind, reason string) []byte {
 	if len(reason) > MaxErrorLen {
 		reason = reason[:MaxErrorLen]
 	}
+	dst = append(dst, byte(kind))
 	return append(dst, reason...)
 }
 
-// DecodeError decodes a MsgError body. Oversized payloads are rejected
-// rather than truncated: an honest node never sends one.
+// DecodeError decodes a MsgError body, returning the reason only.
 func DecodeError(b []byte) (string, error) {
-	if len(b) > MaxErrorLen {
-		return "", fmt.Errorf("wire: error reason %d bytes exceeds %d", len(b), MaxErrorLen)
+	_, reason, err := DecodeErrorKind(b)
+	return reason, err
+}
+
+// DecodeErrorKind decodes a MsgError body into its kind and reason.
+// An empty payload decodes as (ErrKindGeneric, ""); unknown kind bytes
+// are returned as-is so newer kinds degrade to a caller's default
+// handling instead of a decode failure. Oversized payloads are rejected
+// rather than truncated: an honest node never sends one.
+func DecodeErrorKind(b []byte) (ErrKind, string, error) {
+	if len(b) == 0 {
+		return ErrKindGeneric, "", nil
 	}
-	return string(b), nil
+	if len(b) > 1+MaxErrorLen {
+		return 0, "", fmt.Errorf("wire: error reason %d bytes exceeds %d", len(b)-1, MaxErrorLen)
+	}
+	return ErrKind(b[0]), string(b[1:]), nil
 }
 
 // LookupResp is the body of a MsgLookupResp frame.

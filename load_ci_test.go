@@ -1,0 +1,268 @@
+// Open-loop load sweep: the CI gate for overload behavior.
+//
+// TestLoadSweepCI calibrates the goodput of a small admission-limited
+// cluster with a closed-loop burst, then replays an ascending sweep of
+// open-loop Poisson offered rates through internal/load and asserts the
+// paper-shaped overload story holds end to end:
+//
+//   - a throughput knee exists (light offered rates are fully served,
+//     the heaviest are not),
+//   - past the knee the servers shed instead of queueing without bound,
+//   - goodput under deep overload stays at a healthy fraction of the
+//     knee goodput (shedding degrades gracefully, it does not collapse),
+//   - the Zipf-skewed key popularity reaches the hot-GUID trackers.
+//
+// Each sweep point is emitted as a "LOADRECORD {json}" line that
+// scripts/bench.sh load harvests into BENCH_<date>.json, where
+// cmd/benchcheck validates the knee/overload record schema. Gated
+// behind BENCH_LOAD=1: the sweep holds a node at saturation for
+// seconds, which is a bench posture, not a unit-test one.
+package dmap_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmap/internal/client"
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/load"
+	"dmap/internal/netaddr"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+	"dmap/internal/trace"
+)
+
+// loadWorld starts numAS admission-limited nodes over a generated DFZ
+// plus nClusters independent client stacks. Several clusters means
+// several pooled mux conns per node, so the sweep exercises both the
+// per-connection and the global admission limiters.
+func loadWorld(t *testing.T, numAS, nClusters, nKeys int, opts server.Options) ([]*client.Cluster, []*server.Node, []guid.GUID) {
+	t.Helper()
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             numAS,
+		NumPrefixes:       numAS * 12,
+		AnnouncedFraction: 0.52,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*server.Node, numAS)
+	addrs := make(map[int]string, numAS)
+	for as := 0; as < numAS; as++ {
+		n := server.NewWithOptions(nil, opts)
+		addr, err := n.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[as] = n
+		addrs[as] = addr
+		t.Cleanup(func() { n.Close() })
+	}
+	clusters := make([]*client.Cluster, nClusters)
+	for i := range clusters {
+		resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := client.NewWithConfig(resolver, addrs, client.Config{
+			Timeout:    time.Second,
+			OpDeadline: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		clusters[i] = c
+	}
+	keys := make([]guid.GUID, nKeys)
+	for i := range keys {
+		keys[i] = guid.New(fmt.Sprintf("sweep-key-%d", i))
+		e := store.Entry{
+			GUID:    keys[i],
+			NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(192, 0, 2, byte(i%250+1))}},
+			Version: 1,
+		}
+		if _, err := clusters[0].Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return clusters, nodes, keys
+}
+
+// closedLoopRate measures sustained goodput with the same worker count
+// and the same clusters the open-loop sweep will use, so the calibrated
+// capacity reflects the admission-limited regime the sweep runs in —
+// not an idealized one the sweep could never reach.
+func closedLoopRate(clusters []*client.Cluster, keys []guid.GUID, workers int, dur time.Duration) float64 {
+	var stop atomic.Bool
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		c := clusters[w%len(clusters)]
+		off := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var e store.Entry
+			for i := off; !stop.Load(); i++ {
+				if err := c.LookupInto(keys[i%len(keys)], &e); err == nil {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return float64(done.Load()) / time.Since(start).Seconds()
+}
+
+// loadRecord is one LOADRECORD emission: the base benchmark-record
+// fields (ns_per_op carries the point's p99 in nanoseconds) plus the
+// load-sweep extension cmd/benchcheck validates.
+type loadRecord struct {
+	Date         string  `json:"date"`
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Kind         string  `json:"kind"`
+	OfferedRPS   float64 `json:"offered_rps"`
+	CompletedRPS float64 `json:"completed_rps"`
+	P50us        float64 `json:"p50_us"`
+	P99us        float64 `json:"p99_us"`
+	P999us       float64 `json:"p999_us"`
+	ShedRPS      float64 `json:"shed_rps"`
+}
+
+func emitLoadRecord(t *testing.T, date, name, kind string, p load.Point) {
+	t.Helper()
+	b, err := json.Marshal(loadRecord{
+		Date: date, Name: name, NsPerOp: p.P99us * 1e3, Kind: kind,
+		OfferedRPS: p.OfferedRPS, CompletedRPS: p.CompletedRPS,
+		P50us: p.P50us, P99us: p.P99us, P999us: p.P999us, ShedRPS: p.ShedRPS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Printed raw (not t.Log) so scripts/bench.sh can harvest the lines
+	// without stripping test-runner prefixes.
+	fmt.Printf("LOADRECORD %s\n", b)
+}
+
+func TestLoadSweepCI(t *testing.T) {
+	if os.Getenv("BENCH_LOAD") == "" {
+		t.Skip("set BENCH_LOAD=1 (scripts/bench.sh load does) to run the open-loop overload sweep")
+	}
+	date := os.Getenv("BENCH_DATE")
+	if date == "" {
+		date = time.Now().Format("20060102")
+	}
+	const (
+		nClusters = 4
+		perConn   = 6 // in-flight limit per conn, below workers/nClusters
+	)
+	workers := envInt("BENCH_LOAD_WORKERS", 32)
+	hot := trace.NewHotKeys(32)
+	clusters, nodes, keys := loadWorld(t, 2, nClusters, 128, server.Options{
+		MaxConnInflight: perConn,
+		MaxInflight:     perConn * nClusters * 2,
+		HotKeys:         hot,
+	})
+
+	// Calibrate capacity at the sweep's own concurrency. The top
+	// multipliers must land far past it even if the estimate is noisy.
+	capacity := closedLoopRate(clusters, keys, workers, 300*time.Millisecond)
+	if capacity <= 0 {
+		t.Fatal("closed-loop calibration completed no lookups")
+	}
+	t.Logf("calibrated closed-loop goodput: %.0f lookups/s (%d workers, %d clusters)", capacity, workers, nClusters)
+
+	mults := []float64{0.25, 0.5, 0.75, 1.5, 2.5}
+	points := make([]load.Point, 0, len(mults))
+	var shedsBefore, shedsDuringOverload int64
+	for i, mult := range mults {
+		if i == len(mults)-1 {
+			for _, n := range nodes {
+				shedsBefore += n.Stats().Sheds
+			}
+		}
+		res, err := load.Run(load.Config{
+			Clusters: clusters,
+			Arrivals: load.NewPoisson(mult*capacity, int64(i+1)),
+			Duration: 800 * time.Millisecond,
+			Workers:  workers,
+			Keys:     keys,
+			ZipfS:    1.2,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := load.Point{
+			OfferedRPS:   res.OfferedRate(),
+			CompletedRPS: res.CompletedRate(),
+			P50us:        res.P50us,
+			P99us:        res.P99us,
+			P999us:       res.P999us,
+			ShedRPS:      float64(res.ClientSheds) / res.Elapsed.Seconds(),
+		}
+		points = append(points, p)
+		t.Logf("sweep %.2fx: offered %.0f/s, completed %.0f/s, p50 %.0fµs p99 %.0fµs p999 %.0fµs, sheds %.0f/s, overflow %d",
+			mult, p.OfferedRPS, p.CompletedRPS, p.P50us, p.P99us, p.P999us, p.ShedRPS, res.Overflow)
+		emitLoadRecord(t, date, "load.point", "point", p)
+		if i == len(mults)-1 {
+			for _, n := range nodes {
+				shedsDuringOverload += n.Stats().Sheds
+			}
+			shedsDuringOverload -= shedsBefore
+		}
+	}
+
+	// Gate 1: the sweep brackets a knee — the light end keeps up, the
+	// heavy end does not.
+	knee := load.DetectKnee(points, 0)
+	if knee < 0 {
+		t.Fatalf("no knee: even the lightest point (%.0f/s offered) is overloaded", points[0].OfferedRPS)
+	}
+	if knee == len(points)-1 {
+		t.Fatalf("no overload: the heaviest point (%.0f/s offered, %.0f/s completed) still keeps up — sweep did not pass the knee",
+			points[knee].OfferedRPS, points[knee].CompletedRPS)
+	}
+	t.Logf("knee at sweep point %d: %.0f/s offered, %.0f/s completed", knee, points[knee].OfferedRPS, points[knee].CompletedRPS)
+	emitLoadRecord(t, date, "load.knee", "knee", points[knee])
+
+	// Gate 2: past the knee the system degrades, it does not collapse —
+	// deep-overload goodput holds a healthy fraction of knee goodput.
+	last := points[len(points)-1]
+	if floor := 0.4 * points[knee].CompletedRPS; last.CompletedRPS < floor {
+		t.Errorf("overload goodput collapsed: %.0f/s at %.0f/s offered, floor %.0f/s (40%% of knee goodput)",
+			last.CompletedRPS, last.OfferedRPS, floor)
+	}
+	emitLoadRecord(t, date, "load.overload", "overload", last)
+
+	// Gate 3: deep overload is handled by admission, not by unbounded
+	// queues — the servers visibly shed during the heaviest point.
+	if shedsDuringOverload == 0 {
+		t.Error("servers shed nothing during the deep-overload point; admission control is not engaging")
+	} else {
+		t.Logf("servers shed %d requests during the deep-overload point", shedsDuringOverload)
+	}
+
+	// Gate 4: the Zipf-skewed stream reached the hot-GUID trackers.
+	lookups, _ := hot.Totals()
+	if lookups == 0 {
+		t.Error("hot-GUID trackers saw no lookups")
+	} else if top := hot.TopLookups(1); len(top) == 0 || top[0].Count == 0 {
+		t.Error("hot-GUID trackers have no top key despite traffic")
+	}
+}

@@ -8,6 +8,7 @@
 #   scripts/bench.sh alloc     # single-op allocation budget gate
 #   scripts/bench.sh recover   # WAL replay + restart time-to-serve
 #   scripts/bench.sh soak      # >=1k-connection soak (informational)
+#   scripts/bench.sh load      # open-loop overload sweep + knee gate
 #   scripts/bench.sh validate  # parse every BENCH_*.json record file
 #
 # Default mode runs the hot-path micro-benchmarks (hashing, prefix
@@ -69,6 +70,17 @@
 # and records the result; it is informational, not a gate — its job is
 # flushing pool races and fd/goroutine leaks at a connection count the
 # other modes never reach.
+#
+# Load mode runs TestLoadSweepCI (load_ci_test.go): an open-loop Poisson
+# sweep through internal/load against real admission-limited TCP nodes.
+# The test gates overload behavior itself — a throughput knee must
+# exist, deep-overload goodput must hold >=40% of knee goodput, the
+# servers must shed (not queue unboundedly) and the Zipf key skew must
+# reach the hot-GUID trackers — and emits one LOADRECORD line per sweep
+# point plus the detected knee and the deep-overload point. This mode
+# harvests those lines into BENCH_<date>.json, where cmd/benchcheck
+# validates the extended record schema. Worker count can be tuned with
+# BENCH_LOAD_WORKERS (default 32).
 #
 # Validate mode builds cmd/benchcheck and parses every BENCH_*.json in
 # the repository root, failing on any malformed record file. Every
@@ -399,12 +411,30 @@ soak)
     echo "soaked $conns concurrent connections"
     ;;
 
+load)
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    BENCH_LOAD=1 BENCH_DATE="$date_tag" \
+        go test -run '^TestLoadSweepCI$' -v -timeout 10m . | tee "$raw"
+
+    records=$(awk '/^LOADRECORD / { sub(/^LOADRECORD /, ""); if (seen++) printf ",\n"; printf "  %s", $0 }' "$raw")
+    if [ -z "$records" ]; then
+        echo "FAIL: load sweep emitted no LOADRECORD lines" >&2
+        exit 1
+    fi
+    append_records "$out" "$records"
+    echo "wrote $out"
+    echo "overload sweep passed: knee detected, shedding engaged, goodput held"
+    ;;
+
 validate)
     go run ./cmd/benchcheck
     ;;
 
 *)
-    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|validate]" >&2
+    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|load|validate]" >&2
     exit 2
     ;;
 esac

@@ -26,7 +26,7 @@ go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
 go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
 go test -race ./internal/server/... ./internal/client/... ./internal/metrics/...
-go test -race ./internal/trace/... ./internal/store/...
+go test -race ./internal/trace/... ./internal/store/... ./internal/load/...
 go test -race ./internal/experiments/... -run 'BatchFrameModel|Determinism'
 go test -race -run '^$' -bench '^BenchmarkLookup64ClientsV2$' -benchtime=10x .
 
