@@ -20,9 +20,12 @@ import (
 //
 // Load-sweep rows (scripts/bench.sh load) carry the kind field plus
 // offered/completed rates, latency quantiles and a shed rate; for them
-// ns_per_op is the point's p99 in nanoseconds. The extension fields are
-// validated as a unit: a row either has none of them or is a complete,
-// internally consistent sweep record.
+// ns_per_op is the point's p99 in nanoseconds. Partition-heal rows
+// (scripts/bench.sh heal) carry kind "heal" plus the gossip interval,
+// convergence time, repaired-entry count and post-heal stale-read rate;
+// for them ns_per_op is the convergence time in nanoseconds. Either
+// extension is validated as a unit: a row has none of its fields or a
+// complete, internally consistent record.
 type record struct {
 	Date        string   `json:"date"`
 	Name        string   `json:"name"`
@@ -37,12 +40,56 @@ type record struct {
 	P99us        *float64 `json:"p99_us,omitempty"`
 	P999us       *float64 `json:"p999_us,omitempty"`
 	ShedRPS      *float64 `json:"shed_rps,omitempty"`
+
+	GossipIntervalMs *float64 `json:"gossip_interval_ms,omitempty"`
+	ConvergenceMs    *float64 `json:"convergence_ms,omitempty"`
+	EntriesRepaired  *float64 `json:"entries_repaired,omitempty"`
+	StaleRate        *float64 `json:"stale_rate,omitempty"`
 }
 
 // isLoadRecord reports whether any load-sweep extension field is set.
 func (r record) isLoadRecord() bool {
-	return r.Kind != "" || r.OfferedRPS != nil || r.CompletedRPS != nil ||
-		r.P50us != nil || r.P99us != nil || r.P999us != nil || r.ShedRPS != nil
+	return (r.Kind != "" && r.Kind != "heal") || r.OfferedRPS != nil ||
+		r.CompletedRPS != nil || r.P50us != nil || r.P99us != nil ||
+		r.P999us != nil || r.ShedRPS != nil
+}
+
+// isHealRecord reports whether any partition-heal extension field is set.
+func (r record) isHealRecord() bool {
+	return r.Kind == "heal" || r.GossipIntervalMs != nil ||
+		r.ConvergenceMs != nil || r.EntriesRepaired != nil || r.StaleRate != nil
+}
+
+// checkHealRecord validates one partition-heal row: every extension
+// field present, a positive gossip interval, convergence no faster than
+// one interval, a whole non-negative repair count and a stale rate that
+// is a fraction.
+func checkHealRecord(r record) error {
+	if r.Kind != "heal" {
+		return fmt.Errorf("heal fields present but kind is %q", r.Kind)
+	}
+	for name, f := range map[string]*float64{
+		"gossip_interval_ms": r.GossipIntervalMs, "convergence_ms": r.ConvergenceMs,
+		"entries_repaired": r.EntriesRepaired, "stale_rate": r.StaleRate,
+	} {
+		if f == nil {
+			return fmt.Errorf("heal record missing %s", name)
+		}
+	}
+	if *r.GossipIntervalMs <= 0 {
+		return fmt.Errorf("gossip_interval_ms %g not positive", *r.GossipIntervalMs)
+	}
+	if *r.ConvergenceMs < *r.GossipIntervalMs {
+		return fmt.Errorf("convergence_ms %g shorter than one gossip interval (%g ms)",
+			*r.ConvergenceMs, *r.GossipIntervalMs)
+	}
+	if *r.EntriesRepaired < 0 || *r.EntriesRepaired != float64(int64(*r.EntriesRepaired)) {
+		return fmt.Errorf("entries_repaired %g not a whole non-negative count", *r.EntriesRepaired)
+	}
+	if *r.StaleRate < 0 || *r.StaleRate > 1 {
+		return fmt.Errorf("stale_rate %g outside [0, 1]", *r.StaleRate)
+	}
+	return nil
 }
 
 // checkLoadRecord validates one load-sweep row: every extension field
@@ -105,7 +152,14 @@ func checkFile(path string) error {
 		if r.NsPerOp == nil {
 			return fmt.Errorf("record %d (%s): missing ns_per_op", i, r.Name)
 		}
-		if r.isLoadRecord() {
+		switch {
+		case r.isHealRecord() && r.isLoadRecord():
+			return fmt.Errorf("record %d (%s): mixes load and heal extension fields", i, r.Name)
+		case r.isHealRecord():
+			if err := checkHealRecord(r); err != nil {
+				return fmt.Errorf("record %d (%s): %w", i, r.Name, err)
+			}
+		case r.isLoadRecord():
 			if err := checkLoadRecord(r); err != nil {
 				return fmt.Errorf("record %d (%s): %w", i, r.Name, err)
 			}

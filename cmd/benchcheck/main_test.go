@@ -85,3 +85,50 @@ func TestCheckFileLoadRecords(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckFileHealRecords(t *testing.T) {
+	good := `[
+  {"date": "20260807", "name": "heal.cell", "ns_per_op": 3.498e8, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 100, "convergence_ms": 349.8, "entries_repaired": 82, "stale_rate": 0.705},
+  {"date": "20260807", "name": "heal.cell", "ns_per_op": 1.2498e9, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 1000, "convergence_ms": 1249.8, "entries_repaired": 82, "stale_rate": 0.705}
+]`
+	if err := checkJSON(t, good); err != nil {
+		t.Errorf("valid heal records rejected: %v", err)
+	}
+
+	row := func(mutation string) string {
+		base := `{"date": "20260807", "name": "heal.cell", "ns_per_op": 3.498e8, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 100, "convergence_ms": 349.8, "entries_repaired": 82, "stale_rate": 0.705}`
+		return "[\n  " + strings.NewReplacer(mutation, "").Replace(base) + "\n]"
+	}
+	for name, cut := range map[string]string{
+		// As with load rows, heal extension fields are all-or-nothing.
+		"missing gossip_interval_ms": `"gossip_interval_ms": 100, `,
+		"missing convergence_ms":     `"convergence_ms": 349.8, `,
+		"missing entries_repaired":   `"entries_repaired": 82, `,
+		"missing stale_rate":         `, "stale_rate": 0.705`,
+		"missing kind":               `"kind": "heal", `,
+	} {
+		if err := checkJSON(t, row(cut)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	bad := map[string]string{
+		"zero interval": `[{"date": "20260807", "name": "heal.cell", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 0, "convergence_ms": 1, "entries_repaired": 1, "stale_rate": 0}]`,
+		"convergence faster than one interval": `[{"date": "20260807", "name": "heal.cell", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 100, "convergence_ms": 50, "entries_repaired": 1, "stale_rate": 0}]`,
+		"fractional repair count": `[{"date": "20260807", "name": "heal.cell", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 100, "convergence_ms": 100, "entries_repaired": 1.5, "stale_rate": 0}]`,
+		"stale_rate above one": `[{"date": "20260807", "name": "heal.cell", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 100, "convergence_ms": 100, "entries_repaired": 1, "stale_rate": 1.5}]`,
+		"heal fields under a load kind": `[{"date": "20260807", "name": "heal.cell", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 1, "completed_rps": 1, "p50_us": 1, "p99_us": 1, "p999_us": 1, "shed_rps": 0, "stale_rate": 0.5}]`,
+	}
+	for name, body := range bad {
+		if err := checkJSON(t, body); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +81,18 @@ func main() {
 	}
 }
 
+// splitPeers parses the -gossip-peers list, dropping empty elements so
+// trailing commas don't become dial targets.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":4500", "listen address")
@@ -94,6 +107,10 @@ func serve(args []string) error {
 	snapshotMB := fs.Int("snapshot-mb", 0, "per-shard WAL growth in MiB before a background snapshot truncates it (0 = default 4, negative = disabled)")
 	maxInflight := fs.Int("max-inflight", 0, "shed requests beyond this many in flight node-wide (0 = unbounded)")
 	maxConnInflight := fs.Int("max-conn-inflight", 0, "shed requests beyond this many in flight per connection (0 = unbounded)")
+	gossipPeers := fs.String("gossip-peers", "", "comma-separated replica addresses for background anti-entropy repair (empty = off)")
+	gossipInterval := fs.Duration("gossip-interval", time.Second, "pause between anti-entropy sweeps (one peer per tick)")
+	gossipRate := fs.Int("gossip-rate", 0, "cap repaired entries per second during a sweep (0 = unlimited)")
+	gossipBatch := fs.Int("gossip-batch", 0, "digests per repair page (0 = wire maximum)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +143,12 @@ func serve(args []string) error {
 		SnapshotBytes:   int64(*snapshotMB) << 20,
 		MaxInflight:     *maxInflight,
 		MaxConnInflight: *maxConnInflight,
+		Gossip: server.GossipOptions{
+			Peers:    splitPeers(*gossipPeers),
+			Interval: *gossipInterval,
+			Rate:     *gossipRate,
+			Batch:    *gossipBatch,
+		},
 	})
 	if err != nil {
 		return err

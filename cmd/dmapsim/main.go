@@ -22,6 +22,7 @@ import (
 	"dmap/internal/engine"
 	"dmap/internal/experiments"
 	"dmap/internal/metrics"
+	"dmap/internal/simnet"
 	"dmap/internal/topology"
 	"dmap/internal/trace"
 )
@@ -53,6 +54,7 @@ func run(args []string) error {
 		showMetrics = fs.Bool("metrics", false, "print a metrics snapshot (engine occupancy, unit latency, driver gauges) after the experiment")
 		traceSample = fs.Int("trace-sample", 0, "sample 1 in N engine.Map calls into a trace (0 = off)")
 		slowOpMs    = fs.Int("slow-op-ms", 0, "log engine work units slower than this many milliseconds (0 = off)")
+		gossipMs    = fs.String("gossip-ms", "100,500,1000,5000", "gossip intervals in ms for the partition-heal sweep (comma-separated)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +111,31 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println("# §IV-A storage and traffic overhead")
+		fmt.Print(res)
+		printSnap()
+		printTraces()
+		return nil
+	case "heal":
+		intervals, err := parseGossipMs(*gossipMs)
+		if err != nil {
+			return err
+		}
+		numAS := *scale
+		if numAS > 1000 {
+			numAS = 200 // event-driven sim; paper scale is not the point here
+		}
+		res, err := experiments.RunHeal(experiments.HealConfig{
+			NumAS:           numAS,
+			K:               *k,
+			LocalReplica:    true,
+			NumGUIDs:        *guids / 1000,
+			GossipIntervals: intervals,
+			Seed:            *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("# partition-heal convergence vs gossip interval (DESIGN §12)")
 		fmt.Print(res)
 		printSnap()
 		printTraces()
@@ -399,6 +426,28 @@ func run(args []string) error {
 }
 
 // parseFracs parses a comma-separated list of failure fractions.
+// parseGossipMs parses the -gossip-ms list into simulated-time
+// intervals (the sim clock ticks in microseconds).
+func parseGossipMs(s string) ([]simnet.Time, error) {
+	parts := strings.Split(s, ",")
+	out := make([]simnet.Time, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		ms, err := strconv.Atoi(p)
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("bad gossip interval %q (want positive ms)", p)
+		}
+		out = append(out, simnet.Time(ms)*1000)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no gossip intervals in %q", s)
+	}
+	return out, nil
+}
+
 func parseFracs(s string) ([]float64, error) {
 	parts := strings.Split(s, ",")
 	out := make([]float64, 0, len(parts))

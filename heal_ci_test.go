@@ -1,0 +1,112 @@
+// Partition-heal convergence sweep: the CI gate for anti-entropy.
+//
+// TestHealSweepCI partitions a simulated deployment, writes divergent
+// versions on both sides, heals the cut and measures how long the
+// gossip repair protocol (DESIGN.md §12) takes to restore §III-D2
+// agreement across every replica, per gossip interval. It asserts the
+// repair story holds end to end:
+//
+//   - the partition creates real divergence (post-heal probes see
+//     stale versions before any gossip runs),
+//   - every cell converges within the round budget and repairs a
+//     nonzero number of entries,
+//   - convergence time grows with the gossip interval (the knob works).
+//
+// Each sweep cell is emitted as a "HEALRECORD {json}" line that
+// scripts/bench.sh heal harvests into BENCH_<date>.json, where
+// cmd/benchcheck validates the heal record schema. Gated behind
+// BENCH_HEAL=1: the sweep builds several full deployments, which is a
+// bench posture, not a unit-test one.
+package dmap_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dmap/internal/experiments"
+	"dmap/internal/simnet"
+)
+
+// healRecord is one HEALRECORD emission: the base benchmark-record
+// fields (ns_per_op carries the cell's convergence time in nanoseconds)
+// plus the heal extension cmd/benchcheck validates.
+type healRecord struct {
+	Date        string  `json:"date"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	Kind             string  `json:"kind"`
+	GossipIntervalMs float64 `json:"gossip_interval_ms"`
+	ConvergenceMs    float64 `json:"convergence_ms"`
+	EntriesRepaired  float64 `json:"entries_repaired"`
+	StaleRate        float64 `json:"stale_rate"`
+}
+
+func emitHealRecord(t *testing.T, date string, c experiments.HealCell) {
+	t.Helper()
+	b, err := json.Marshal(healRecord{
+		Date: date, Name: "heal.cell", Kind: "heal",
+		NsPerOp:          float64(c.ConvergenceTime) * 1e3, // sim µs -> ns
+		GossipIntervalMs: float64(c.GossipInterval) / 1e3,
+		ConvergenceMs:    float64(c.ConvergenceTime) / 1e3,
+		EntriesRepaired:  float64(c.EntriesRepaired),
+		StaleRate:        c.StaleRate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Printed raw (not t.Log) so scripts/bench.sh can harvest the lines
+	// without stripping test-runner prefixes.
+	fmt.Printf("HEALRECORD %s\n", b)
+}
+
+func TestHealSweepCI(t *testing.T) {
+	if os.Getenv("BENCH_HEAL") == "" {
+		t.Skip("set BENCH_HEAL=1 (scripts/bench.sh heal does) to run the partition-heal sweep")
+	}
+	date := os.Getenv("BENCH_DATE")
+	if date == "" {
+		date = time.Now().Format("20060102")
+	}
+	res, err := experiments.RunHeal(experiments.HealConfig{
+		NumAS:        envInt("BENCH_HEAL_AS", 120),
+		K:            3,
+		LocalReplica: true,
+		NumGUIDs:     envInt("BENCH_HEAL_GUIDS", 40),
+		StaleProbes:  200,
+		GossipIntervals: []simnet.Time{
+			100_000, 500_000, 1_000_000, 5_000_000, // 100 ms .. 5 s
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+
+	var prev simnet.Time
+	for _, c := range res.Cells {
+		if c.StaleReads == 0 {
+			t.Errorf("interval %dms: post-heal probes saw no staleness; the partition created no divergence",
+				c.GossipInterval/1000)
+		}
+		if c.EntriesRepaired == 0 {
+			t.Errorf("interval %dms: gossip repaired nothing", c.GossipInterval/1000)
+		}
+		if c.ConvergenceTime < c.GossipInterval {
+			t.Errorf("interval %dms: converged in %dµs, faster than one round",
+				c.GossipInterval/1000, c.ConvergenceTime)
+		}
+		if c.ConvergenceTime < prev {
+			t.Errorf("interval %dms: convergence %dµs not monotone in interval",
+				c.GossipInterval/1000, c.ConvergenceTime)
+		}
+		prev = c.ConvergenceTime
+		emitHealRecord(t, date, c)
+	}
+}

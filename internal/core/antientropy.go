@@ -1,0 +1,249 @@
+// Anti-entropy repair: the version-compare/merge logic shared by the
+// rejoin reconciliation of §III-D1 (ReconcileAS), the nodesim gossip
+// rounds and the server's background repair sweeps (DESIGN.md §12).
+//
+// All three paths reduce to the same primitive: given fingerprints of
+// what a peer holds, decide — under §III-D2 highest-seq-wins — which
+// entries the local store should push because its copy is fresher, and
+// which it should pull because the peer's is. The store's freshest-wins
+// Put makes every transfer idempotent, so repair needs no coordination
+// beyond the compare itself.
+package core
+
+import (
+	"dmap/internal/guid"
+	"dmap/internal/store"
+)
+
+// DiffDigests compares a peer's digest page against st. The page is a
+// *filtered* view — the peer only fingerprints GUIDs it believes both
+// sides replicate — so absence from the page carries no information and
+// no reverse detection happens. It returns the local entries fresher
+// than the peer's fingerprint (to push) and the GUIDs the peer holds
+// fresher or that st lacks (to pull). wantMissing=false suppresses the
+// pull list entirely — a draining node still serves its fresher copies
+// but stops acquiring state.
+func DiffDigests(st *store.Store, page []store.Digest, wantMissing bool) (newer []store.Entry, want []guid.GUID) {
+	for _, d := range page {
+		v, ok := st.Version(d.GUID)
+		switch {
+		case !ok || v < d.Version:
+			if wantMissing {
+				want = append(want, d.GUID)
+			}
+		case v > d.Version:
+			if e, ok := st.Get(d.GUID); ok {
+				newer = append(newer, e)
+			}
+		}
+	}
+	return newer, want
+}
+
+// DiffRange compares a *range-complete* digest page covering the
+// keyspace interval (after, through] against st: the sender fingerprints
+// everything it holds there, so a GUID st holds in the interval but the
+// page lacks means the sender is missing it — reverse detection the
+// filtered DiffDigests cannot do. Both sequences are walked in keyspace
+// order as a sorted merge.
+//
+// max bounds the push list (max <= 0 means unbounded). When the bound
+// is hit the merge stops and covered reports the last GUID that was
+// fully compared; the caller resumes the sweep from it. A complete
+// merge returns covered == through. The pull list needs no bound: it
+// only ever names GUIDs from the page, so |want| <= |page|.
+func DiffRange(st *store.Store, after, through guid.GUID, page []store.Digest, wantMissing bool, max int) (newer []store.Entry, want []guid.GUID, covered guid.GUID) {
+	loc := localDigests(st, after, through)
+	covered = after
+	i, j := 0, 0
+	for i < len(loc) || j < len(page) {
+		var g guid.GUID
+		switch {
+		case j >= len(page) || (i < len(loc) && guid.Compare(loc[i].GUID, page[j].GUID) < 0):
+			// Local-only: the sender lacks it — push.
+			if max > 0 && len(newer) >= max {
+				return newer, want, covered
+			}
+			g = loc[i].GUID
+			if e, ok := st.Get(g); ok {
+				newer = append(newer, e)
+			}
+			i++
+		case i >= len(loc) || guid.Compare(page[j].GUID, loc[i].GUID) < 0:
+			// Sender-only: st lacks it — pull.
+			g = page[j].GUID
+			if wantMissing {
+				want = append(want, g)
+			}
+			j++
+		default: // both hold it: §III-D2 version compare
+			g = loc[i].GUID
+			if loc[i].Version > page[j].Version {
+				if max > 0 && len(newer) >= max {
+					return newer, want, covered
+				}
+				if e, ok := st.Get(g); ok {
+					newer = append(newer, e)
+				}
+			} else if loc[i].Version < page[j].Version && wantMissing {
+				want = append(want, g)
+			}
+			i++
+			j++
+		}
+		covered = g
+	}
+	return newer, want, through
+}
+
+// localDigests collects st's digests inside (after, through] in keyspace
+// order by paging the shard cursors of every overlapping shard — shard
+// ranges tile the keyspace in order, so per-shard order is global order.
+func localDigests(st *store.Store, after, through guid.GUID) []store.Digest {
+	var out []store.Digest
+	page := make([]store.Digest, 0, 128)
+	for i := 0; i < st.ShardCount(); i++ {
+		sa, sth := st.ShardRange(i)
+		if guid.Compare(sth, after) <= 0 {
+			continue // shard entirely below the interval
+		}
+		if guid.Compare(sa, through) >= 0 {
+			break // this and all later shards lie above it
+		}
+		cur := sa
+		if guid.Compare(after, cur) > 0 {
+			cur = after
+		}
+		for {
+			var more bool
+			page, more = st.ShardDigests(i, cur, cap(page), page[:0])
+			for _, d := range page {
+				if guid.Compare(d.GUID, through) > 0 {
+					return out // everything after is above the interval too
+				}
+				out = append(out, d)
+			}
+			if !more || len(page) == 0 {
+				break
+			}
+			cur = page[len(page)-1].GUID
+		}
+	}
+	return out
+}
+
+// ApplyEntries installs pulled or pushed entries into st under
+// freshest-wins and returns how many actually advanced the store (stale
+// transfers are no-ops, not errors).
+func ApplyEntries(st *store.Store, entries []store.Entry) (int, error) {
+	applied := 0
+	for _, e := range entries {
+		ok, err := st.Put(e)
+		if err != nil {
+			return applied, err
+		}
+		if ok {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// repairSet accumulates repair candidates for a target store, keeping
+// only the freshest offer per GUID and — crucially — only offers
+// strictly fresher than what the target already holds. That keeps its
+// size proportional to the entries actually in need of repair, not to
+// the total state scanned: a rejoin sweep over a large healthy cluster
+// buffers almost nothing.
+type repairSet struct {
+	target *store.Store
+	best   map[guid.GUID]store.Entry
+}
+
+func newRepairSet(target *store.Store) *repairSet {
+	return &repairSet{target: target, best: make(map[guid.GUID]store.Entry)}
+}
+
+// Offer records e as a repair candidate unless the target (or an
+// earlier offer) already holds that GUID at the same or higher version.
+func (r *repairSet) Offer(e store.Entry) {
+	if v, ok := r.target.Version(e.GUID); ok && v >= e.Version {
+		return
+	}
+	if b, ok := r.best[e.GUID]; ok && b.Version >= e.Version {
+		return
+	}
+	r.best[e.GUID] = e
+}
+
+// Len returns the number of buffered repair candidates.
+func (r *repairSet) Len() int { return len(r.best) }
+
+// Apply installs the buffered candidates and returns how many advanced
+// the target. Concurrent writers may have outrun an offer; freshest-wins
+// Put absorbs the race.
+func (r *repairSet) Apply() (int, error) {
+	return ApplyEntries(r.target, flatten(r.best))
+}
+
+func flatten(m map[guid.GUID]store.Entry) []store.Entry {
+	out := make([]store.Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	return out
+}
+
+// hostedAt reports whether as is supposed to host e: one of the K
+// global replica placements, or — with §III-C local replicas on — an
+// attachment AS named in the entry itself.
+func (s *System) hostedAt(e store.Entry, as int) (bool, error) {
+	if s.localReplica {
+		for _, na := range e.NAs {
+			if na.AS == as {
+				return true, nil
+			}
+		}
+	}
+	placements, err := s.res.Place(e.GUID)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range placements {
+		if p.AS == as {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// collectStale scans every peer store for mappings hosted at as that
+// are fresher than as's copy, buffering them in a repairSet.
+func (s *System) collectStale(as int) (*repairSet, error) {
+	set := newRepairSet(s.storeAt(as))
+	for other := range s.stores {
+		if other == as {
+			continue
+		}
+		st := s.loadStore(other)
+		if st == nil {
+			continue
+		}
+		var rangeErr error
+		st.Range(func(e store.Entry) bool {
+			hosted, err := s.hostedAt(e, as)
+			if err != nil {
+				rangeErr = err
+				return false
+			}
+			if hosted {
+				set.Offer(e)
+			}
+			return true
+		})
+		if rangeErr != nil {
+			return nil, rangeErr
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dmap/internal/guid"
+	"dmap/internal/store"
+)
+
+func aeEntry(name string, version uint64) store.Entry {
+	return store.Entry{
+		GUID:    guid.New(name),
+		NAs:     []store.NA{{AS: 1}},
+		Version: version,
+	}
+}
+
+func mustPut(t *testing.T, st *store.Store, e store.Entry) {
+	t.Helper()
+	if _, err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffDigests(t *testing.T) {
+	st := store.New()
+	mustPut(t, st, aeEntry("same", 5))
+	mustPut(t, st, aeEntry("fresher-here", 9))
+	mustPut(t, st, aeEntry("staler-here", 2))
+
+	page := []store.Digest{
+		{GUID: guid.New("same"), Version: 5},
+		{GUID: guid.New("fresher-here"), Version: 3},
+		{GUID: guid.New("staler-here"), Version: 7},
+		{GUID: guid.New("missing-here"), Version: 1},
+	}
+	newer, want := DiffDigests(st, page, true)
+	if len(newer) != 1 || newer[0].GUID != guid.New("fresher-here") || newer[0].Version != 9 {
+		t.Fatalf("newer = %+v", newer)
+	}
+	if len(want) != 2 {
+		t.Fatalf("want = %+v", want)
+	}
+	wantSet := map[guid.GUID]bool{want[0]: true, want[1]: true}
+	if !wantSet[guid.New("staler-here")] || !wantSet[guid.New("missing-here")] {
+		t.Fatalf("want = %+v", want)
+	}
+
+	// A draining node keeps serving fresher copies but pulls nothing.
+	newer, want = DiffDigests(st, page, false)
+	if len(newer) != 1 || want != nil {
+		t.Fatalf("draining diff = %+v, %+v", newer, want)
+	}
+
+	// A filtered page never triggers reverse pushes for absent GUIDs:
+	// an empty page yields an empty diff no matter what st holds.
+	if n, w := DiffDigests(st, nil, true); n != nil || w != nil {
+		t.Fatalf("empty page diff = %+v, %+v", n, w)
+	}
+}
+
+func TestDiffRangeDetectsMissingOnBothSides(t *testing.T) {
+	st := store.New()
+	mustPut(t, st, aeEntry("only-local", 4))
+	mustPut(t, st, aeEntry("shared-fresh", 8))
+	mustPut(t, st, aeEntry("shared-stale", 1))
+
+	page := []store.Digest{
+		{GUID: guid.New("shared-fresh"), Version: 2},
+		{GUID: guid.New("shared-stale"), Version: 6},
+		{GUID: guid.New("only-remote"), Version: 3},
+	}
+	// DiffRange needs the page in keyspace order.
+	sortDigests(page)
+
+	newer, want, covered := DiffRange(st, guid.GUID{}, guid.Max(), page, true, 0)
+	if covered != guid.Max() {
+		t.Fatalf("complete merge covered %s, want max", covered)
+	}
+	got := map[guid.GUID]uint64{}
+	for _, e := range newer {
+		got[e.GUID] = e.Version
+	}
+	// Range-completeness makes only-local a push — the reverse detection
+	// the filtered diff cannot do.
+	if len(got) != 2 || got[guid.New("only-local")] != 4 || got[guid.New("shared-fresh")] != 8 {
+		t.Fatalf("newer = %+v", newer)
+	}
+	ws := map[guid.GUID]bool{}
+	for _, g := range want {
+		ws[g] = true
+	}
+	if len(ws) != 2 || !ws[guid.New("shared-stale")] || !ws[guid.New("only-remote")] {
+		t.Fatalf("want = %+v", want)
+	}
+}
+
+func TestDiffRangeTruncatesWithCoveredCursor(t *testing.T) {
+	st := store.New()
+	const n = 40
+	for i := 0; i < n; i++ {
+		mustPut(t, st, aeEntry(fmt.Sprintf("bulk-%d", i), 1))
+	}
+
+	// Empty page over the full keyspace: an empty peer sweeping a full
+	// one. With max=7 the merge must truncate and hand back a resume
+	// cursor; paging from it must eventually surface every entry.
+	seen := map[guid.GUID]bool{}
+	after := guid.GUID{}
+	rounds := 0
+	for {
+		rounds++
+		if rounds > n+2 {
+			t.Fatal("covered cursor is not advancing")
+		}
+		newer, _, covered := DiffRange(st, after, guid.Max(), nil, true, 7)
+		if len(newer) > 7 {
+			t.Fatalf("truncated merge returned %d pushes, max 7", len(newer))
+		}
+		for _, e := range newer {
+			if seen[e.GUID] {
+				t.Fatalf("entry %s pushed twice", e.GUID.Short())
+			}
+			seen[e.GUID] = true
+		}
+		if covered == guid.Max() {
+			break
+		}
+		if guid.Compare(covered, after) <= 0 {
+			t.Fatalf("covered %s did not advance past %s", covered, after)
+		}
+		after = covered
+	}
+	if len(seen) != n {
+		t.Fatalf("resumed sweep surfaced %d entries, want %d", len(seen), n)
+	}
+}
+
+func TestApplyEntriesFreshestWins(t *testing.T) {
+	st := store.New()
+	mustPut(t, st, aeEntry("held", 5))
+	applied, err := ApplyEntries(st, []store.Entry{
+		aeEntry("held", 3),  // stale: no-op
+		aeEntry("held", 9),  // fresher: applies
+		aeEntry("novel", 1), // missing: applies
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2", applied)
+	}
+	if e, ok := st.Get(guid.New("held")); !ok || e.Version != 9 {
+		t.Fatalf("held = %+v, %v", e, ok)
+	}
+}
+
+// TestCollectStaleIsBoundedByStaleness pins the ReconcileAS fix: the
+// candidate buffer must scale with the number of mappings actually in
+// need of repair, not with total cluster state. Before the repairSet
+// rewrite the rejoin path buffered every hosted mapping.
+func TestCollectStaleIsBoundedByStaleness(t *testing.T) {
+	sys := newTestSystem(t, 3, false)
+
+	var hosted []store.Entry
+	const victim = 42
+	for i := 0; hosted == nil || len(hosted) < 50; i++ {
+		e := store.Entry{
+			GUID:    guid.FromUint64(uint64(1000 + i)),
+			NAs:     []store.NA{{AS: 7}},
+			Version: 1,
+		}
+		if _, err := sys.Insert(e, 7); err != nil {
+			t.Fatal(err)
+		}
+		at, err := sys.hostedAt(e, victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at {
+			hosted = append(hosted, e)
+		}
+		if i > 100000 {
+			t.Fatal("could not find 50 mappings hosted at the victim")
+		}
+	}
+
+	// Everything is in sync: a rejoin scan buffers nothing.
+	set, err := sys.collectStale(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 0 {
+		t.Fatalf("healthy cluster buffered %d candidates, want 0", set.Len())
+	}
+
+	// Advance 3 of the victim's mappings on the *other* replicas only.
+	const stale = 3
+	for i := 0; i < stale; i++ {
+		e := hosted[i]
+		e.Version = 2
+		placements, err := sys.Resolver().Place(e.GUID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range placements {
+			if p.AS == victim {
+				continue
+			}
+			st, err := sys.Store(p.AS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustPut(t, st, e)
+		}
+	}
+
+	set, err = sys.collectStale(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != stale {
+		t.Fatalf("buffered %d candidates, want exactly the %d stale mappings (of %d hosted)",
+			set.Len(), stale, len(hosted))
+	}
+	pulled, err := set.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulled != stale {
+		t.Fatalf("applied %d, want %d", pulled, stale)
+	}
+}
+
+func TestRepairSetKeepsFreshestOffer(t *testing.T) {
+	target := store.New()
+	mustPut(t, target, aeEntry("held", 5))
+	set := newRepairSet(target)
+
+	set.Offer(aeEntry("held", 4)) // staler than target: dropped
+	set.Offer(aeEntry("held", 5)) // equal: dropped
+	if set.Len() != 0 {
+		t.Fatalf("stale offers buffered: Len = %d", set.Len())
+	}
+	set.Offer(aeEntry("held", 7))
+	set.Offer(aeEntry("held", 6)) // staler than the buffered 7: dropped
+	set.Offer(aeEntry("held", 9))
+	set.Offer(aeEntry("novel", 1))
+	if set.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", set.Len())
+	}
+	if _, err := set.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := target.Get(guid.New("held")); e.Version != 9 {
+		t.Fatalf("held version = %d, want 9", e.Version)
+	}
+}
+
+// sortDigests orders a page by GUID — insertion sort, test-sized input.
+func sortDigests(ds []store.Digest) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && guid.Compare(ds[j].GUID, ds[j-1].GUID) < 0; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

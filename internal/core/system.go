@@ -545,70 +545,17 @@ func (s *System) RepairMiss(g guid.GUID, announced netaddr.Prefix, owner int) (b
 // stale read for any mapping it hosts. It returns the number of
 // mappings that were refreshed (pulled at a higher version than the
 // local copy, or missing locally).
+//
+// The candidate buffer holds only entries strictly fresher than the
+// local copy (repairSet in antientropy.go), so a rejoin against a
+// mostly-healthy cluster stays O(stale mappings), not O(cluster state).
 func (s *System) ReconcileAS(as int) (int, error) {
 	if as < 0 || as >= len(s.stores) {
 		return 0, fmt.Errorf("core: AS %d out of range [0,%d)", as, len(s.stores))
 	}
-	target := s.storeAt(as)
-
-	// Collect the freshest version each peer holds of every GUID this
-	// AS is supposed to host (a global replica placement, or a local
-	// replica via one of the entry's attachment ASes).
-	best := make(map[guid.GUID]store.Entry)
-	for other := range s.stores {
-		if other == as {
-			continue
-		}
-		st := s.loadStore(other)
-		if st == nil {
-			continue
-		}
-		var rangeErr error
-		st.Range(func(e store.Entry) bool {
-			hosted := false
-			if s.localReplica {
-				for _, na := range e.NAs {
-					if na.AS == as {
-						hosted = true
-						break
-					}
-				}
-			}
-			if !hosted {
-				placements, err := s.res.Place(e.GUID)
-				if err != nil {
-					rangeErr = err
-					return false
-				}
-				for _, p := range placements {
-					if p.AS == as {
-						hosted = true
-						break
-					}
-				}
-			}
-			if !hosted {
-				return true
-			}
-			if b, ok := best[e.GUID]; !ok || e.Version > b.Version {
-				best[e.GUID] = e
-			}
-			return true
-		})
-		if rangeErr != nil {
-			return 0, rangeErr
-		}
+	set, err := s.collectStale(as)
+	if err != nil {
+		return 0, err
 	}
-
-	pulled := 0
-	for _, e := range best {
-		applied, err := target.Put(e) // freshest-wins: stale pulls are no-ops
-		if err != nil {
-			return pulled, err
-		}
-		if applied {
-			pulled++
-		}
-	}
-	return pulled, nil
+	return set.Apply()
 }

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/nodesim"
+	"dmap/internal/prefixtable"
+	"dmap/internal/simnet"
+	"dmap/internal/store"
+	"dmap/internal/topology"
+)
+
+// HealConfig drives the partition-heal convergence experiment: split the
+// network, write divergent versions on both sides, heal, and measure how
+// long anti-entropy gossip (DESIGN.md §12) takes to restore §III-D2
+// agreement — and how many stale reads slip through before it does —
+// as a function of the gossip interval.
+type HealConfig struct {
+	// NumAS sizes the topology (default 200).
+	NumAS int
+	// K is the replication factor (default 3).
+	K int
+	// LocalReplica enables the §III-C per-attachment-AS copies, which
+	// the repair protocol must also converge.
+	LocalReplica bool
+	// NumGUIDs sizes the diverged population (default 50).
+	NumGUIDs int
+	// GossipIntervals lists the sweep points: simulated time between
+	// gossip rounds after the heal.
+	GossipIntervals []simnet.Time
+	// StaleProbes is the number of post-heal, pre-convergence lookups
+	// probed per cell for staleness (default 200).
+	StaleProbes int
+	// Seed fixes the topology, prefix table, write placement and probe
+	// sampling.
+	Seed int64
+}
+
+// HealCell is one gossip-interval sweep point.
+type HealCell struct {
+	GossipInterval simnet.Time
+	// ConvergenceTime is the simulated time from the heal until every
+	// replica (placements and local copies) holds the max version.
+	ConvergenceTime simnet.Time
+	// Rounds is how many gossip rounds that took.
+	Rounds int
+	// EntriesRepaired counts entries that actually advanced a store
+	// (pulled + pushed).
+	EntriesRepaired int
+	// StaleReads of Probes lookups issued immediately after the heal
+	// (before any gossip) returned a pre-partition or one-side version.
+	StaleReads int
+	Probes     int
+}
+
+// StaleRate returns the stale fraction of the post-heal probes.
+func (c HealCell) StaleRate() float64 {
+	if c.Probes == 0 {
+		return 0
+	}
+	return float64(c.StaleReads) / float64(c.Probes)
+}
+
+// HealResult holds the sweep.
+type HealResult struct {
+	Cells []HealCell
+}
+
+// String renders the sweep as a convergence table.
+func (r *HealResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %7s %9s %11s\n",
+		"interval(ms)", "converge(ms)", "rounds", "repaired", "stale-rate")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-14.0f %14.1f %7d %9d %10.1f%%\n",
+			float64(c.GossipInterval)/1000, float64(c.ConvergenceTime)/1000,
+			c.Rounds, c.EntriesRepaired, 100*c.StaleRate())
+	}
+	return b.String()
+}
+
+// RunHeal runs the partition-heal sweep. Each cell builds its own
+// deployment from the seed, so cells are independent and the whole sweep
+// is deterministic.
+func RunHeal(cfg HealConfig) (*HealResult, error) {
+	if cfg.NumAS <= 0 {
+		cfg.NumAS = 200
+	}
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	if cfg.NumGUIDs <= 0 {
+		cfg.NumGUIDs = 50
+	}
+	if cfg.StaleProbes <= 0 {
+		cfg.StaleProbes = 200
+	}
+	if len(cfg.GossipIntervals) == 0 {
+		return nil, fmt.Errorf("experiments: heal sweep needs GossipIntervals")
+	}
+	res := &HealResult{}
+	for _, interval := range cfg.GossipIntervals {
+		if interval <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive gossip interval %d", interval)
+		}
+		cell, err := runHealCell(cfg, interval)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+func runHealCell(cfg HealConfig, interval simnet.Time) (HealCell, error) {
+	cell := HealCell{GossipInterval: interval}
+	g, err := topology.Generate(topology.SmallGenConfig(cfg.NumAS, cfg.Seed))
+	if err != nil {
+		return cell, err
+	}
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             g.NumAS(),
+		NumPrefixes:       3000,
+		AnnouncedFraction: 0.52,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return cell, err
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(cfg.K, 0), tbl, 0)
+	if err != nil {
+		return cell, err
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Resolver: resolver, NumAS: g.NumAS(), LocalReplica: cfg.LocalReplica,
+	})
+	if err != nil {
+		return cell, err
+	}
+	cache, err := topology.NewDistCache(g, 64)
+	if err != nil {
+		return cell, err
+	}
+	d, err := nodesim.NewDeployment(sys, simnet.New(), cache, 0)
+	if err != nil {
+		return cell, err
+	}
+
+	// Seed the population at v1 while the network is whole.
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	entries := make([]store.Entry, cfg.NumGUIDs)
+	for i := range entries {
+		entries[i] = store.Entry{
+			GUID:    guid.FromUint64(uint64(i) + 1),
+			NAs:     []store.NA{{AS: rng.Intn(g.NumAS()), Addr: netaddr.AddrFromOctets(10, 0, byte(i>>8), byte(i))}},
+			Version: 1,
+		}
+		if err := d.Insert(entries[i].NAs[0].AS, entries[i], func(nodesim.InsertResult) {}); err != nil {
+			return cell, err
+		}
+	}
+	d.Sim().Run(0)
+
+	// Partition the lower half from the upper half; write v2 from the
+	// lower side, v3 from the upper, so every entry's replicas disagree
+	// across the cut.
+	group := make([]int, g.NumAS()/2)
+	for as := range group {
+		group[as] = as
+	}
+	if err := d.Network().SetFaults(&simnet.FaultPlan{
+		Seed:       cfg.Seed,
+		Partitions: []simnet.Partition{{From: d.Sim().Now(), Group: group}},
+	}); err != nil {
+		return cell, err
+	}
+	for i := range entries {
+		v2 := entries[i]
+		v2.Version = 2
+		if err := d.Insert(0, v2, func(nodesim.InsertResult) {}); err != nil {
+			return cell, err
+		}
+		v3 := entries[i]
+		v3.Version = 3
+		if err := d.Insert(g.NumAS()-1, v3, func(nodesim.InsertResult) {}); err != nil {
+			return cell, err
+		}
+	}
+	d.Sim().Run(0)
+	if err := d.Network().SetFaults(nil); err != nil {
+		return cell, err
+	}
+
+	// Stale-read probes right after the heal, before any repair: what a
+	// client sees in the window gossip has not yet closed. Mobility
+	// means a stale mapping routes traffic to a stale locator (§III-B).
+	const maxVersion = 3
+	probes := cfg.StaleProbes
+	for p := 0; p < probes; p++ {
+		i := rng.Intn(len(entries))
+		src := rng.Intn(g.NumAS())
+		if err := d.Lookup(src, entries[i].GUID, func(r nodesim.LookupResult) {
+			if !r.Found || r.Entry.Version != maxVersion {
+				cell.StaleReads++
+			}
+		}); err != nil {
+			return cell, err
+		}
+	}
+	d.Sim().Run(0)
+	cell.Probes = probes
+	// The probe phase drags the clock to its last armed (if unused)
+	// timeout; gossip timing is measured from its own start.
+	gossipStart := d.Sim().Now()
+
+	// Gossip rounds spaced by the interval until every replica holds the
+	// max version.
+	replicas := func(e store.Entry) ([]int, error) {
+		placements, err := resolver.Place(e.GUID)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[int]bool{}
+		var out []int
+		for _, p := range placements {
+			if !seen[p.AS] {
+				seen[p.AS] = true
+				out = append(out, p.AS)
+			}
+		}
+		if cfg.LocalReplica {
+			for _, na := range e.NAs {
+				if !seen[na.AS] {
+					seen[na.AS] = true
+					out = append(out, na.AS)
+				}
+			}
+		}
+		return out, nil
+	}
+	converged := func() (bool, error) {
+		for _, e := range entries {
+			reps, err := replicas(e)
+			if err != nil {
+				return false, err
+			}
+			for _, as := range reps {
+				st, err := sys.Store(as)
+				if err != nil {
+					return false, err
+				}
+				if v, _ := st.Version(e.GUID); v != maxVersion {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+
+	before := d.GossipStats()
+	const maxRounds = 16
+	for {
+		ok, err := converged()
+		if err != nil {
+			return cell, err
+		}
+		if ok {
+			break
+		}
+		if cell.Rounds++; cell.Rounds > maxRounds {
+			return cell, fmt.Errorf("experiments: no convergence after %d gossip rounds", maxRounds)
+		}
+		// Advance the clock to this round's tick, then run the round's
+		// whole exchange.
+		tick := gossipStart + simnet.Time(cell.Rounds)*interval
+		if err := d.Sim().At(tick, func() {}); err != nil {
+			return cell, err
+		}
+		d.Sim().RunUntil(tick)
+		if err := d.GossipRound(); err != nil {
+			return cell, err
+		}
+		d.Sim().Run(0)
+	}
+	after := d.GossipStats()
+	cell.EntriesRepaired = (after.EntriesPulled + after.EntriesPushed) -
+		(before.EntriesPulled + before.EntriesPushed)
+	cell.ConvergenceTime = d.Sim().Now() - gossipStart
+	return cell, nil
+}

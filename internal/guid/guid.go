@@ -9,6 +9,7 @@
 package guid
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -78,6 +79,21 @@ func (g GUID) Short() string { return hex.EncodeToString(g[:4]) }
 
 // IsZero reports whether g is the all-zero GUID.
 func (g GUID) IsZero() bool { return g == GUID{} }
+
+// Compare orders GUIDs lexicographically — the global keyspace order
+// the store's deterministic dumps and the anti-entropy range cursors
+// are defined over. It returns -1, 0 or +1.
+func Compare(a, b GUID) int { return bytes.Compare(a[:], b[:]) }
+
+// Max returns the largest GUID in keyspace order (all bits set), the
+// inclusive upper bound of a full-keyspace range scan.
+func Max() GUID {
+	var g GUID
+	for i := range g {
+		g[i] = 0xff
+	}
+	return g
+}
 
 // Hasher is the predefined consistent hash family shared by all routers
 // participating in DMap (§III-A: "important DMap parameters, such as which

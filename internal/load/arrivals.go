@@ -15,6 +15,7 @@
 package load
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -36,10 +37,19 @@ type Poisson struct {
 	mean float64 // mean gap in seconds (1/rate)
 }
 
+// validRate reports whether r is a positive, finite rate or dwell. The
+// finiteness check matters because NaN slips through a plain r <= 0
+// comparison (every NaN comparison is false) and would silently produce
+// NaN gaps, and +Inf would produce zero gaps — an accidental
+// infinite-rate pacer instead of a loud configuration error.
+func validRate(r float64) bool {
+	return r > 0 && !math.IsInf(r, 1) && !math.IsNaN(r)
+}
+
 // NewPoisson returns a Poisson process at rate arrivals/second.
 func NewPoisson(rate float64, seed int64) *Poisson {
-	if rate <= 0 {
-		panic("load: Poisson rate must be positive")
+	if !validRate(rate) {
+		panic("load: Poisson rate must be positive and finite")
 	}
 	return &Poisson{rng: rand.New(rand.NewSource(seed)), mean: 1 / rate}
 }
@@ -67,8 +77,8 @@ type MMPP struct {
 // burstRate arrivals/second, dwelling a mean of quietDwell/burstDwell
 // in each state. The long-run mean rate is the dwell-weighted average.
 func NewMMPP(quietRate, burstRate float64, quietDwell, burstDwell time.Duration, seed int64) *MMPP {
-	if quietRate <= 0 || burstRate <= 0 || quietDwell <= 0 || burstDwell <= 0 {
-		panic("load: MMPP rates and dwells must be positive")
+	if !validRate(quietRate) || !validRate(burstRate) || quietDwell <= 0 || burstDwell <= 0 {
+		panic("load: MMPP rates and dwells must be positive and finite")
 	}
 	m := &MMPP{
 		rng:     rand.New(rand.NewSource(seed)),

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -129,5 +130,76 @@ func TestDetectKnee(t *testing.T) {
 	}
 	if k := DetectKnee(nil, 0.9); k != -1 {
 		t.Errorf("knee of empty sweep = %d, want -1", k)
+	}
+}
+
+// TestDetectKneeNonMonotoneSweep pins the contiguous-run rule: goodput
+// near saturation is noisy, so a sweep can fail the keep-up fraction at
+// one offered rate and clear it again at a heavier one. The knee is the
+// end of the FIRST passing run — a later lucky point is deep in
+// overload territory, and reporting it as the knee once inflated the
+// measured capacity past the real saturation point.
+func TestDetectKneeNonMonotoneSweep(t *testing.T) {
+	pts := []Point{
+		{OfferedRPS: 100, CompletedRPS: 100},
+		{OfferedRPS: 200, CompletedRPS: 199},
+		{OfferedRPS: 400, CompletedRPS: 320},  // first overload: run ends here
+		{OfferedRPS: 800, CompletedRPS: 790},  // noisy recovery past the knee
+		{OfferedRPS: 1600, CompletedRPS: 500}, // overload again
+	}
+	if k := DetectKnee(pts, 0.9); k != 1 {
+		t.Errorf("knee = %d, want 1 (last point of the first passing run, not the lucky recovery at 3)", k)
+	}
+	// A lucky first point followed by nothing passing still reports it.
+	if k := DetectKnee(pts[3:], 0.9); k != 0 {
+		t.Errorf("knee = %d, want 0", k)
+	}
+	// Degenerate zero-offered points are skipped, not treated as
+	// overload: the run continues across them.
+	gaps := []Point{
+		{OfferedRPS: 100, CompletedRPS: 100},
+		{OfferedRPS: 0, CompletedRPS: 0},
+		{OfferedRPS: 200, CompletedRPS: 199},
+		{OfferedRPS: 400, CompletedRPS: 100},
+	}
+	if k := DetectKnee(gaps, 0.9); k != 2 {
+		t.Errorf("knee with degenerate point = %d, want 2", k)
+	}
+}
+
+// mustPanic asserts fn panics; the arrival constructors turn invalid
+// configuration into a loud failure instead of a silently broken pacer.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestArrivalConstructorsRejectInvalidRates(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	mustPanic(t, "Poisson rate 0", func() { NewPoisson(0, 1) })
+	mustPanic(t, "Poisson negative rate", func() { NewPoisson(-5, 1) })
+	// NaN passes a plain rate <= 0 check (all NaN comparisons are
+	// false) and would make every gap NaN; Inf would make every gap
+	// zero — a spin-loop pacer.
+	mustPanic(t, "Poisson NaN rate", func() { NewPoisson(nan, 1) })
+	mustPanic(t, "Poisson +Inf rate", func() { NewPoisson(inf, 1) })
+
+	mustPanic(t, "MMPP zero quiet rate", func() { NewMMPP(0, 100, time.Millisecond, time.Millisecond, 1) })
+	mustPanic(t, "MMPP NaN quiet rate", func() { NewMMPP(nan, 100, time.Millisecond, time.Millisecond, 1) })
+	mustPanic(t, "MMPP Inf burst rate", func() { NewMMPP(100, inf, time.Millisecond, time.Millisecond, 1) })
+	mustPanic(t, "MMPP zero quiet dwell", func() { NewMMPP(100, 200, 0, time.Millisecond, 1) })
+	mustPanic(t, "MMPP negative burst dwell", func() { NewMMPP(100, 200, time.Millisecond, -time.Millisecond, 1) })
+
+	// Valid configuration still constructs.
+	if p := NewPoisson(100, 1); p == nil {
+		t.Error("valid Poisson rejected")
+	}
+	if m := NewMMPP(100, 200, time.Millisecond, time.Millisecond, 1); m == nil {
+		t.Error("valid MMPP rejected")
 	}
 }

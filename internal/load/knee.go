@@ -12,10 +12,14 @@ type Point struct {
 }
 
 // DetectKnee locates the throughput knee in a sweep ordered by
-// ascending offered rate: the last point whose goodput keeps up with
-// its offered load (completed ≥ frac × offered, default frac 0.9).
-// Past the knee the system is in overload — goodput flattens or sags
-// while latency and sheds climb. Returns -1 when even the lightest
+// ascending offered rate: the last point of the first contiguous run
+// whose goodput keeps up with its offered load (completed ≥ frac ×
+// offered, default frac 0.9). Past the knee the system is in overload —
+// goodput flattens or sags while latency and sheds climb. The scan
+// stops at the first overloaded point: a heavier point that happens to
+// clear the fraction again (goodput is noisy near saturation, and
+// shed-heavy regimes can briefly complete more than they admit steadily)
+// is past the knee, not a second one. Returns -1 when even the lightest
 // point is already overloaded.
 func DetectKnee(points []Point, frac float64) int {
 	if frac <= 0 {
@@ -26,9 +30,10 @@ func DetectKnee(points []Point, frac float64) int {
 		if p.OfferedRPS <= 0 {
 			continue
 		}
-		if p.CompletedRPS >= frac*p.OfferedRPS {
-			knee = i
+		if p.CompletedRPS < frac*p.OfferedRPS {
+			break
 		}
+		knee = i
 	}
 	return knee
 }

@@ -1,0 +1,187 @@
+// Anti-entropy gossip over simnet: the event-driven counterpart of the
+// server's background repair sweeps (DESIGN.md §12). Each sweep sends
+// every replica peer a *filtered* digest — fingerprints of the GUIDs the
+// sweeper believes both sides replicate — and the peer answers with its
+// fresher copies plus the GUIDs it wants pushed. All traffic rides
+// net.Send, so fault plans (partitions, crashes, loss) apply: a healed
+// partition converges through ordinary gossip rounds, which is exactly
+// what the chaos tests exercise.
+package nodesim
+
+import (
+	"sort"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/simnet"
+	"dmap/internal/store"
+)
+
+// gossip message payloads
+type (
+	digestReq struct {
+		page  []store.Digest // shared-GUID fingerprints, keyspace order
+		reqID uint64
+	}
+	digestResp struct {
+		reqID uint64
+		newer []store.Entry // peer's fresher copies: sweeper pulls
+		want  []guid.GUID   // sweeper's fresher copies: peer asks for a push
+	}
+	repairPush struct {
+		entries []store.Entry
+	}
+)
+
+// GossipStats counts cumulative anti-entropy activity.
+type GossipStats struct {
+	// Sweeps counts GossipSweep calls that ran (crashed sweepers skip).
+	Sweeps int
+	// DigestsSent counts digest pages sent to peers.
+	DigestsSent int
+	// EntriesPulled counts entries a sweeper applied from peer replies.
+	EntriesPulled int
+	// EntriesPushed counts entries peers applied from sweeper pushes.
+	EntriesPushed int
+}
+
+// GossipStats returns the cumulative gossip counters.
+func (d *Deployment) GossipStats() GossipStats { return d.gossip }
+
+// replicaPeers returns the ASes besides as that replicate e: the K
+// placement ASes plus — with §III-C local replicas on — the entry's
+// attachment ASes.
+func (d *Deployment) replicaPeers(as int, e store.Entry) ([]int, error) {
+	placements, err := d.sys.Resolver().Place(e.GUID)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]int, 0, len(placements)+len(e.NAs))
+	for _, p := range placements {
+		if p.AS != as {
+			peers = append(peers, p.AS)
+		}
+	}
+	if d.sys.LocalReplicaEnabled() {
+		for _, na := range e.NAs {
+			if na.AS != as {
+				peers = append(peers, na.AS)
+			}
+		}
+	}
+	return peers, nil
+}
+
+// GossipSweep runs one anti-entropy sweep from as: it fingerprints every
+// mapping it stores, groups the digests by replica peer, and sends each
+// peer its page. Replies pull the peer's fresher copies and push back
+// the sweeper's — one sweep reconciles both directions for every GUID
+// the sweeper holds; GUIDs it is missing entirely arrive when the peers
+// holding them sweep. Crashed sweepers do nothing.
+func (d *Deployment) GossipSweep(as int) error {
+	if d.crashed[as] {
+		return nil
+	}
+	st, err := d.sys.Store(as)
+	if err != nil {
+		return err
+	}
+	pages := make(map[int][]store.Digest)
+	var rangeErr error
+	st.Range(func(e store.Entry) bool {
+		peers, err := d.replicaPeers(as, e)
+		if err != nil {
+			rangeErr = err
+			return false
+		}
+		for _, p := range peers {
+			pages[p] = append(pages[p], store.Digest{GUID: e.GUID, Version: e.Version})
+		}
+		return true
+	})
+	if rangeErr != nil {
+		return rangeErr
+	}
+	// Deterministic send order: peers ascending, digests in keyspace
+	// order (Range iterates maps, so sort both).
+	peers := make([]int, 0, len(pages))
+	for p := range pages {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	d.gossip.Sweeps++
+	for _, p := range peers {
+		page := pages[p]
+		sort.Slice(page, func(i, j int) bool {
+			return guid.Compare(page[i].GUID, page[j].GUID) < 0
+		})
+		d.nextReq++
+		d.gossip.DigestsSent++
+		if err := d.net.Send(as, p, digestReq{page: page, reqID: d.nextReq}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GossipRound sweeps every AS once, in AS order. Driving the simulator
+// afterwards (Sim().Run or RunUntil) delivers the whole exchange.
+func (d *Deployment) GossipRound() error {
+	for as := 0; as < d.sys.NumAS(); as++ {
+		if err := d.GossipSweep(as); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleGossip dispatches the anti-entropy payloads; it returns false if
+// the message was not a gossip message.
+func (d *Deployment) handleGossip(self int, msg simnet.Message) bool {
+	switch p := msg.Payload.(type) {
+	case digestReq:
+		if d.crashed[self] {
+			return true
+		}
+		st, err := d.sys.Store(self)
+		if err != nil {
+			return true
+		}
+		newer, want := core.DiffDigests(st, p.page, true)
+		_ = d.net.Send(self, msg.From, digestResp{reqID: p.reqID, newer: newer, want: want})
+	case digestResp:
+		if d.crashed[self] {
+			return true
+		}
+		st, err := d.sys.Store(self)
+		if err != nil {
+			return true
+		}
+		n, _ := core.ApplyEntries(st, p.newer)
+		d.gossip.EntriesPulled += n
+		if len(p.want) > 0 {
+			entries := make([]store.Entry, 0, len(p.want))
+			for _, g := range p.want {
+				if e, ok := st.Get(g); ok {
+					entries = append(entries, e)
+				}
+			}
+			if len(entries) > 0 {
+				_ = d.net.Send(self, msg.From, repairPush{entries: entries})
+			}
+		}
+	case repairPush:
+		if d.crashed[self] {
+			return true
+		}
+		st, err := d.sys.Store(self)
+		if err != nil {
+			return true
+		}
+		n, _ := core.ApplyEntries(st, p.entries)
+		d.gossip.EntriesPushed += n
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,296 @@
+package nodesim
+
+import (
+	"fmt"
+	"testing"
+
+	"dmap/internal/guid"
+	"dmap/internal/simnet"
+	"dmap/internal/store"
+)
+
+// replicasOf returns every AS that should hold e: the K placements plus
+// (with local replicas on) the entry's attachment ASes.
+func replicasOf(t *testing.T, d *Deployment, e store.Entry) []int {
+	t.Helper()
+	placements, err := d.System().Resolver().Place(e.GUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range placements {
+		if !seen[p.AS] {
+			seen[p.AS] = true
+			out = append(out, p.AS)
+		}
+	}
+	if d.System().LocalReplicaEnabled() {
+		for _, na := range e.NAs {
+			if !seen[na.AS] {
+				seen[na.AS] = true
+				out = append(out, na.AS)
+			}
+		}
+	}
+	return out
+}
+
+// versionAt reads the stored version of g at as (0 when absent).
+func versionAt(t *testing.T, d *Deployment, as int, g guid.GUID) uint64 {
+	t.Helper()
+	st, err := d.System().Store(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := st.Version(g)
+	return v
+}
+
+func TestGossipSweepConvergesBothDirections(t *testing.T) {
+	d, _ := testDeployment(t, 3, false)
+	e := entryFor("pair", 1, 5)
+	if err := d.Insert(5, e, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+
+	// Diverge the replicas behind the protocol's back: the first holds
+	// v3, the second v2, the third loses the entry entirely.
+	reps := replicasOf(t, d, e)
+	if len(reps) != 3 {
+		t.Fatalf("replicas = %v, want 3", reps)
+	}
+	for i, as := range reps {
+		st, err := d.System().Store(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i {
+		case 0:
+			up := e
+			up.Version = 3
+			if _, err := st.Put(up); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			up := e
+			up.Version = 2
+			if _, err := st.Put(up); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			st.Delete(e.GUID)
+		}
+	}
+
+	// One sweep from the stale middle replica must pull v3 from the
+	// first (its copy is fresher) and push to the third (missing) — no:
+	// the third is missing the GUID, so the sweeper's digest covers it
+	// and the third pulls it via the want list.
+	if err := d.GossipSweep(reps[1]); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if v := versionAt(t, d, reps[1], e.GUID); v != 3 {
+		t.Fatalf("sweeper version = %d, want 3 (pulled from fresher peer)", v)
+	}
+	if v := versionAt(t, d, reps[2], e.GUID); v < 2 {
+		t.Fatalf("lost replica version = %d, want the sweeper's copy pushed back", v)
+	}
+	st := d.GossipStats()
+	if st.Sweeps != 1 || st.DigestsSent == 0 || st.EntriesPulled == 0 || st.EntriesPushed == 0 {
+		t.Fatalf("gossip stats = %+v", st)
+	}
+
+	// A full round settles the stragglers at the max version.
+	if err := d.GossipRound(); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	for _, as := range reps {
+		if v := versionAt(t, d, as, e.GUID); v != 3 {
+			t.Fatalf("replica %d version = %d, want 3", as, v)
+		}
+	}
+}
+
+// TestGossipHealsPartitionDivergence is the chaos test for the repair
+// protocol: partition the network, write divergent versions on both
+// sides, heal, gossip — every replica (global placements and §III-C
+// local copies alike) must converge to the §III-D2 max version within a
+// bounded number of rounds.
+func TestGossipHealsPartitionDivergence(t *testing.T) {
+	d, _ := testDeployment(t, 3, true)
+	numAS := d.System().NumAS()
+
+	// Seed a population at v1 while the network is whole.
+	const n = 25
+	entries := make([]store.Entry, n)
+	for i := range entries {
+		src := (i * 13) % numAS
+		entries[i] = entryFor(fmt.Sprintf("heal-%d", i), 1, src)
+		if err := d.Insert(src, entries[i], func(InsertResult) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sim().Run(0)
+
+	// Split the world in half. Until ≤ From: never heals on its own.
+	group := make([]int, 0, numAS/2)
+	for as := 0; as < numAS/2; as++ {
+		group = append(group, as)
+	}
+	if err := d.Network().SetFaults(&simnet.FaultPlan{
+		Partitions: []simnet.Partition{{From: d.Sim().Now(), Group: group}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Divergent writes: v2 from a source inside the group, then v3 from
+	// one outside. Each write reaches only the replicas on its side, so
+	// the two halves disagree about every entry until repair runs.
+	for i := range entries {
+		v2 := entries[i]
+		v2.Version = 2
+		if err := d.Insert(0, v2, func(InsertResult) {}); err != nil {
+			t.Fatal(err)
+		}
+		v3 := entries[i]
+		v3.Version = 3
+		if err := d.Insert(numAS-1, v3, func(InsertResult) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sim().Run(0)
+	if d.Network().FaultStats().PartitionDrops == 0 {
+		t.Fatal("partition dropped nothing; the divergence setup is broken")
+	}
+
+	// Heal. Before any gossip the divergence must still be visible:
+	// some replica of some entry is below the max version.
+	if err := d.Network().SetFaults(nil); err != nil {
+		t.Fatal(err)
+	}
+	const maxVersion = 3
+	stale := func() int {
+		c := 0
+		for _, e := range entries {
+			for _, as := range replicasOf(t, d, e) {
+				if versionAt(t, d, as, e.GUID) != maxVersion {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	if stale() == 0 {
+		t.Fatal("replicas converged without gossip; the partition did not bite")
+	}
+
+	// Bounded gossip rounds to convergence. One round reconciles every
+	// pair that shares a GUID, so a handful is ample slack.
+	const maxRounds = 4
+	rounds := 0
+	for stale() > 0 {
+		if rounds++; rounds > maxRounds {
+			t.Fatalf("still %d stale replica copies after %d gossip rounds", stale(), maxRounds)
+		}
+		if err := d.GossipRound(); err != nil {
+			t.Fatal(err)
+		}
+		d.Sim().Run(0)
+	}
+
+	gs := d.GossipStats()
+	if gs.EntriesPulled+gs.EntriesPushed == 0 {
+		t.Fatal("convergence without any repaired entries; stats are lying or the setup was degenerate")
+	}
+	t.Logf("converged in %d round(s): %+v", rounds, gs)
+}
+
+// TestGossipDeterministic pins bit-reproducibility: two identical
+// partition-heal-gossip runs must produce identical gossip stats.
+func TestGossipDeterministic(t *testing.T) {
+	run := func() GossipStats {
+		d, _ := testDeployment(t, 2, false)
+		for i := 0; i < 12; i++ {
+			e := entryFor(fmt.Sprintf("det-%d", i), 1, i)
+			if err := d.Insert(i, e, func(InsertResult) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Sim().Run(0)
+		group := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+		if err := d.Network().SetFaults(&simnet.FaultPlan{
+			Seed:       7,
+			Partitions: []simnet.Partition{{From: d.Sim().Now(), Group: group}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			e := entryFor(fmt.Sprintf("det-%d", i), 2, i)
+			if err := d.Insert((i*3)%d.System().NumAS(), e, func(InsertResult) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Sim().Run(0)
+		if err := d.Network().SetFaults(nil); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 2; r++ {
+			if err := d.GossipRound(); err != nil {
+				t.Fatal(err)
+			}
+			d.Sim().Run(0)
+		}
+		return d.GossipStats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("gossip runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestGossipSkipsCrashedNodes(t *testing.T) {
+	d, _ := testDeployment(t, 2, false)
+	e := entryFor("crashed-sweep", 1, 3)
+	if err := d.Insert(3, e, func(InsertResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	reps := replicasOf(t, d, e)
+
+	// Diverge, then crash the stale replica: its sweep is a no-op and
+	// pushes to it are dropped at the node layer.
+	up := e
+	up.Version = 2
+	st, err := d.System().Store(reps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(up); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(reps[1])
+	if err := d.GossipSweep(reps[1]); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if d.GossipStats().Sweeps != 0 {
+		t.Fatal("crashed node swept")
+	}
+	if v := versionAt(t, d, reps[1], e.GUID); v != 1 {
+		t.Fatalf("crashed replica advanced to %d", v)
+	}
+
+	// Restore: the next full round repairs it.
+	d.Restore(reps[1])
+	if err := d.GossipRound(); err != nil {
+		t.Fatal(err)
+	}
+	d.Sim().Run(0)
+	if v := versionAt(t, d, reps[1], e.GUID); v != 2 {
+		t.Fatalf("restored replica version = %d, want 2", v)
+	}
+}

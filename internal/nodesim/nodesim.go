@@ -70,6 +70,7 @@ type Deployment struct {
 	inserts map[uint64]*insertOp
 	lookups map[uint64]*lookupOp
 	crashed []bool
+	gossip  GossipStats
 
 	// hot, when enabled, profiles each simulated node's request stream
 	// with Space-Saving top-K trackers — the simulated counterpart of a
@@ -170,6 +171,9 @@ func (d *Deployment) Restore(as int) { d.crashed[as] = false }
 
 // handle dispatches a message arriving at AS self.
 func (d *Deployment) handle(self int, msg simnet.Message) {
+	if d.handleGossip(self, msg) {
+		return
+	}
 	switch p := msg.Payload.(type) {
 	case insertReq:
 		if d.crashed[self] {

@@ -1,0 +1,329 @@
+// Background anti-entropy sweeps between live nodes (DESIGN.md §12).
+//
+// A node configured with gossip peers periodically walks its store in
+// shard order and sends each peer bounded range-complete digest pages
+// over a dedicated v2 connection (negotiated with wire.FeatRepair). The
+// peer answers each page with a MsgRepairDiff: its fresher copies (the
+// sweeper pulls them) and the GUIDs the sweeper's side holds fresher
+// (the sweeper pushes them back as ordinary MsgBatchInsert frames, made
+// idempotent by the store's §III-D2 freshest-wins Put). Divergence left
+// behind by a partition, a lost ack or a restart therefore decays at
+// the gossip rate without any foreground traffic — and because repair
+// frames ride the same admission control as client requests, an
+// overloaded peer sheds them first; the sweeper backs off and retries a
+// full interval later.
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+// GossipOptions configures the anti-entropy sweeper. The zero value
+// disables gossip (no peers).
+type GossipOptions struct {
+	// Peers lists the replica addresses to reconcile with, swept
+	// round-robin — one peer per interval tick.
+	Peers []string
+	// Interval is the pause between sweeps (default 1s).
+	Interval time.Duration
+	// Batch bounds the digests per page (default and maximum
+	// wire.MaxRepairDigests).
+	Batch int
+	// Rate caps repaired entries (pulled + pushed) per second across a
+	// sweep; the sweeper sleeps to amortize bursts. 0 = unlimited.
+	Rate int
+}
+
+// gossipDialTimeout bounds the dial + hello handshake; gossipExchange
+// bounds each digest or push round trip.
+const (
+	gossipDialTimeout  = 3 * time.Second
+	gossipExchangeWait = 5 * time.Second
+)
+
+// gossipLoop runs until Close, sweeping one peer per tick. Draining
+// pauses outbound sweeps: a node about to hand off its share must not
+// acquire state, and its fresher copies still flow out through the
+// digests other sweepers send it.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	interval := n.gossipOpts.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	next := 0
+	for {
+		select {
+		case <-n.gossipStop:
+			return
+		case <-ticker.C:
+		}
+		if n.draining.Load() {
+			continue
+		}
+		addr := n.gossipOpts.Peers[next%len(n.gossipOpts.Peers)]
+		next++
+		if err := n.gossipSweep(addr); err != nil {
+			n.logger.Debug("gossip sweep failed", "peer", addr, "err", err)
+		}
+	}
+}
+
+// errPeerShed marks a sweep aborted because the peer shed a repair
+// frame under overload; the sweeper backs off until the next tick.
+var errPeerShed = fmt.Errorf("server: peer shed repair frame")
+
+// gossipSweep reconciles the whole store against one peer: dial,
+// negotiate FeatRepair, then page every shard's digests through the
+// repair exchange. Any error aborts the sweep — the next tick retries
+// from scratch, and freshest-wins makes re-covered ground free.
+func (n *Node) gossipSweep(addr string) error {
+	n.repairSweeps.Add(1)
+	gc, err := dialGossip(addr)
+	if err != nil {
+		n.repairPeerErrs.Add(1)
+		return err
+	}
+	defer gc.conn.Close()
+
+	batch := n.gossipOpts.Batch
+	if batch <= 0 || batch > wire.MaxRepairDigests {
+		batch = wire.MaxRepairDigests
+	}
+	page := make([]store.Digest, 0, batch)
+	for shard := 0; shard < n.store.ShardCount(); shard++ {
+		shardAfter, shardThrough := n.store.ShardRange(shard)
+		cursor := shardAfter
+		for guid.Compare(cursor, shardThrough) < 0 {
+			select {
+			case <-n.gossipStop:
+				return nil
+			default:
+			}
+			if n.draining.Load() {
+				return nil
+			}
+			var more bool
+			page, more = n.store.ShardDigests(shard, cursor, batch, page[:0])
+			// The page is range-complete over (cursor, pageThrough]: up
+			// to the last fingerprint when the cursor has further to go,
+			// the shard boundary on the final page.
+			pageThrough := shardThrough
+			if more && len(page) > 0 {
+				pageThrough = page[len(page)-1].GUID
+			}
+			covered, newer, want, err := gc.exchangeDigest(cursor, pageThrough, page)
+			if err != nil {
+				if err == errPeerShed {
+					n.repairBackoffs.Add(1)
+				} else {
+					n.repairPeerErrs.Add(1)
+				}
+				return err
+			}
+			n.repairDigestsSent.Add(1)
+			pulled, err := core.ApplyEntries(n.store, newer)
+			n.repairPulled.Add(int64(pulled))
+			if err != nil {
+				n.repairPeerErrs.Add(1)
+				return fmt.Errorf("server: applying repair pull: %w", err)
+			}
+			pushed, err := gc.pushWanted(n.store, want)
+			n.repairPushed.Add(int64(pushed))
+			if err != nil {
+				if err == errPeerShed {
+					n.repairBackoffs.Add(1)
+				} else {
+					n.repairPeerErrs.Add(1)
+				}
+				return err
+			}
+			n.gossipThrottle(len(newer) + pushed)
+			if guid.Compare(covered, cursor) <= 0 {
+				n.repairPeerErrs.Add(1)
+				return fmt.Errorf("server: peer repair cursor did not advance past %s", cursor.Short())
+			}
+			cursor = covered // covered == pageThrough unless the peer truncated
+		}
+	}
+	return nil
+}
+
+// gossipThrottle sleeps off the transfer budget: units repaired entries
+// at Rate entries/second. Unlimited or idle exchanges cost nothing.
+func (n *Node) gossipThrottle(units int) {
+	rate := n.gossipOpts.Rate
+	if rate <= 0 || units <= 0 {
+		return
+	}
+	d := time.Duration(units) * time.Second / time.Duration(rate)
+	select {
+	case <-n.gossipStop:
+	case <-time.After(d):
+	}
+}
+
+// gossipConn is the sweeper's side of a repair connection: v2 framing,
+// FeatRepair negotiated, strictly one exchange in flight.
+type gossipConn struct {
+	conn net.Conn
+	next uint64
+	buf  []byte
+}
+
+// dialGossip connects to a peer and negotiates v2 + FeatRepair. A v1
+// peer, or a v2 peer that does not grant the repair extension, is an
+// error: sweeping it would only burn unknown-frame rejections.
+func dialGossip(addr string) (*gossipConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, gossipDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("server: gossip dial %s: %w", addr, err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(gossipDialTimeout))
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.AppendHelloFeat(nil, wire.Version2, wire.FeatRepair)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: gossip hello: %w", err)
+	}
+	t, body, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: gossip hello read: %w", err)
+	}
+	if t != wire.MsgHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("server: peer %s answered hello with %v (v1 peer?)", addr, t)
+	}
+	v, feat, err := wire.DecodeHelloAck(body)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: gossip hello ack: %w", err)
+	}
+	if v < wire.Version2 || feat&wire.FeatRepair == 0 {
+		conn.Close()
+		return nil, fmt.Errorf("server: peer %s did not grant repair (v%d feat %#x)", addr, v, feat)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &gossipConn{conn: conn}, nil
+}
+
+// roundTrip writes one identified frame and reads its reply. The
+// sweeper never pipelines, so the next frame on the connection is the
+// answer; a mismatched ID means the stream is broken.
+func (gc *gossipConn) roundTrip(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	gc.next++
+	out, err := wire.AppendFrameID(gc.buf[:0], t, gc.next, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	gc.buf = out
+	_ = gc.conn.SetDeadline(time.Now().Add(gossipExchangeWait))
+	if _, err := gc.conn.Write(out); err != nil {
+		return 0, nil, fmt.Errorf("server: gossip write: %w", err)
+	}
+	rt, id, body, err := wire.ReadFrameID(gc.conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("server: gossip read: %w", err)
+	}
+	if id != gc.next {
+		return 0, nil, fmt.Errorf("server: gossip reply id %d, want %d", id, gc.next)
+	}
+	if rt == wire.MsgError {
+		kind, reason, _ := wire.DecodeErrorKind(body)
+		if kind == wire.ErrKindShed {
+			return 0, nil, errPeerShed
+		}
+		return 0, nil, fmt.Errorf("server: peer refused repair frame: %s", reason)
+	}
+	return rt, body, nil
+}
+
+// exchangeDigest sends one digest page and decodes the peer's diff.
+func (gc *gossipConn) exchangeDigest(after, through guid.GUID, page []store.Digest) (covered guid.GUID, newer []store.Entry, want []guid.GUID, err error) {
+	body, err := wire.AppendRepairDigest(nil, after, through, page)
+	if err != nil {
+		return covered, nil, nil, err
+	}
+	rt, resp, err := gc.roundTrip(wire.MsgRepairDigest, body)
+	if err != nil {
+		return covered, nil, nil, err
+	}
+	if rt != wire.MsgRepairDiff {
+		return covered, nil, nil, fmt.Errorf("server: repair digest answered with %v", rt)
+	}
+	return wire.DecodeRepairDiff(resp)
+}
+
+// pushWanted sends the peer the entries it asked for, batched into
+// MsgBatchInsert frames, and returns how many the peer acknowledged
+// applying. GUIDs deleted since the digest was cut are skipped.
+func (gc *gossipConn) pushWanted(st *store.Store, want []guid.GUID) (int, error) {
+	if len(want) == 0 {
+		return 0, nil
+	}
+	entries := make([]store.Entry, 0, len(want))
+	for _, g := range want {
+		if e, ok := st.Get(g); ok {
+			entries = append(entries, e)
+		}
+	}
+	pushed := 0
+	for len(entries) > 0 {
+		b := entries
+		if len(b) > wire.MaxBatch {
+			b = b[:wire.MaxBatch]
+		}
+		entries = entries[len(b):]
+		body, err := wire.AppendBatchInsert(nil, b)
+		if err != nil {
+			return pushed, err
+		}
+		rt, resp, err := gc.roundTrip(wire.MsgBatchInsert, body)
+		if err != nil {
+			return pushed, err
+		}
+		if rt != wire.MsgBatchInsertAck {
+			return pushed, fmt.Errorf("server: repair push answered with %v", rt)
+		}
+		acked, err := wire.DecodeBatchInsertAck(resp)
+		if err != nil {
+			return pushed, err
+		}
+		for _, ok := range acked {
+			if ok {
+				pushed++
+			}
+		}
+	}
+	return pushed, nil
+}
+
+// handleRepairDigest answers one MsgRepairDigest on a v2 worker. The
+// caller has already verified FeatRepair was negotiated. A draining
+// node answers with wantMissing=false: it keeps exporting its fresher
+// copies but asks for nothing — the handoff posture.
+func (n *Node) handleRepairDigest(w *wire.Writer, id uint64, payload []byte) {
+	after, through, page, err := wire.DecodeRepairDigest(payload)
+	if err != nil {
+		n.badReqs.Add(1)
+		_ = w.WriteFrameID(wire.MsgError, id, wire.AppendErrorKind(nil, wire.ErrKindBadRequest, "malformed repair digest"))
+		return
+	}
+	n.repairDigestsRecv.Add(1)
+	newer, want, covered := core.DiffRange(n.store, after, through, page, !n.draining.Load(), wire.MaxBatch)
+	body, err := wire.AppendRepairDiff(nil, covered, newer, want)
+	if err != nil {
+		n.countErr()
+		_ = w.WriteFrameID(wire.MsgError, id, wire.AppendErrorKind(nil, wire.ErrKindInternal, "repair diff encode failed"))
+		return
+	}
+	_ = w.WriteFrameID(wire.MsgRepairDiff, id, body)
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dmap/internal/guid"
+	"dmap/internal/netaddr"
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+func gossipEntry(name string, version uint64) store.Entry {
+	return store.Entry{
+		GUID:    guid.New(name),
+		NAs:     []store.NA{{AS: 4, Addr: netaddr.AddrFromOctets(10, 1, 0, 4)}},
+		Version: version,
+	}
+}
+
+func putAll(t *testing.T, st *store.Store, entries ...store.Entry) {
+	t.Helper()
+	for _, e := range entries {
+		if _, err := st.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGossipConvergesTwoNodes proves one sweeper reconciles both
+// directions: the sweeper pulls the peer's fresher and missing entries
+// and pushes back its own fresher ones — without the peer ever
+// sweeping.
+func TestGossipConvergesTwoNodes(t *testing.T) {
+	peer := New(nil, nil)
+	peerAddr, err := peer.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+
+	sweeper := NewWithOptions(nil, Options{
+		Gossip: GossipOptions{Peers: []string{peerAddr}, Interval: 10 * time.Millisecond},
+	})
+	// Divergence in every direction before the sweeper starts:
+	putAll(t, sweeper.Store(),
+		gossipEntry("shared-sweeper-fresh", 5), // push: sweeper is ahead
+		gossipEntry("shared-peer-fresh", 1),    // pull: peer is ahead
+		gossipEntry("only-sweeper", 2),         // push: peer never saw it
+	)
+	putAll(t, peer.Store(),
+		gossipEntry("shared-sweeper-fresh", 3),
+		gossipEntry("shared-peer-fresh", 7),
+		gossipEntry("only-peer", 4), // pull: sweeper never saw it
+	)
+	if _, err := sweeper.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sweeper.Close() })
+
+	version := func(st *store.Store, name string) uint64 {
+		v, _ := st.Version(guid.New(name))
+		return v
+	}
+	waitFor(t, "replica convergence", func() bool {
+		return version(sweeper.Store(), "shared-peer-fresh") == 7 &&
+			version(sweeper.Store(), "only-peer") == 4 &&
+			version(peer.Store(), "shared-sweeper-fresh") == 5 &&
+			version(peer.Store(), "only-sweeper") == 2
+	})
+
+	if sweeper.repairSweeps.Value() == 0 || sweeper.repairDigestsSent.Value() == 0 {
+		t.Fatalf("sweeper counters: sweeps=%d digests=%d",
+			sweeper.repairSweeps.Value(), sweeper.repairDigestsSent.Value())
+	}
+	if sweeper.repairPulled.Value() < 2 {
+		t.Fatalf("entries_pulled = %d, want >= 2", sweeper.repairPulled.Value())
+	}
+	if sweeper.repairPushed.Value() < 2 {
+		t.Fatalf("entries_pushed = %d, want >= 2", sweeper.repairPushed.Value())
+	}
+	if peer.repairDigestsRecv.Value() == 0 {
+		t.Fatal("peer answered no digest pages")
+	}
+}
+
+// TestGossipRepairsEmptyRestartedNode is the restart-recovery shape: a
+// node that lost everything sweeps a populated peer; empty digest pages
+// elicit pushes of the full keyspace, paged via the covered cursor.
+func TestGossipRepairsEmptyRestartedNode(t *testing.T) {
+	peer := New(nil, nil)
+	const n = 300
+	for i := 0; i < n; i++ {
+		putAll(t, peer.Store(), gossipEntry(fmt.Sprintf("bulk-%d", i), uint64(1+i%3)))
+	}
+	peerAddr, err := peer.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+
+	restarted := NewWithOptions(nil, Options{
+		Gossip: GossipOptions{
+			Peers:    []string{peerAddr},
+			Interval: 5 * time.Millisecond,
+			Batch:    32, // force multi-page sweeps
+		},
+	})
+	if _, err := restarted.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { restarted.Close() })
+
+	waitFor(t, "restarted node refill", func() bool {
+		return restarted.Store().Len() == n
+	})
+	if restarted.repairPulled.Value() != int64(n) {
+		t.Fatalf("entries_pulled = %d, want %d", restarted.repairPulled.Value(), n)
+	}
+}
+
+// TestRepairFrameRequiresNegotiation pins the feature gate: a repair
+// digest on a connection that never negotiated FeatRepair is an unknown
+// frame, not a serviced one.
+func TestRepairFrameRequiresNegotiation(t *testing.T) {
+	n, addr := startNode(t)
+	putAll(t, n.Store(), gossipEntry("gated", 2))
+
+	digest, err := wire.AppendRepairDigest(nil, guid.GUID{}, guid.Max(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v2 connection without FeatRepair: per-frame MsgError, connection
+	// stays alive.
+	conn := dial(t, addr)
+	if err := wire.WriteFrame(conn, wire.MsgHello, wire.AppendHelloFeat(nil, wire.Version2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := wire.ReadFrame(conn)
+	if err != nil || typ != wire.MsgHelloAck {
+		t.Fatalf("hello reply = (%v, %v)", typ, err)
+	}
+	if _, feat, _ := wire.DecodeHelloAck(body); feat&wire.FeatRepair != 0 {
+		t.Fatal("server granted FeatRepair without it being requested")
+	}
+	if err := wire.WriteFrameID(conn, wire.MsgRepairDigest, 1, digest); err != nil {
+		t.Fatal(err)
+	}
+	rt, _, rbody, err := wire.ReadFrameID(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != wire.MsgError {
+		t.Fatalf("un-negotiated repair digest answered with %v", rt)
+	}
+	if kind, _, _ := wire.DecodeErrorKind(rbody); kind != wire.ErrKindBadRequest {
+		t.Fatalf("error kind = %v, want bad request", kind)
+	}
+
+	// A negotiated connection gets a real diff for the same bytes.
+	conn2 := dial(t, addr)
+	if err := wire.WriteFrame(conn2, wire.MsgHello, wire.AppendHelloFeat(nil, wire.Version2, wire.FeatRepair)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = wire.ReadFrame(conn2)
+	if err != nil || typ != wire.MsgHelloAck {
+		t.Fatalf("hello reply = (%v, %v)", typ, err)
+	}
+	if _, feat, _ := wire.DecodeHelloAck(body); feat&wire.FeatRepair == 0 {
+		t.Fatal("server refused FeatRepair")
+	}
+	if err := wire.WriteFrameID(conn2, wire.MsgRepairDigest, 1, digest); err != nil {
+		t.Fatal(err)
+	}
+	rt, _, rbody, err = wire.ReadFrameID(conn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != wire.MsgRepairDiff {
+		t.Fatalf("negotiated repair digest answered with %v", rt)
+	}
+	covered, newer, _, err := wire.DecodeRepairDiff(rbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != guid.Max() || len(newer) != 1 {
+		t.Fatalf("diff = covered %s, %d newer; want full cover, 1 newer", covered, len(newer))
+	}
+}
+
+// TestDrainingPeerStopsWanting verifies the handoff posture: a draining
+// node still answers digests with its fresher copies but asks for
+// nothing, and a draining sweeper stops sweeping.
+func TestDrainingPeerStopsWanting(t *testing.T) {
+	n, addr := startNode(t)
+	putAll(t, n.Store(), gossipEntry("theirs", 9))
+	n.Drain()
+
+	gc, err := dialGossip(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.conn.Close()
+
+	// The peer lacks "ours" (v3) and holds "theirs" (v9, we claim v1):
+	// an eager peer would want "ours" and the fresher "theirs"; a
+	// draining one must want neither, yet still export "theirs".
+	page := []store.Digest{
+		{GUID: guid.New("ours"), Version: 3},
+		{GUID: guid.New("theirs"), Version: 1},
+	}
+	if guid.Compare(page[0].GUID, page[1].GUID) > 0 {
+		page[0], page[1] = page[1], page[0]
+	}
+	covered, newer, want, err := gc.exchangeDigest(guid.GUID{}, guid.Max(), page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != guid.Max() {
+		t.Fatalf("covered = %s", covered)
+	}
+	if len(want) != 0 {
+		t.Fatalf("draining peer wants %d entries, should acquire nothing", len(want))
+	}
+	if len(newer) != 1 || newer[0].Version != 9 {
+		t.Fatalf("draining peer stopped exporting: newer = %+v", newer)
+	}
+}

@@ -63,6 +63,13 @@ type Node struct {
 	admit           limiter
 	maxConnInflight int64
 
+	// Anti-entropy sweeper state (gossip.go). gossipStop is closed by
+	// Close; gossipOn marks the loop as launched so a second Start
+	// cannot double-run it.
+	gossipOpts GossipOptions
+	gossipStop chan struct{}
+	gossipOn   bool
+
 	// All operational counters live on the node's metrics registry —
 	// the same numbers Stats() reports are what /debug/metrics serves.
 	// Handles are resolved once in New; the request path never touches
@@ -92,6 +99,16 @@ type Node struct {
 	hBatchLkp  *metrics.Histogram
 	v2Conns    *metrics.Counter
 	v2Frames   *metrics.Counter
+	// Anti-entropy repair activity, both roles: sweeps/digests_sent/
+	// pulled/pushed/backoffs/peer_errors count this node sweeping its
+	// peers; digests_recv counts pages answered for peers sweeping it.
+	repairSweeps      *metrics.Counter
+	repairDigestsSent *metrics.Counter
+	repairDigestsRecv *metrics.Counter
+	repairPulled      *metrics.Counter
+	repairPushed      *metrics.Counter
+	repairBackoffs    *metrics.Counter
+	repairPeerErrs    *metrics.Counter
 }
 
 // Stats counts served operations.
@@ -143,6 +160,10 @@ type Options struct {
 	// MaxConnInflight caps requests in flight per connection, bounding
 	// how much of the node one peer can occupy. 0 = unbounded.
 	MaxConnInflight int
+
+	// Gossip configures the background anti-entropy sweeper
+	// (gossip.go); no peers disables it.
+	Gossip GossipOptions
 }
 
 // New creates a node around st (a fresh store if nil). logger may be nil
@@ -205,6 +226,17 @@ func NewWithOptions(st *store.Store, opts Options) *Node {
 		hBatchLkp:   reg.Histogram("server.op.batch_lookup_us"),
 		v2Conns:     reg.Counter("server.v2_conns"),
 		v2Frames:    reg.Counter("server.v2_frames"),
+
+		repairSweeps:      reg.Counter("server.repair.sweeps"),
+		repairDigestsSent: reg.Counter("server.repair.digests_sent"),
+		repairDigestsRecv: reg.Counter("server.repair.digests_recv"),
+		repairPulled:      reg.Counter("server.repair.entries_pulled"),
+		repairPushed:      reg.Counter("server.repair.entries_pushed"),
+		repairBackoffs:    reg.Counter("server.repair.backoffs"),
+		repairPeerErrs:    reg.Counter("server.repair.peer_errors"),
+
+		gossipOpts: opts.Gossip,
+		gossipStop: make(chan struct{}),
 	}
 	n.admit.max = int64(opts.MaxInflight)
 	n.maxConnInflight = int64(opts.MaxConnInflight)
@@ -325,6 +357,13 @@ func (n *Node) Start(addr string) (string, error) {
 		defer n.wg.Done()
 		n.acceptLoop(ln)
 	}()
+	n.mu.Lock()
+	if len(n.gossipOpts.Peers) > 0 && !n.gossipOn {
+		n.gossipOn = true
+		n.wg.Add(1)
+		go n.gossipLoop()
+	}
+	n.mu.Unlock()
 	return ln.Addr().String(), nil
 }
 
@@ -363,6 +402,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	close(n.gossipStop) // stops the sweeper; closed guards double-close
 	ln := n.listener
 	conns := make([]net.Conn, 0, len(n.conns))
 	for c := range n.conns {
@@ -634,11 +674,14 @@ func (n *Node) serveConn(conn net.Conn) {
 				v = wire.Version2
 			}
 			// Grant the intersection of what the peer asked for and what
-			// this node supports; the trace extension needs both v2
-			// framing and an attached tracer.
+			// this node supports: repair needs only v2 framing, the trace
+			// extension additionally needs an attached tracer.
 			var granted byte
-			if v >= wire.Version2 && n.tracer != nil {
-				granted = feat & wire.FeatTrace
+			if v >= wire.Version2 {
+				granted = feat & wire.FeatRepair
+				if n.tracer != nil {
+					granted |= feat & wire.FeatTrace
+				}
 			}
 			if err := wire.WriteFrame(conn, wire.MsgHelloAck, wire.AppendHelloAckFeat(nil, v, granted)); err != nil {
 				return
@@ -804,6 +847,14 @@ func (n *Node) serveFrameV2(conn net.Conn, feat byte, w *wire.Writer, wk v2Work)
 			return
 		}
 		t = wire.BaseType(t)
+	}
+	if t == wire.MsgRepairDigest && feat&wire.FeatRepair != 0 {
+		// Negotiated anti-entropy page (gossip.go): answered outside
+		// handle so the foreground single-op path stays branch-for-branch
+		// identical. Un-negotiated repair frames fall through to handle's
+		// unknown-frame rejection.
+		n.handleRepairDigest(w, id, payload)
+		return
 	}
 	var sp *trace.Span
 	if tc.Sampled {

@@ -1,0 +1,124 @@
+// Anti-entropy digest cursors: bounded, ordered views of a shard's
+// (GUID, version) pairs plus the range scans a repair peer needs to
+// compare a digest page against its own holdings. The cursor API is the
+// store-side half of the background repair protocol (DESIGN.md §12):
+// sweeps page through a shard in keyspace order without ever holding a
+// lock across more than one bounded selection pass.
+package store
+
+import "dmap/internal/guid"
+
+// Digest is the compact per-entry fingerprint exchanged by anti-entropy
+// sweeps: enough to decide staleness under §III-D2 freshest-wins
+// versioning without shipping the entry itself.
+type Digest struct {
+	GUID    guid.GUID
+	Version uint64
+}
+
+// ShardDigests appends to dst up to max digests of shard i's entries
+// whose GUID is strictly greater than after, in ascending keyspace
+// order, and reports whether entries beyond the returned page remain in
+// the shard. dst is the caller's reusable page buffer (its capacity is
+// kept); max must be positive. The selection runs under the shard's
+// read lock but never blocks writers for longer than one bounded pass
+// over the shard map.
+func (s *Store) ShardDigests(i int, after guid.GUID, max int, dst []Digest) ([]Digest, bool) {
+	if max <= 0 {
+		return dst, false
+	}
+	base := len(dst)
+	more := false
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for g, e := range sh.m {
+		if guid.Compare(g, after) <= 0 {
+			continue
+		}
+		page := dst[base:]
+		if len(page) == max && guid.Compare(g, page[len(page)-1].GUID) > 0 {
+			more = true // beyond the page; a later cursor position covers it
+			continue
+		}
+		// Insert in keyspace order, evicting the page's largest entry
+		// when full — the page is always the max smallest GUIDs > after.
+		pos := base + len(page)
+		for pos > base && guid.Compare(dst[pos-1].GUID, g) > 0 {
+			pos--
+		}
+		if len(page) == max {
+			more = true
+			copy(dst[pos+1:], dst[pos:len(dst)-1])
+		} else {
+			dst = append(dst, Digest{})
+			copy(dst[pos+1:], dst[pos:len(dst)-1])
+		}
+		dst[pos] = Digest{GUID: g, Version: e.Version}
+	}
+	return dst, more
+}
+
+// ShardRange returns shard i's slice of the keyspace as an
+// exclusive-left, inclusive-right interval (after, through]: every GUID
+// the shard can host satisfies after < g ≤ through. Anti-entropy sweeps
+// use it to seed the page cursor and to mark the final page of a shard
+// as covering the whole remaining shard range.
+func (s *Store) ShardRange(i int) (after, through guid.GUID) {
+	if i > 0 {
+		lo := uint16(i) << s.shift
+		after[0] = byte((lo - 1) >> 8)
+		after[1] = byte(lo - 1)
+		for j := 2; j < guid.Size; j++ {
+			after[j] = 0xff
+		}
+	}
+	if i == len(s.shards)-1 {
+		return after, guid.Max()
+	}
+	hi := uint16(i+1)<<s.shift - 1
+	through[0] = byte(hi >> 8)
+	through[1] = byte(hi)
+	for j := 2; j < guid.Size; j++ {
+		through[j] = 0xff
+	}
+	return after, through
+}
+
+// Version returns the stored version of g's mapping, without cloning
+// the entry — the cheap staleness check the anti-entropy merge paths
+// make once per digest.
+func (s *Store) Version(g guid.GUID) (uint64, bool) {
+	sh := s.shardFor(g)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.m[g]
+	if !ok {
+		return 0, false
+	}
+	return e.Version, true
+}
+
+// RangeInterval calls fn on a copy of every entry whose GUID lies in
+// (after, through], until fn returns false. Only the shards overlapping
+// the interval are visited; within a shard the order is map order, so
+// callers needing determinism must collect and sort. Mutating the store
+// from fn deadlocks.
+func (s *Store) RangeInterval(after, through guid.GUID, fn func(Entry) bool) {
+	if guid.Compare(after, through) >= 0 {
+		return
+	}
+	lo := int((uint32(after[0])<<8 | uint32(after[1])) >> s.shift)
+	hi := int((uint32(through[0])<<8 | uint32(through[1])) >> s.shift)
+	for i := lo; i <= hi; i++ {
+		ok := rangeShard(&s.shards[i], func(e Entry) bool {
+			if guid.Compare(e.GUID, after) <= 0 || guid.Compare(e.GUID, through) > 0 {
+				return true
+			}
+			return fn(e)
+		})
+		if !ok {
+			return
+		}
+	}
+}

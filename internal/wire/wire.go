@@ -41,6 +41,12 @@ const (
 	MsgBatchInsertAck // uint16 count + per-entry acked flags
 	MsgBatchLookup    // uint16 count + GUIDs → batch lookup resp
 	MsgBatchLookupResp
+
+	// Anti-entropy repair frames (repair.go), gated behind the
+	// FeatRepair hello flag: a digest page advertising (GUID, version)
+	// fingerprints over a keyspace range, answered by the differences.
+	MsgRepairDigest // after + through + digests → repair diff
+	MsgRepairDiff   // covered + newer entries + wanted GUIDs
 )
 
 // String names the frame type.
@@ -79,6 +85,10 @@ func (t MsgType) String() string {
 		return "batch-lookup"
 	case MsgBatchLookupResp:
 		return "batch-lookup-resp"
+	case MsgRepairDigest:
+		return "repair-digest"
+	case MsgRepairDiff:
+		return "repair-diff"
 	default:
 		return fmt.Sprintf("MsgType(%d)", byte(t))
 	}
@@ -101,7 +111,9 @@ const MaxBatchFrame = 64 * 1024
 func MaxPayload(t MsgType) int {
 	bound := MaxFrame
 	switch BaseType(t) {
-	case MsgBatchInsert, MsgBatchInsertAck, MsgBatchLookup, MsgBatchLookupResp:
+	case MsgBatchInsert, MsgBatchInsertAck, MsgBatchLookup, MsgBatchLookupResp, MsgRepairDiff:
+		// MsgRepairDiff carries up to MaxBatch full entries plus a want
+		// list, which does not fit the non-batch bound.
 		bound = MaxBatchFrame
 	}
 	if IsTraced(t) {

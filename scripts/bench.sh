@@ -9,6 +9,7 @@
 #   scripts/bench.sh recover   # WAL replay + restart time-to-serve
 #   scripts/bench.sh soak      # >=1k-connection soak (informational)
 #   scripts/bench.sh load      # open-loop overload sweep + knee gate
+#   scripts/bench.sh heal      # partition-heal convergence sweep
 #   scripts/bench.sh validate  # parse every BENCH_*.json record file
 #
 # Default mode runs the hot-path micro-benchmarks (hashing, prefix
@@ -81,6 +82,16 @@
 # harvests those lines into BENCH_<date>.json, where cmd/benchcheck
 # validates the extended record schema. Worker count can be tuned with
 # BENCH_LOAD_WORKERS (default 32).
+#
+# Heal mode runs TestHealSweepCI (heal_ci_test.go): a simulated
+# partition-heal sweep through internal/experiments. The test gates the
+# anti-entropy story itself — the partition must create measurable
+# divergence, every gossip interval must converge and repair entries,
+# and convergence time must be monotone in the interval — and emits one
+# HEALRECORD line per sweep cell. This mode harvests those lines into
+# BENCH_<date>.json, where cmd/benchcheck validates the heal record
+# schema. Scale can be tuned with BENCH_HEAL_AS (default 120) and
+# BENCH_HEAL_GUIDS (default 40).
 #
 # Validate mode builds cmd/benchcheck and parses every BENCH_*.json in
 # the repository root, failing on any malformed record file. Every
@@ -429,12 +440,30 @@ load)
     echo "overload sweep passed: knee detected, shedding engaged, goodput held"
     ;;
 
+heal)
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    BENCH_HEAL=1 BENCH_DATE="$date_tag" \
+        go test -run '^TestHealSweepCI$' -v -timeout 10m . | tee "$raw"
+
+    records=$(awk '/^HEALRECORD / { sub(/^HEALRECORD /, ""); if (seen++) printf ",\n"; printf "  %s", $0 }' "$raw")
+    if [ -z "$records" ]; then
+        echo "FAIL: heal sweep emitted no HEALRECORD lines" >&2
+        exit 1
+    fi
+    append_records "$out" "$records"
+    echo "wrote $out"
+    echo "partition-heal sweep passed: divergence measured, every interval converged"
+    ;;
+
 validate)
     go run ./cmd/benchcheck
     ;;
 
 *)
-    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|load|validate]" >&2
+    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|load|heal|validate]" >&2
     exit 2
     ;;
 esac

@@ -58,3 +58,9 @@ go test -run '^$' -fuzz '^FuzzDecodeTraceContext$' -fuzztime=10s ./internal/wire
 # run above; these hunt new inputs.
 go test -run '^$' -fuzz '^FuzzDecodeWALRecord$' -fuzztime=10s ./internal/store
 go test -run '^$' -fuzz '^FuzzLoadSnapshot$' -fuzztime=10s ./internal/store
+
+# Fuzz smoke on the anti-entropy repair frames (DESIGN.md §12): digest
+# and diff payloads arrive from peers, so their decoders must reject
+# any malformed page without panicking and round-trip canonically.
+go test -run '^$' -fuzz '^FuzzDecodeRepairDigest$' -fuzztime=10s ./internal/wire
+go test -run '^$' -fuzz '^FuzzDecodeRepairDiff$' -fuzztime=10s ./internal/wire
