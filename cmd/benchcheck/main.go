@@ -23,9 +23,13 @@ import (
 // ns_per_op is the point's p99 in nanoseconds. Partition-heal rows
 // (scripts/bench.sh heal) carry kind "heal" plus the gossip interval,
 // convergence time, repaired-entry count and post-heal stale-read rate;
-// for them ns_per_op is the convergence time in nanoseconds. Either
-// extension is validated as a unit: a row has none of its fields or a
-// complete, internally consistent record.
+// for them ns_per_op is the convergence time in nanoseconds. Fleet rows
+// (scripts/bench.sh fleet) carry kind "fleet" plus the foreground
+// scrape overhead percentage, probe op/failure counts and the merged
+// cluster p99; for them ns_per_op is the merged p99 in nanoseconds.
+// Each extension is validated as a unit: a row has none of its fields
+// or a complete, internally consistent record, and never fields from
+// two families.
 type record struct {
 	Date        string   `json:"date"`
 	Name        string   `json:"name"`
@@ -45,13 +49,24 @@ type record struct {
 	ConvergenceMs    *float64 `json:"convergence_ms,omitempty"`
 	EntriesRepaired  *float64 `json:"entries_repaired,omitempty"`
 	StaleRate        *float64 `json:"stale_rate,omitempty"`
+
+	ScrapeOverheadPct *float64 `json:"scrape_overhead_pct,omitempty"`
+	ProbeOps          *float64 `json:"probe_ops,omitempty"`
+	ProbeFailures     *float64 `json:"probe_failures,omitempty"`
+	MergedP99us       *float64 `json:"merged_p99_us,omitempty"`
 }
 
 // isLoadRecord reports whether any load-sweep extension field is set.
 func (r record) isLoadRecord() bool {
-	return (r.Kind != "" && r.Kind != "heal") || r.OfferedRPS != nil ||
-		r.CompletedRPS != nil || r.P50us != nil || r.P99us != nil ||
-		r.P999us != nil || r.ShedRPS != nil
+	return (r.Kind != "" && r.Kind != "heal" && r.Kind != "fleet") ||
+		r.OfferedRPS != nil || r.CompletedRPS != nil || r.P50us != nil ||
+		r.P99us != nil || r.P999us != nil || r.ShedRPS != nil
+}
+
+// isFleetRecord reports whether any fleet extension field is set.
+func (r record) isFleetRecord() bool {
+	return r.Kind == "fleet" || r.ScrapeOverheadPct != nil ||
+		r.ProbeOps != nil || r.ProbeFailures != nil || r.MergedP99us != nil
 }
 
 // isHealRecord reports whether any partition-heal extension field is set.
@@ -88,6 +103,40 @@ func checkHealRecord(r record) error {
 	}
 	if *r.StaleRate < 0 || *r.StaleRate > 1 {
 		return fmt.Errorf("stale_rate %g outside [0, 1]", *r.StaleRate)
+	}
+	return nil
+}
+
+// checkFleetRecord validates one fleet row: every extension field
+// present, whole non-negative probe counts with failures bounded by
+// ops, and a non-negative merged p99. The overhead percentage may be
+// slightly negative (benchmark noise) but never below -100.
+func checkFleetRecord(r record) error {
+	if r.Kind != "fleet" {
+		return fmt.Errorf("fleet fields present but kind is %q", r.Kind)
+	}
+	for name, f := range map[string]*float64{
+		"scrape_overhead_pct": r.ScrapeOverheadPct, "probe_ops": r.ProbeOps,
+		"probe_failures": r.ProbeFailures, "merged_p99_us": r.MergedP99us,
+	} {
+		if f == nil {
+			return fmt.Errorf("fleet record missing %s", name)
+		}
+	}
+	if *r.ScrapeOverheadPct < -100 {
+		return fmt.Errorf("scrape_overhead_pct %g below -100", *r.ScrapeOverheadPct)
+	}
+	if *r.ProbeOps <= 0 || *r.ProbeOps != float64(int64(*r.ProbeOps)) {
+		return fmt.Errorf("probe_ops %g not a whole positive count", *r.ProbeOps)
+	}
+	if *r.ProbeFailures < 0 || *r.ProbeFailures != float64(int64(*r.ProbeFailures)) {
+		return fmt.Errorf("probe_failures %g not a whole non-negative count", *r.ProbeFailures)
+	}
+	if *r.ProbeFailures > *r.ProbeOps {
+		return fmt.Errorf("probe_failures %g exceeds probe_ops %g", *r.ProbeFailures, *r.ProbeOps)
+	}
+	if *r.MergedP99us < 0 {
+		return fmt.Errorf("merged_p99_us %g negative", *r.MergedP99us)
 	}
 	return nil
 }
@@ -152,15 +201,25 @@ func checkFile(path string) error {
 		if r.NsPerOp == nil {
 			return fmt.Errorf("record %d (%s): missing ns_per_op", i, r.Name)
 		}
+		families := 0
+		for _, is := range []bool{r.isHealRecord(), r.isLoadRecord(), r.isFleetRecord()} {
+			if is {
+				families++
+			}
+		}
 		switch {
-		case r.isHealRecord() && r.isLoadRecord():
-			return fmt.Errorf("record %d (%s): mixes load and heal extension fields", i, r.Name)
+		case families > 1:
+			return fmt.Errorf("record %d (%s): mixes extension fields from more than one record family", i, r.Name)
 		case r.isHealRecord():
 			if err := checkHealRecord(r); err != nil {
 				return fmt.Errorf("record %d (%s): %w", i, r.Name, err)
 			}
 		case r.isLoadRecord():
 			if err := checkLoadRecord(r); err != nil {
+				return fmt.Errorf("record %d (%s): %w", i, r.Name, err)
+			}
+		case r.isFleetRecord():
+			if err := checkFleetRecord(r); err != nil {
 				return fmt.Errorf("record %d (%s): %w", i, r.Name, err)
 			}
 		}

@@ -132,3 +132,54 @@ func TestCheckFileHealRecords(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckFileFleetRecords(t *testing.T) {
+	good := `[
+  {"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 812000, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": 1.2, "probe_ops": 240, "probe_failures": 0, "merged_p99_us": 812},
+  {"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 812000, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": -0.4, "probe_ops": 240, "probe_failures": 3, "merged_p99_us": 812}
+]`
+	if err := checkJSON(t, good); err != nil {
+		t.Errorf("valid fleet records rejected: %v", err)
+	}
+
+	row := func(mutation string) string {
+		base := `{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 812000, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": 1.2, "probe_ops": 240, "probe_failures": 0, "merged_p99_us": 812}`
+		return "[\n  " + strings.NewReplacer(mutation, "").Replace(base) + "\n]"
+	}
+	for name, cut := range map[string]string{
+		// Fleet extension fields are all-or-nothing, like load and heal.
+		"missing scrape_overhead_pct": `"scrape_overhead_pct": 1.2, `,
+		"missing probe_ops":           `"probe_ops": 240, `,
+		"missing probe_failures":      `"probe_failures": 0, `,
+		"missing merged_p99_us":       `, "merged_p99_us": 812`,
+		"missing kind":                `"kind": "fleet", `,
+	} {
+		if err := checkJSON(t, row(cut)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	bad := map[string]string{
+		"fractional probe_ops": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": 1, "probe_ops": 1.5, "probe_failures": 0, "merged_p99_us": 1}]`,
+		"zero probe_ops": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": 1, "probe_ops": 0, "probe_failures": 0, "merged_p99_us": 1}]`,
+		"failures exceed ops": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": 1, "probe_ops": 10, "probe_failures": 11, "merged_p99_us": 1}]`,
+		"negative merged_p99_us": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": 1, "probe_ops": 10, "probe_failures": 0, "merged_p99_us": -1}]`,
+		"overhead below -100": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "fleet", "scrape_overhead_pct": -120, "probe_ops": 10, "probe_failures": 0, "merged_p99_us": 1}]`,
+		"fleet fields under a load kind": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "point", "offered_rps": 1, "completed_rps": 1, "p50_us": 1, "p99_us": 1, "p999_us": 1, "shed_rps": 0, "probe_ops": 10}]`,
+		"fleet fields under a heal kind": `[{"date": "20260807", "name": "fleet.telemetry", "ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0,
+   "kind": "heal", "gossip_interval_ms": 100, "convergence_ms": 100, "entries_repaired": 1, "stale_rate": 0, "merged_p99_us": 1}]`,
+	}
+	for name, body := range bad {
+		if err := checkJSON(t, body); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

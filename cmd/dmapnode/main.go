@@ -13,6 +13,12 @@
 // synthetic prefix table, inserts and lookups through the real TCP path:
 //
 //	dmapnode demo -nodes 8 -k 3 -objects 100 -metrics
+//
+// Watch a whole cluster: scrape every node's metrics into one merged
+// view and black-box probe the serving addresses with sentinel GUIDs:
+//
+//	dmapnode fleet -scrape a=:6060,b=:6061 -probe a=:4500,b=:4501
+//	dmapnode fleet -scrape a=:6060 -listen :7070   # serves /fleet
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"dmap/internal/guid"
 	"dmap/internal/metrics"
 	"dmap/internal/netaddr"
+	"dmap/internal/obs"
 	"dmap/internal/prefixtable"
 	"dmap/internal/server"
 	"dmap/internal/store"
@@ -63,7 +70,7 @@ func startDebugServer(addr string, reg *metrics.Registry, tr *trace.Tracer, hot 
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: dmapnode serve|demo [flags]")
+		fmt.Fprintln(os.Stderr, "usage: dmapnode serve|demo|fleet [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -72,6 +79,8 @@ func main() {
 		err = serve(os.Args[2:])
 	case "demo":
 		err = demo(os.Args[2:])
+	case "fleet":
+		err = fleet(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -111,6 +120,7 @@ func serve(args []string) error {
 	gossipInterval := fs.Duration("gossip-interval", time.Second, "pause between anti-entropy sweeps (one peer per tick)")
 	gossipRate := fs.Int("gossip-rate", 0, "cap repaired entries per second during a sweep (0 = unlimited)")
 	gossipBatch := fs.Int("gossip-batch", 0, "digests per repair page (0 = wire maximum)")
+	runtimeMetrics := fs.Bool("runtime-metrics", true, "bridge Go runtime telemetry (heap, goroutines, GC pauses, scheduler latency) into /debug/metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +162,9 @@ func serve(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *runtimeMetrics {
+		obs.RegisterRuntime(node.Metrics())
 	}
 	bound, err := node.Start(*addr)
 	if err != nil {

@@ -1,0 +1,279 @@
+// Fleet telemetry gate: the CI check that watching a cluster is free.
+//
+// TestFleetTelemetryCI runs the whole telemetry plane — the metric
+// collector scraping every node's /debug/metrics, the runtime bridge
+// feeding Go runtime telemetry into those registries, and the
+// black-box SLO prober writing/reading sentinel GUIDs — against a live
+// 3-node TCP cluster while a foreground client drives lookups, and
+// asserts the plane is effectively invisible:
+//
+//   - foreground mean latency with the collector and prober running
+//     stays within BENCH_FLEET_TOLERANCE_PCT (default 5%) of the same
+//     loop with the plane idle,
+//   - the foreground allocation budget is untouched: single-op Lookup
+//     at or under 1 alloc/64 B, LookupInto at 0 allocs — the same
+//     budgets scripts/bench.sh alloc enforces without telemetry,
+//   - every node scrapes clean (3/3 up, exact merged histograms) and
+//     every probe succeeds with no SLO burn.
+//
+// The run is summarized as one "FLEETRECORD {json}" line that
+// scripts/bench.sh fleet harvests into BENCH_<date>.json, where
+// cmd/benchcheck validates the fleet record schema. Gated behind
+// BENCH_FLEET=1: latency comparisons need a quiet machine, which is a
+// bench posture, not a unit-test one.
+package dmap_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"dmap/internal/client"
+	"dmap/internal/core"
+	"dmap/internal/guid"
+	"dmap/internal/metrics"
+	"dmap/internal/netaddr"
+	"dmap/internal/obs"
+	"dmap/internal/prefixtable"
+	"dmap/internal/server"
+	"dmap/internal/store"
+)
+
+// fleetRecord is one FLEETRECORD emission, matching the closed schema
+// cmd/benchcheck enforces for kind "fleet".
+type fleetRecord struct {
+	Date        string  `json:"date"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	Kind              string  `json:"kind"`
+	ScrapeOverheadPct float64 `json:"scrape_overhead_pct"`
+	ProbeOps          float64 `json:"probe_ops"`
+	ProbeFailures     float64 `json:"probe_failures"`
+	MergedP99us       float64 `json:"merged_p99_us"`
+}
+
+func TestFleetTelemetryCI(t *testing.T) {
+	if os.Getenv("BENCH_FLEET") == "" {
+		t.Skip("set BENCH_FLEET=1 (scripts/bench.sh fleet does) to run the fleet telemetry gate")
+	}
+	date := os.Getenv("BENCH_DATE")
+	if date == "" {
+		date = time.Now().Format("20060102")
+	}
+	tolerance := 5.0
+	if s := os.Getenv("BENCH_FLEET_TOLERANCE_PCT"); s != "" {
+		fmt.Sscanf(s, "%f", &tolerance)
+	}
+
+	// A 3-node cluster with the full telemetry surface attached: runtime
+	// metrics bridged into each node's registry, debug HTTP endpoints up.
+	const numAS = 3
+	tbl, err := prefixtable.Generate(prefixtable.GenConfig{
+		NumAS:             numAS,
+		NumPrefixes:       numAS * 12,
+		AnnouncedFraction: 0.52,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sources []obs.Source
+	var targets []obs.ProbeTarget
+	addrs := make(map[int]string, numAS)
+	for as := 0; as < numAS; as++ {
+		n := server.New(nil, nil)
+		obs.RegisterRuntime(n.Metrics())
+		addr, err := n.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		dbg := httptest.NewServer(metrics.Handler(n.Metrics()))
+		t.Cleanup(dbg.Close)
+		name := fmt.Sprintf("n%d", as)
+		addrs[as] = addr
+		sources = append(sources, obs.Source{Name: name, URL: dbg.URL})
+		targets = append(targets, obs.ProbeTarget{Name: name, Addr: addr})
+	}
+	resolver, err := core.NewResolver(guid.MustHasher(1, 0), tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.NewWithConfig(resolver, addrs, client.Config{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const nKeys = 64
+	keys := make([]guid.GUID, nKeys)
+	for i := range keys {
+		keys[i] = guid.New(fmt.Sprintf("fleet-key-%d", i))
+		e := store.Entry{
+			GUID:    keys[i],
+			NAs:     []store.NA{{AS: 1, Addr: netaddr.AddrFromOctets(192, 0, 2, byte(i+1))}},
+			Version: 1,
+		}
+		if _, err := cl.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// foregroundNs drives ops sequential lookups and returns the mean
+	// latency; the minimum of reps passes is the gate's location
+	// statistic, as everywhere else in the bench harness.
+	foregroundNs := func(ops, reps int) float64 {
+		best := 0.0
+		var e store.Entry
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				if err := cl.LookupInto(keys[i%nKeys], &e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(ops)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+
+	const fgOps, fgReps = 20000, 3
+	foregroundNs(fgOps, 1) // warm the conn pool and the path
+	baseNs := foregroundNs(fgOps, fgReps)
+
+	// Start the plane: the collector scrapes every node and the prober
+	// rounds every target at 50 ms — an order of magnitude faster than
+	// production cadence, so each foreground pass (~200 ms) overlaps
+	// several scrapes and probe rounds.
+	collector := obs.NewCollector(obs.CollectorConfig{Sources: sources})
+	preg := metrics.NewRegistry()
+	prober := obs.NewProber(obs.ProberConfig{Targets: targets, Registry: preg})
+	defer prober.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lastView obs.FleetView
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+				v := collector.Collect()
+				mu.Lock()
+				lastView = v
+				mu.Unlock()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		prober.Run(stop, 50*time.Millisecond, nil)
+	}()
+
+	time.Sleep(120 * time.Millisecond) // let a few rounds land first
+	onNs := foregroundNs(fgOps, fgReps)
+	overheadPct := (onNs - baseNs) / baseNs * 100
+	t.Logf("foreground: %.0f ns/op idle, %.0f ns/op under scrape+probe (%+.2f%%, budget %.0f%%)",
+		baseNs, onNs, overheadPct, tolerance)
+	if overheadPct > tolerance {
+		t.Errorf("telemetry plane costs the foreground %.2f%%, budget %.0f%%", overheadPct, tolerance)
+	}
+
+	// Allocation budget with the plane attached. The collector is
+	// concurrent with this measurement: AllocsPerRun reads global
+	// counters, so scrape/probe allocations on other goroutines would be
+	// misattributed to the foreground op — stop the plane but keep every
+	// registration (runtime bridge, snapshot hooks, sentinels) in place.
+	close(stop)
+	wg.Wait()
+	var e store.Entry
+	g := keys[0]
+	intoAllocs := testing.AllocsPerRun(2000, func() {
+		if err := cl.LookupInto(g, &e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	singleAllocs := testing.AllocsPerRun(2000, func() {
+		if _, err := cl.Lookup(g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("foreground allocs: Lookup %.1f/op (budget 1), LookupInto %.1f/op (budget 0)", singleAllocs, intoAllocs)
+	if intoAllocs > 0 {
+		t.Errorf("LookupInto allocates %.1f/op with telemetry attached, budget 0", intoAllocs)
+	}
+	if singleAllocs > 1 {
+		t.Errorf("Lookup allocates %.1f/op with telemetry attached, budget 1", singleAllocs)
+	}
+
+	// The plane must have actually watched the cluster it was billed to.
+	mu.Lock()
+	view := lastView
+	mu.Unlock()
+	if view.NodesUp != numAS {
+		t.Fatalf("collector saw %d/%d nodes up: %+v", view.NodesUp, numAS, view.Nodes)
+	}
+	h, ok := view.Cluster.Histograms["server.op.lookup_us"]
+	if !ok || h.Count == 0 {
+		t.Fatal("merged cluster view has no lookup histogram")
+	}
+	mergedP99us := h.Quantile(99)
+	for _, name := range []string{obs.MetricHeapBytes, obs.MetricGoroutines} {
+		found := false
+		for _, n := range view.Nodes {
+			if _, ok := n.Gauges[name]; ok {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("runtime metric %s missing from every scraped node", name)
+		}
+	}
+	st := prober.Status()
+	if st.Rounds == 0 {
+		t.Fatal("prober never completed a round")
+	}
+	if st.Breaching() {
+		t.Errorf("healthy cluster breaches SLO: %+v", st.SLOs)
+	}
+	for _, ts := range st.Targets {
+		if !ts.WriteOK || !ts.ReadOK || ts.Stale {
+			t.Errorf("healthy target failed probes: %+v", ts)
+		}
+	}
+	probeOps := preg.Counter("probe.ops").Value()
+	probeFailures := preg.Counter("probe.failures").Value()
+	if probeOps == 0 {
+		t.Fatal("prober registry recorded no ops")
+	}
+	if probeFailures != 0 {
+		t.Errorf("%d probe failures against a healthy cluster", probeFailures)
+	}
+
+	rec := fleetRecord{
+		Date: date, Name: "fleet.telemetry",
+		NsPerOp: mergedP99us * 1000, Kind: "fleet",
+		ScrapeOverheadPct: overheadPct,
+		ProbeOps:          float64(probeOps),
+		ProbeFailures:     float64(probeFailures),
+		MergedP99us:       mergedP99us,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("FLEETRECORD %s\n", b)
+}

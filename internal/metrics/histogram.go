@@ -110,6 +110,22 @@ func (h *Histogram) ObserveSinceExemplar(t0 time.Time, traceID uint64) {
 	h.ObserveExemplar(float64(time.Since(t0).Nanoseconds())/1e3, traceID)
 }
 
+// ObserveN records n identical samples of value v in one shot: one
+// bucket add, one count add, one sum CAS — the bridge primitive for
+// replaying pre-bucketed distributions (e.g. runtime/metrics histogram
+// deltas in internal/obs) without n Observe calls. n = 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	idx := sort.SearchFloat64s(h.edges, v)
+	h.counts[idx].Add(n)
+	h.count.Add(n)
+	atomicAddFloat(&h.sum, v*float64(n))
+	atomicMinFloat(&h.min, v)
+	atomicMaxFloat(&h.max, v)
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

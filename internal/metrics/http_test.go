@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The /debug/metrics handler contract scrapers rely on: 200, an
+// explicit Content-Type per encoding, and a JSON body that round-trips
+// back into a Snapshot identical to the source registry's.
+func TestHandlerText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.lookups").Add(3)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("Content-Type %q, want text/plain; charset=utf-8", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "counter server.lookups 3") {
+		t.Errorf("text body missing counter line:\n%s", rec.Body.String())
+	}
+}
+
+func TestHandlerJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.lookups").Add(7)
+	r.Gauge("server.inflight").Set(2)
+	r.Histogram("server.op.lookup_us").Observe(42)
+
+	for _, req := range []*httptest.ResponseRecorder{
+		serveJSON(t, r, "/debug/metrics?format=json", ""),
+		serveJSON(t, r, "/debug/metrics", "application/json"),
+	} {
+		if ct := req.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type %q, want application/json", ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(req.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("JSON body does not decode as a Snapshot: %v", err)
+		}
+		if snap.Counters["server.lookups"] != 7 {
+			t.Errorf("round-tripped counter = %d, want 7", snap.Counters["server.lookups"])
+		}
+		if snap.Gauges["server.inflight"] != 2 {
+			t.Errorf("round-tripped gauge = %g, want 2", snap.Gauges["server.inflight"])
+		}
+		if h := snap.Histograms["server.op.lookup_us"]; h.Count != 1 || h.Min != 42 {
+			t.Errorf("round-tripped histogram = count %d min %g, want 1/42", h.Count, h.Min)
+		}
+	}
+}
+
+func serveJSON(t *testing.T, r *Registry, url, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	return rec
+}

@@ -1,0 +1,193 @@
+// Cluster aggregation primitives: exact snapshot merging and windowed
+// deltas. These are what turn per-node /debug/metrics dumps into fleet
+// answers ("what is the cluster-wide p99?", "which replica is falling
+// behind on repair?") in internal/obs.
+//
+// Merging is EXACT, not approximate: every histogram in this repository
+// uses a fixed bucket layout, so merging N per-node (or per-shard)
+// snapshots bucket-by-bucket observes the same distribution a single
+// histogram would have seen — same counts, same sum, same min/max, and
+// therefore bit-identical quantile answers (the property test in
+// merge_test.go proves it, saturated overflow bucket included).
+//
+// Windowed counter-delta semantics (the contract internal/obs and any
+// other scraper relies on):
+//
+//   - A counter delta between two scrapes of the same live process is
+//     cur − prev: the events that happened in the window.
+//   - A node RESTART resets cumulative counters to zero, so cur < prev.
+//     DeltaSince clamps that window to ZERO — it must never go negative
+//     and it must not guess. The events the node served between the
+//     restart and the next scrape are forfeited from that one window;
+//     every later window reads exactly again. (Reporting cur itself
+//     would double-count when a counter legitimately re-accrues past
+//     prev within one window; zero is the only always-safe answer.)
+//   - A histogram behaves like a vector of counters: if ANY bucket
+//     shrank, the node restarted and the whole histogram's window delta
+//     is empty, for the same reason.
+//   - Gauges are levels, not accumulators: a delta window carries the
+//     current value unchanged, and cluster merges must NOT sum them —
+//     each gauge keeps per-node identity (summing two nodes' "draining"
+//     flags or shard counts is nonsense). MergeSnapshots therefore
+//     drops gauges; fleet views report them per node.
+package metrics
+
+import "fmt"
+
+// Merge returns the exact union of h and o: bucket counts, total count
+// and sum add; min/max take the tighter extremum; quantiles of the
+// result equal quantiles of a single histogram that observed both
+// sample streams. An empty operand is an identity (its edges are not
+// consulted, so a zero-value HistogramSnapshot merges cleanly);
+// otherwise both snapshots must share the same bucket layout.
+func (h HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if o.Count == 0 {
+		return h.clone(), nil
+	}
+	if h.Count == 0 {
+		return o.clone(), nil
+	}
+	if len(h.Edges) != len(o.Edges) || len(h.Counts) != len(o.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("metrics: merge: bucket layouts differ (%d/%d edges)", len(h.Edges), len(o.Edges))
+	}
+	for i := range h.Edges {
+		if h.Edges[i] != o.Edges[i] {
+			return HistogramSnapshot{}, fmt.Errorf("metrics: merge: edge %d differs (%g vs %g)", i, h.Edges[i], o.Edges[i])
+		}
+	}
+	m := HistogramSnapshot{
+		Edges:  h.Edges,
+		Counts: make([]uint64, len(h.Counts)),
+		Count:  h.Count + o.Count,
+		Sum:    h.Sum + o.Sum,
+		Min:    h.Min,
+		Max:    h.Max,
+	}
+	for i := range m.Counts {
+		m.Counts[i] = h.Counts[i] + o.Counts[i]
+	}
+	if o.Min < m.Min {
+		m.Min = o.Min
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	m.Exemplars = mergeExemplars(h.Exemplars, o.Exemplars, len(m.Counts))
+	return m, nil
+}
+
+// mergeExemplars keeps o's exemplar per bucket when set, else h's — the
+// freshest-trace-wins convention ObserveExemplar already follows.
+func mergeExemplars(h, o []uint64, n int) []uint64 {
+	if h == nil && o == nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	copy(out, h)
+	for i, e := range o {
+		if e != 0 {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+// clone deep-copies the mutable slices so a merged snapshot never
+// aliases its operands (Edges are immutable and stay shared).
+func (h HistogramSnapshot) clone() HistogramSnapshot {
+	c := h
+	if h.Counts != nil {
+		c.Counts = append([]uint64(nil), h.Counts...)
+	}
+	if h.Exemplars != nil {
+		c.Exemplars = append([]uint64(nil), h.Exemplars...)
+	}
+	return c
+}
+
+// MergeSnapshots folds per-node snapshots into one cluster view:
+// counters sum, histograms merge exactly, and gauges are dropped —
+// gauges are levels with per-node identity (see the package comment on
+// merge semantics); callers wanting them report them per node. An error
+// means two nodes disagree on a histogram's bucket layout, which is a
+// deployment skew worth failing loudly on.
+func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
+	m := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			m.Counters[name] += v
+		}
+		for name, h := range s.Histograms {
+			merged, err := m.Histograms[name].Merge(h)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("%s: %w", name, err)
+			}
+			m.Histograms[name] = merged
+		}
+	}
+	return m, nil
+}
+
+// DeltaSince returns the window between prev and s (two snapshots of
+// the SAME node, prev taken earlier): counters become window increments
+// and histograms window histograms, both clamped to empty when the node
+// restarted in between (see the package comment for the exact
+// semantics); gauges pass through as current levels. Dividing a delta
+// counter by the window duration yields the rate the fleet table shows.
+func (s Snapshot) DeltaSince(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, cur := range s.Counters {
+		delta := cur - prev.Counters[name]
+		if delta < 0 {
+			delta = 0 // restart: forfeit the window, never go negative
+		}
+		d.Counters[name] = delta
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, cur := range s.Histograms {
+		d.Histograms[name] = cur.deltaSince(prev.Histograms[name])
+	}
+	return d
+}
+
+// deltaSince subtracts prev's buckets from h's. A restart (any bucket
+// or the total shrank, or the layout changed) yields an empty window.
+func (h HistogramSnapshot) deltaSince(prev HistogramSnapshot) HistogramSnapshot {
+	if prev.Count == 0 {
+		return h.clone()
+	}
+	if len(prev.Counts) != len(h.Counts) || prev.Count > h.Count {
+		return HistogramSnapshot{Edges: h.Edges, Counts: make([]uint64, len(h.Counts))}
+	}
+	d := HistogramSnapshot{
+		Edges:  h.Edges,
+		Counts: make([]uint64, len(h.Counts)),
+		Count:  h.Count - prev.Count,
+		Sum:    h.Sum - prev.Sum,
+		// Window extrema are unknowable from cumulative snapshots; the
+		// cumulative ones are the tightest safe bounds for quantile
+		// interpolation within the window.
+		Min: h.Min,
+		Max: h.Max,
+	}
+	for i := range h.Counts {
+		if h.Counts[i] < prev.Counts[i] {
+			return HistogramSnapshot{Edges: h.Edges, Counts: make([]uint64, len(h.Counts))}
+		}
+		d.Counts[i] = h.Counts[i] - prev.Counts[i]
+	}
+	if d.Count == 0 {
+		return HistogramSnapshot{Edges: h.Edges, Counts: d.Counts}
+	}
+	return d
+}

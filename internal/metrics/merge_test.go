@@ -1,0 +1,284 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMergePropertyBitIdentical is the satellite property test: merging
+// N per-shard/per-node histogram snapshots must be BIT-identical to
+// observing every sample into one histogram — counts, sum, min, max and
+// every quantile. Samples are whole microseconds (exactly representable
+// floats whose partial sums stay far below 2^53), so float addition is
+// exact and associative here and bit-identity is a fair demand.
+func TestMergePropertyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nParts := 1 + rng.Intn(8)
+		parts := make([]*Histogram, nParts)
+		for i := range parts {
+			parts[i] = newHistogram(nil)
+		}
+		whole := newHistogram(nil)
+
+		nSamples := rng.Intn(400)
+		for s := 0; s < nSamples; s++ {
+			var v float64
+			switch rng.Intn(10) {
+			case 0:
+				// Saturate the top (overflow) bucket: beyond the last
+				// edge (2^25 µs), where bucketBounds clamps to Max.
+				v = float64(1<<25) + float64(rng.Intn(1<<20))
+			case 1:
+				v = 0 // below the first edge
+			default:
+				v = float64(rng.Intn(1 << 20))
+			}
+			parts[rng.Intn(nParts)].Observe(v)
+			whole.Observe(v)
+		}
+		// Some parts stay empty by chance; force one empty histogram
+		// into every merge so the identity edge case is always covered.
+		parts = append(parts, newHistogram(nil))
+
+		merged := HistogramSnapshot{}
+		var err error
+		for _, p := range parts {
+			merged, err = merged.Merge(p.snapshot())
+			if err != nil {
+				t.Fatalf("trial %d: merge: %v", trial, err)
+			}
+		}
+		want := whole.snapshot()
+
+		if nSamples == 0 {
+			if merged.Count != 0 {
+				t.Fatalf("trial %d: empty merge has count %d", trial, merged.Count)
+			}
+			continue
+		}
+		if merged.Count != want.Count {
+			t.Fatalf("trial %d: count %d, want %d", trial, merged.Count, want.Count)
+		}
+		if merged.Sum != want.Sum {
+			t.Fatalf("trial %d: sum %v, want %v (not bit-identical)", trial, merged.Sum, want.Sum)
+		}
+		if merged.Min != want.Min || merged.Max != want.Max {
+			t.Fatalf("trial %d: extrema [%v,%v], want [%v,%v]", trial, merged.Min, merged.Max, want.Min, want.Max)
+		}
+		if !reflect.DeepEqual(merged.Counts, want.Counts) {
+			t.Fatalf("trial %d: bucket counts diverge\n got %v\nwant %v", trial, merged.Counts, want.Counts)
+		}
+		for _, p := range []float64{0, 25, 50, 90, 95, 99, 99.9, 100} {
+			if g, w := merged.Quantile(p), want.Quantile(p); g != w {
+				t.Fatalf("trial %d: p%g = %v, want %v (not bit-identical)", trial, p, g, w)
+			}
+		}
+	}
+}
+
+func TestMergeRejectsMismatchedEdges(t *testing.T) {
+	a := newHistogram([]float64{1, 2, 4})
+	b := newHistogram([]float64{1, 2, 8})
+	c := newHistogram([]float64{1, 2})
+	a.Observe(1)
+	b.Observe(1)
+	c.Observe(1)
+	if _, err := a.snapshot().Merge(b.snapshot()); err == nil {
+		t.Error("merge of differing edge values succeeded")
+	}
+	if _, err := a.snapshot().Merge(c.snapshot()); err == nil {
+		t.Error("merge of differing edge counts succeeded")
+	}
+	// Empty operands are identities and must not consult edges at all.
+	if _, err := a.snapshot().Merge(newHistogram([]float64{9}).snapshot()); err != nil {
+		t.Errorf("merge with empty mismatched histogram: %v", err)
+	}
+	if _, err := (HistogramSnapshot{}).Merge(a.snapshot()); err != nil {
+		t.Errorf("merge into zero-value snapshot: %v", err)
+	}
+}
+
+func TestMergeDoesNotAliasOperands(t *testing.T) {
+	h := newHistogram(nil)
+	h.Observe(3)
+	s := h.snapshot()
+	m, err := (HistogramSnapshot{}).Merge(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Counts[0] += 100
+	if s.Counts[0] >= 100 {
+		t.Error("merged snapshot aliases its operand's counts")
+	}
+}
+
+func TestMergeSnapshotsCountersSumGaugesDropped(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("ops").Add(3)
+	b.Counter("ops").Add(4)
+	b.Counter("only_b").Add(1)
+	a.Gauge("inflight").Set(5)
+	b.Gauge("inflight").Set(7)
+	a.Histogram("lat_us").Observe(10)
+	b.Histogram("lat_us").Observe(1 << 30) // overflow bucket
+
+	m, err := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["ops"] != 7 || m.Counters["only_b"] != 1 {
+		t.Errorf("counters = %v, want ops:7 only_b:1", m.Counters)
+	}
+	if len(m.Gauges) != 0 {
+		t.Errorf("gauges %v survived the merge; levels must keep per-node identity", m.Gauges)
+	}
+	h := m.Histograms["lat_us"]
+	if h.Count != 2 || h.Min != 10 || h.Max != float64(1<<30) {
+		t.Errorf("merged histogram = count %d [%g,%g], want 2 [10,%g]", h.Count, h.Min, h.Max, float64(1<<30))
+	}
+}
+
+// TestDeltaSinceWindow covers the documented counter-delta contract:
+// live windows subtract, restarts clamp to zero (never negative), and
+// the next window after a restart reads exactly again.
+func TestDeltaSinceWindow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("server.lookups")
+	g := r.Gauge("server.inflight")
+	h := r.Histogram("server.op.lookup_us")
+
+	c.Add(10)
+	g.Set(3)
+	h.Observe(5)
+	h.Observe(7)
+	prev := r.Snapshot()
+
+	c.Add(4)
+	g.Set(9)
+	h.Observe(11)
+	cur := r.Snapshot()
+
+	d := cur.DeltaSince(prev)
+	if d.Counters["server.lookups"] != 4 {
+		t.Errorf("window delta = %d, want 4", d.Counters["server.lookups"])
+	}
+	if d.Gauges["server.inflight"] != 9 {
+		t.Errorf("gauge passed through as %g, want current level 9", d.Gauges["server.inflight"])
+	}
+	hd := d.Histograms["server.op.lookup_us"]
+	if hd.Count != 1 || hd.Sum != 11 {
+		t.Errorf("histogram window = count %d sum %g, want 1/11", hd.Count, hd.Sum)
+	}
+}
+
+func TestDeltaSinceRestartClampsToZero(t *testing.T) {
+	// "prev" is the snapshot scraped before the node restarted.
+	before := NewRegistry()
+	before.Counter("server.lookups").Add(1000)
+	before.Histogram("server.op.lookup_us").Observe(4)
+	before.Histogram("server.op.lookup_us").Observe(4)
+	prev := before.Snapshot()
+
+	// The restarted node re-accrued fewer events than prev.
+	after := NewRegistry()
+	after.Counter("server.lookups").Add(12)
+	after.Histogram("server.op.lookup_us").Observe(9)
+	cur := after.Snapshot()
+
+	d := cur.DeltaSince(prev)
+	if got := d.Counters["server.lookups"]; got != 0 {
+		t.Errorf("restart window delta = %d, want clamp to 0 (never negative)", got)
+	}
+	if hd := d.Histograms["server.op.lookup_us"]; hd.Count != 0 {
+		t.Errorf("restart histogram window count = %d, want 0", hd.Count)
+	}
+
+	// The window after the restart is exact again.
+	after.Counter("server.lookups").Add(5)
+	next := after.Snapshot()
+	if got := next.DeltaSince(cur).Counters["server.lookups"]; got != 5 {
+		t.Errorf("post-restart window delta = %d, want 5", got)
+	}
+}
+
+// A restart can also re-accrue PAST prev in one bucket while another
+// bucket shrank; the bucket-level check must still spot it.
+func TestDeltaSinceRestartDetectedPerBucket(t *testing.T) {
+	before := NewRegistry()
+	hb := before.Histogram("h")
+	hb.Observe(2)       // bucket for ≤2
+	hb.Observe(1 << 30) // overflow bucket
+	prev := before.Snapshot()
+
+	after := NewRegistry()
+	ha := after.Histogram("h")
+	ha.Observe(2)
+	ha.Observe(2)
+	ha.Observe(2) // total count 3 > prev's 2, but overflow bucket shrank
+	cur := after.Snapshot()
+
+	if d := cur.DeltaSince(prev).Histograms["h"]; d.Count != 0 {
+		t.Errorf("per-bucket restart window count = %d, want 0", d.Count)
+	}
+}
+
+func TestDeltaSinceNewMetric(t *testing.T) {
+	r := NewRegistry()
+	prev := r.Snapshot()
+	r.Counter("fresh").Add(3)
+	r.Histogram("fresh_us").Observe(1)
+	d := r.Snapshot().DeltaSince(prev)
+	if d.Counters["fresh"] != 3 {
+		t.Errorf("new counter delta = %d, want 3", d.Counters["fresh"])
+	}
+	if d.Histograms["fresh_us"].Count != 1 {
+		t.Errorf("new histogram delta count = %d, want 1", d.Histograms["fresh_us"].Count)
+	}
+}
+
+func TestObserveN(t *testing.T) {
+	a := newHistogram(nil)
+	b := newHistogram(nil)
+	for i := 0; i < 5; i++ {
+		a.Observe(37)
+	}
+	b.ObserveN(37, 5)
+	b.ObserveN(99, 0) // no-op: must not disturb extrema or counts
+	sa, sb := a.snapshot(), b.snapshot()
+	if !reflect.DeepEqual(sa.Counts, sb.Counts) || sa.Sum != sb.Sum ||
+		sa.Min != sb.Min || sa.Max != sb.Max || sa.Count != sb.Count {
+		t.Errorf("ObserveN(37,5) != 5×Observe(37): %+v vs %+v", sb, sa)
+	}
+}
+
+func TestOnSnapshotHookRefreshes(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pulled")
+	n := 0
+	r.OnSnapshot("bridge", func() { n++; g.Set(float64(n)) })
+	r.OnSnapshot("bridge", func() { n++; g.Set(float64(n)) }) // replaces, not stacks
+	if v := r.Snapshot().Gauges["pulled"]; v != 1 {
+		t.Errorf("first snapshot saw %g, want 1 (hook stacked instead of replaced?)", v)
+	}
+	if v := r.Snapshot().Gauges["pulled"]; v != 2 {
+		t.Errorf("second snapshot saw %g, want 2", v)
+	}
+}
+
+func TestMergeQuantileFinite(t *testing.T) {
+	// Overflow-only distributions must still answer finite quantiles
+	// after a merge (bucketBounds clamps the top bucket to Max).
+	h := newHistogram(nil)
+	h.Observe(float64(1 << 26))
+	m, err := (HistogramSnapshot{}).Merge(h.snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := m.Quantile(99); math.IsInf(q, 0) || math.IsNaN(q) || q != float64(1<<26) {
+		t.Errorf("overflow-bucket p99 = %v, want %v", q, float64(1<<26))
+	}
+}

@@ -74,6 +74,11 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() float64
 	hists      map[string]*Histogram
+	// hooks run at the start of every Snapshot, keyed by name so
+	// re-registration replaces instead of stacking. They refresh
+	// metrics whose source is pulled rather than pushed (e.g. the
+	// runtime/metrics bridge in internal/obs).
+	hooks map[string]func()
 }
 
 // NewRegistry returns an empty registry.
@@ -83,6 +88,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		gaugeFuncs: make(map[string]func() float64),
 		hists:      make(map[string]*Histogram),
+		hooks:      make(map[string]func()),
 	}
 }
 
@@ -145,6 +151,22 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.gaugeFuncs[name] = fn
 }
 
+// OnSnapshot registers fn to run at the start of every Snapshot, before
+// any metric is read — the refresh point for metrics whose source must
+// be pulled (the runtime/metrics bridge reads the runtime once per
+// snapshot here instead of once per gauge). Re-registering a name
+// replaces the previous hook, so bridges are idempotent to set up.
+//
+// fn runs with the registry's lock held: it must only touch
+// already-resolved metric handles (Counter.Add, Gauge.Set,
+// Histogram.ObserveN — all atomics) and must NOT call back into the
+// registry, which would deadlock.
+func (r *Registry) OnSnapshot(name string, fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks[name] = fn
+}
+
 // Histogram returns the histogram registered under name with the
 // default latency buckets (microseconds, see DefaultLatencyEdges),
 // creating it if needed.
@@ -188,6 +210,9 @@ func (r *Registry) Reset() {
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	for _, fn := range r.hooks {
+		fn()
+	}
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs)),

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func httpHandlerFunc(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	})
+}
+
+func testView() FleetView {
+	return FleetView{
+		When:    time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC),
+		NodesUp: 1,
+		Nodes:   []NodeView{{Name: "as0", Up: true}},
+	}
+}
+
+func TestFleetHandlerContentTypes(t *testing.T) {
+	h := FleetHandler(func() (FleetView, bool) { return testView(), true })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("text Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "as0") {
+		t.Errorf("table missing node row:\n%s", rec.Body.String())
+	}
+
+	for _, mk := range []func() *http.Request{
+		func() *http.Request { return httptest.NewRequest("GET", "/fleet?format=json", nil) },
+		func() *http.Request {
+			r := httptest.NewRequest("GET", "/fleet", nil)
+			r.Header.Set("Accept", "application/json")
+			return r
+		},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, mk())
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("json Content-Type %q", ct)
+		}
+		var v FleetView
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatalf("fleet JSON does not round-trip: %v", err)
+		}
+		if v.NodesUp != 1 || len(v.Nodes) != 1 || v.Nodes[0].Name != "as0" {
+			t.Errorf("round-tripped view = %+v", v)
+		}
+	}
+}
+
+func TestFleetHandlerNoViewYet(t *testing.T) {
+	h := FleetHandler(func() (FleetView, bool) { return FleetView{}, false })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("503 Content-Type %q", ct)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	rec.Note(testView())
+	rec.Trigger("test anomaly", time.Now())
+	w := httptest.NewRecorder()
+	FlightHandler(rec).ServeHTTP(w, httptest.NewRequest("GET", "/fleet/flight", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	var dumps []FlightDump
+	if err := json.Unmarshal(w.Body.Bytes(), &dumps); err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 || dumps[0].Reason != "test anomaly" || len(dumps[0].Views) != 1 {
+		t.Errorf("dumps = %+v", dumps)
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dmap/internal/metrics"
+	"dmap/internal/server"
+	"dmap/internal/store"
+	"dmap/internal/wire"
+)
+
+func startProbeNode(t *testing.T) (*server.Node, string) {
+	t.Helper()
+	n := server.New(nil, nil)
+	addr, err := n.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, addr
+}
+
+func TestProberHealthyCluster(t *testing.T) {
+	_, a := startProbeNode(t)
+	_, b := startProbeNode(t)
+	reg := metrics.NewRegistry()
+	p := NewProber(ProberConfig{
+		Targets:     []ProbeTarget{{Name: "a", Addr: a}, {Name: "b", Addr: b}},
+		Sentinels:   2,
+		Timeout:     2 * time.Second,
+		BaseVersion: 100,
+		Registry:    reg,
+	})
+	defer p.Close()
+
+	var st ProbeStatus
+	for i := 0; i < 3; i++ {
+		st = p.Round()
+	}
+	if st.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", st.Rounds)
+	}
+	for _, ts := range st.Targets {
+		if !ts.WriteOK || !ts.ReadOK || ts.Stale || ts.Lag != 0 {
+			t.Errorf("healthy target status %+v", ts)
+		}
+	}
+	for _, slo := range st.SLOs {
+		if slo.Bad != 0 || slo.Breaching {
+			t.Errorf("healthy cluster SLO %+v", slo)
+		}
+	}
+	if st.Breaching() {
+		t.Error("healthy cluster breaching")
+	}
+	snap := reg.Snapshot()
+	// 2 targets × 2 sentinels × (write+read) × 3 rounds = 24 ops.
+	if snap.Counters["probe.ops"] != 24 {
+		t.Errorf("probe.ops = %d, want 24", snap.Counters["probe.ops"])
+	}
+	if snap.Counters["probe.failures"] != 0 {
+		t.Errorf("probe.failures = %d, want 0", snap.Counters["probe.failures"])
+	}
+	if snap.Histograms["probe.op_us"].Count == 0 {
+		t.Error("probe latency histogram empty")
+	}
+}
+
+func TestProberDetectsDownNode(t *testing.T) {
+	na, a := startProbeNode(t)
+	_, b := startProbeNode(t)
+	p := NewProber(ProberConfig{
+		Targets:      []ProbeTarget{{Name: "a", Addr: a}, {Name: "b", Addr: b}},
+		Sentinels:    1,
+		Timeout:      500 * time.Millisecond,
+		BaseVersion:  100,
+		Availability: SLOConfig{Objective: 0.9, Window: 8, ShortWindow: 2, FastBurn: 2, SlowBurn: 2},
+	})
+	defer p.Close()
+
+	p.Round()
+	na.Close() // node a goes dark
+	st := p.Round()
+
+	var down, up *ProbeTargetStatus
+	for i := range st.Targets {
+		switch st.Targets[i].Name {
+		case "a":
+			down = &st.Targets[i]
+		case "b":
+			up = &st.Targets[i]
+		}
+	}
+	if down.WriteOK && down.ReadOK {
+		t.Fatalf("dead node probed OK: %+v", down)
+	}
+	if down.Err == "" {
+		t.Error("dead node has no error")
+	}
+	if !up.WriteOK || !up.ReadOK {
+		t.Errorf("live node affected by dead peer: %+v", up)
+	}
+	if !st.Breaching() {
+		t.Error("availability breach not flagged with half the fleet dark")
+	}
+}
+
+// TestProberSeesRepair verifies the convergence signal: a sentinel
+// version the prober never wrote to a target shows up there (here
+// injected directly, standing in for anti-entropy delivery) and the
+// prober reports it as repaired rather than as its own write.
+func TestProberSeesRepair(t *testing.T) {
+	_, a := startProbeNode(t)
+	nb, b := startProbeNode(t)
+	p := NewProber(ProberConfig{
+		Targets:     []ProbeTarget{{Name: "a", Addr: a}, {Name: "b", Addr: b}},
+		Sentinels:   1,
+		Timeout:     2 * time.Second,
+		BaseVersion: 100,
+	})
+	defer p.Close()
+	p.Round()
+
+	// Deliver a NEWER sentinel version to b out of band.
+	e := p.sentinelEntry(p.sentinels[0])
+	e.Version = p.version + 50
+	if _, err := nb.Store().Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Round()
+	var bs *ProbeTargetStatus
+	for i := range st.Targets {
+		if st.Targets[i].Name == "b" {
+			bs = &st.Targets[i]
+		}
+	}
+	if !bs.Repaired {
+		t.Fatalf("out-of-band version not reported as repaired: %+v", bs)
+	}
+	if st.Repaired == 0 {
+		t.Error("repair counter not incremented")
+	}
+	// The newer version is FRESHER than the prober's own writes, so it
+	// must not count as staleness.
+	if bs.Stale {
+		t.Errorf("fresher-than-acked read flagged stale: %+v", bs)
+	}
+}
+
+// TestProberStaleRead verifies staleness accounting: a target answering
+// with an old sentinel version breaches the freshness objective.
+func TestProberStaleRead(t *testing.T) {
+	_, a := startProbeNode(t)
+	p := NewProber(ProberConfig{
+		Targets:     []ProbeTarget{{Name: "a", Addr: a}},
+		Sentinels:   1,
+		Timeout:     2 * time.Second,
+		BaseVersion: 100,
+		Staleness:   SLOConfig{Objective: 0.9, Window: 8, ShortWindow: 1, FastBurn: 2, SlowBurn: 2},
+	})
+	defer p.Close()
+	p.Round()
+
+	// Simulate a partition-and-heal history: the prober believes a
+	// newer version was acked somewhere, but the target still answers
+	// the old one.
+	p.maxAcked[0] = p.version + 10
+
+	st := p.Round()
+	ts := st.Targets[0]
+	// The write pass of this round re-acks version+1 < maxAcked, so the
+	// read observes a lag of maxAcked − observed.
+	if !ts.Stale || ts.Lag == 0 {
+		t.Fatalf("stale read not flagged: %+v", ts)
+	}
+	for _, slo := range st.SLOs {
+		if slo.Name == "staleness" && slo.Bad == 0 {
+			t.Errorf("staleness SLO saw no bad probes: %+v", slo)
+		}
+	}
+}
+
+// TestProberTalksV1 pins the prober to the plain v1 framing a minimal
+// node understands — no hello, no feature negotiation.
+func TestProberTalksV1(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		st := store.New()
+		for {
+			mt, payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			switch mt {
+			case wire.MsgInsert:
+				e, _, _ := wire.DecodeEntry(payload)
+				st.Put(e)
+				wire.WriteFrame(conn, wire.MsgInsertAck, nil)
+			case wire.MsgLookup:
+				g, _, _ := wire.DecodeGUID(payload)
+				e, ok := st.Get(g)
+				resp, _ := wire.AppendLookupResp(nil, wire.LookupResp{Found: ok, Entry: e})
+				wire.WriteFrame(conn, wire.MsgLookupResp, resp)
+			default:
+				wire.WriteFrame(conn, wire.MsgError, wire.AppendError(nil, "unexpected"))
+				return
+			}
+		}
+	}()
+
+	p := NewProber(ProberConfig{
+		Targets:     []ProbeTarget{{Name: "v1", Addr: ln.Addr().String()}},
+		Sentinels:   1,
+		Timeout:     2 * time.Second,
+		BaseVersion: 7,
+	})
+	st := p.Round()
+	p.Close()
+	if ts := st.Targets[0]; !ts.WriteOK || !ts.ReadOK || ts.Stale {
+		t.Fatalf("v1-only node not probed cleanly: %+v", ts)
+	}
+	<-done
+}

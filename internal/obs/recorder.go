@@ -1,0 +1,110 @@
+// Anomaly flight recorder: a bounded ring of recent fleet views that is
+// frozen into a dump when something anomalous is seen (shed spike,
+// staleness, SLO breach). The point is hindsight — by the time a human
+// looks, the ring already holds the rounds BEFORE the anomaly, which
+// are usually the interesting ones.
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// FlightDump is one frozen anomaly: the trigger and the ring contents
+// (oldest first) at the moment it fired.
+type FlightDump struct {
+	Seq    uint64      `json:"seq"`
+	When   time.Time   `json:"when"`
+	Reason string      `json:"reason"`
+	Views  []FleetView `json:"views"`
+}
+
+// FlightRecorder keeps the last N fleet views and the most recent
+// dumps. Safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FleetView
+	next  int
+	full  bool
+	seq   uint64
+	dumps []FlightDump // most recent last, bounded
+	// cooldownRounds suppresses re-triggering while one anomaly is
+	// ongoing: after a dump, Note must run this many times before the
+	// next Trigger fires.
+	cooldownRounds int
+	cooldown       int
+}
+
+const maxDumps = 8
+
+// NewFlightRecorder returns a recorder holding the last n views
+// (n < 2 defaults to 16) with a re-trigger cooldown of n/2 rounds.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 2 {
+		n = 16
+	}
+	return &FlightRecorder{ring: make([]FleetView, n), cooldownRounds: n / 2}
+}
+
+// Note records one fleet view into the ring.
+func (r *FlightRecorder) Note(v FleetView) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ring[r.next] = v
+	r.next = (r.next + 1) % len(r.ring)
+	if r.next == 0 {
+		r.full = true
+	}
+	if r.cooldown > 0 {
+		r.cooldown--
+	}
+}
+
+// Trigger freezes the current ring into a dump labelled reason.
+// Returns false while a previous trigger's cooldown is still running
+// (one ongoing anomaly produces one dump, not one per round).
+func (r *FlightRecorder) Trigger(reason string, when time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cooldown > 0 {
+		return false
+	}
+	r.cooldown = r.cooldownRounds
+	r.seq++
+	d := FlightDump{Seq: r.seq, When: when, Reason: reason, Views: r.viewsLocked()}
+	r.dumps = append(r.dumps, d)
+	if len(r.dumps) > maxDumps {
+		r.dumps = r.dumps[len(r.dumps)-maxDumps:]
+	}
+	return true
+}
+
+// viewsLocked returns the ring contents oldest-first.
+func (r *FlightRecorder) viewsLocked() []FleetView {
+	var out []FleetView
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+	}
+	out = append(out, r.ring[:r.next]...)
+	// Drop zero entries from a ring that never filled.
+	views := make([]FleetView, 0, len(out))
+	for _, v := range out {
+		if !v.When.IsZero() {
+			views = append(views, v)
+		}
+	}
+	return views
+}
+
+// Dumps returns the recorded dumps, oldest first.
+func (r *FlightRecorder) Dumps() []FlightDump {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]FlightDump(nil), r.dumps...)
+}
+
+// JSON renders the dumps for the /fleet/flight endpoint.
+func (r *FlightRecorder) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Dumps(), "", "  ")
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func viewAt(sec int) FleetView {
+	return FleetView{When: time.Date(2026, 8, 7, 10, 0, sec, 0, time.UTC)}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Note(viewAt(i))
+	}
+	if !r.Trigger("overflowed", time.Now()) {
+		t.Fatal("trigger refused")
+	}
+	dumps := r.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("%d dumps, want 1", len(dumps))
+	}
+	views := dumps[0].Views
+	if len(views) != 3 {
+		t.Fatalf("%d views in dump, want ring size 3", len(views))
+	}
+	// Oldest first: seconds 3, 4, 5.
+	for i, want := range []int{3, 4, 5} {
+		if views[i].When.Second() != want {
+			t.Errorf("view %d at second %d, want %d", i, views[i].When.Second(), want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Note(viewAt(1))
+	r.Note(viewAt(2))
+	r.Trigger("early", time.Now())
+	if got := len(r.Dumps()[0].Views); got != 2 {
+		t.Errorf("partial ring dumped %d views, want 2", got)
+	}
+}
+
+func TestFlightRecorderCooldown(t *testing.T) {
+	r := NewFlightRecorder(4) // cooldown = 2 rounds
+	r.Note(viewAt(1))
+	if !r.Trigger("first", time.Now()) {
+		t.Fatal("first trigger refused")
+	}
+	if r.Trigger("ongoing", time.Now()) {
+		t.Fatal("re-trigger during cooldown succeeded")
+	}
+	r.Note(viewAt(2))
+	r.Note(viewAt(3))
+	if !r.Trigger("second", time.Now()) {
+		t.Fatal("trigger after cooldown refused")
+	}
+	if got := len(r.Dumps()); got != 2 {
+		t.Errorf("%d dumps, want 2", got)
+	}
+}
+
+func TestFlightRecorderDumpBound(t *testing.T) {
+	r := NewFlightRecorder(2) // cooldown = 1 round
+	for i := 0; i < maxDumps+5; i++ {
+		r.Note(viewAt(i % 60))
+		r.Trigger("spam", time.Now())
+	}
+	if got := len(r.Dumps()); got != maxDumps {
+		t.Errorf("%d dumps retained, want cap %d", got, maxDumps)
+	}
+}

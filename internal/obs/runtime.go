@@ -1,0 +1,194 @@
+// Runtime bridge: surfaces Go runtime health (heap, goroutines, GC
+// pauses, scheduler latency) in the same metrics.Registry as the
+// serving metrics, so one /debug/metrics scrape answers both "is the
+// store slow?" and "is the runtime the reason?".
+//
+// The bridge is pull-shaped: a single runtime/metrics.Read per registry
+// Snapshot (via Registry.OnSnapshot), refreshing level gauges directly
+// and replaying each runtime histogram's NEW bucket counts into a
+// registry histogram with ObserveN at the bucket midpoint. Runtime
+// histograms are cumulative, so the bridge keeps the previous bucket
+// vector and feeds only the per-bucket deltas — the registry histogram
+// then behaves like every other cumulative histogram in the registry
+// (merge, windowed deltas, quantiles all apply).
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+
+	m "dmap/internal/metrics"
+)
+
+// Runtime metric names as they appear in the registry.
+const (
+	MetricHeapBytes  = "runtime.heap_bytes"
+	MetricStackBytes = "runtime.stack_bytes"
+	MetricGoroutines = "runtime.goroutines"
+	MetricGCCycles   = "runtime.gc_cycles"
+	MetricGCPauseUs  = "runtime.gc_pause_us"
+	MetricSchedLatUs = "runtime.sched_latency_us"
+)
+
+// runtime/metrics sample names the bridge reads.
+const (
+	rmHeap       = "/memory/classes/heap/objects:bytes"
+	rmStack      = "/memory/classes/heap/stacks:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPause    = "/gc/pauses:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+type runtimeBridge struct {
+	samples []metrics.Sample
+
+	heap       *m.Gauge
+	stack      *m.Gauge
+	goroutines *m.Gauge
+	gcCycles   *m.Counter
+	gcPause    *histBridge
+	schedLat   *histBridge
+
+	lastGCCycles uint64
+}
+
+// histBridge replays one cumulative runtime Float64Histogram into a
+// registry histogram, tracking the previously seen bucket counts.
+type histBridge struct {
+	dst  *m.Histogram
+	prev []uint64
+}
+
+// RegisterRuntime wires the Go runtime into reg: gauges for heap and
+// stack bytes and goroutine count, a counter for completed GC cycles,
+// and microsecond histograms for GC pause time and scheduler latency.
+// The bridge refreshes once per reg.Snapshot(). Registration is
+// idempotent (the snapshot hook replaces by name), and because the
+// runtime is process-global the bridge should be registered on exactly
+// one registry per process — in cmd/dmapnode that is the serving node's
+// registry.
+func RegisterRuntime(reg *m.Registry) {
+	b := &runtimeBridge{
+		samples: []metrics.Sample{
+			{Name: rmHeap},
+			{Name: rmStack},
+			{Name: rmGoroutines},
+			{Name: rmGCCycles},
+			{Name: rmGCPause},
+			{Name: rmSchedLat},
+		},
+		heap:       reg.Gauge(MetricHeapBytes),
+		stack:      reg.Gauge(MetricStackBytes),
+		goroutines: reg.Gauge(MetricGoroutines),
+		gcCycles:   reg.Counter(MetricGCCycles),
+		gcPause:    &histBridge{dst: reg.Histogram(MetricGCPauseUs)},
+		schedLat:   &histBridge{dst: reg.Histogram(MetricSchedLatUs)},
+	}
+	// Prime the cumulative sources so the first snapshot reports only
+	// what happens after registration, not process history.
+	metrics.Read(b.samples)
+	b.prime()
+	reg.OnSnapshot("obs.runtime", b.refresh)
+}
+
+func (b *runtimeBridge) prime() {
+	for _, s := range b.samples {
+		switch s.Name {
+		case rmGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				b.lastGCCycles = s.Value.Uint64()
+			}
+		case rmGCPause:
+			b.gcPause.prime(s.Value)
+		case rmSchedLat:
+			b.schedLat.prime(s.Value)
+		}
+	}
+}
+
+// refresh runs as a snapshot hook: registry lock held, so it touches
+// only the resolved handles above (all atomics) and never the registry.
+func (b *runtimeBridge) refresh() {
+	metrics.Read(b.samples)
+	for _, s := range b.samples {
+		switch s.Name {
+		case rmHeap:
+			setGaugeUint(b.heap, s.Value)
+		case rmStack:
+			setGaugeUint(b.stack, s.Value)
+		case rmGoroutines:
+			setGaugeUint(b.goroutines, s.Value)
+		case rmGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				cur := s.Value.Uint64()
+				if cur > b.lastGCCycles {
+					b.gcCycles.Add(int64(cur - b.lastGCCycles))
+				}
+				b.lastGCCycles = cur
+			}
+		case rmGCPause:
+			b.gcPause.replay(s.Value)
+		case rmSchedLat:
+			b.schedLat.replay(s.Value)
+		}
+	}
+}
+
+func setGaugeUint(g *m.Gauge, v metrics.Value) {
+	if v.Kind() == metrics.KindUint64 {
+		g.Set(float64(v.Uint64()))
+	}
+}
+
+func (hb *histBridge) prime(v metrics.Value) {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := v.Float64Histogram()
+	hb.prev = append(hb.prev[:0], h.Counts...)
+}
+
+// replay feeds the delta between the runtime histogram's current and
+// previous bucket counts into the destination, one ObserveN per grown
+// bucket at the bucket midpoint converted from seconds to microseconds.
+func (hb *histBridge) replay(v metrics.Value) {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := v.Float64Histogram()
+	if len(hb.prev) != len(h.Counts) {
+		// Layout changed (only possible across runtime versions inside
+		// one process — effectively never): resynchronize.
+		hb.prev = append(hb.prev[:0], h.Counts...)
+		return
+	}
+	for i, c := range h.Counts {
+		if c > hb.prev[i] {
+			hb.dst.ObserveN(bucketMidUs(h.Buckets, i), c-hb.prev[i])
+		}
+		hb.prev[i] = c
+	}
+}
+
+// bucketMidUs returns the midpoint of runtime bucket i in microseconds.
+// Runtime bucket boundaries may be ±Inf at the ends; the midpoint falls
+// back to the finite side there.
+func bucketMidUs(bounds []float64, i int) float64 {
+	lo, hi := bounds[i], bounds[i+1]
+	var mid float64
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		mid = 0
+	case math.IsInf(lo, -1):
+		mid = hi
+	case math.IsInf(hi, 1):
+		mid = lo
+	default:
+		mid = lo + (hi-lo)/2
+	}
+	if mid < 0 {
+		mid = 0
+	}
+	return mid * 1e6
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+
+	"dmap/internal/metrics"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := metrics.NewRegistry()
+	RegisterRuntime(reg)
+	RegisterRuntime(reg) // idempotent: hook replaces, metrics reuse
+
+	runtime.GC() // guarantee at least one GC cycle and pause after priming
+	s := reg.Snapshot()
+
+	if v := s.Gauges[MetricHeapBytes]; v <= 0 {
+		t.Errorf("%s = %g, want > 0", MetricHeapBytes, v)
+	}
+	if v := s.Gauges[MetricGoroutines]; v < 1 {
+		t.Errorf("%s = %g, want ≥ 1", MetricGoroutines, v)
+	}
+	if v := s.Counters[MetricGCCycles]; v < 1 {
+		t.Errorf("%s = %d, want ≥ 1 after runtime.GC", MetricGCCycles, v)
+	}
+	pause := s.Histograms[MetricGCPauseUs]
+	if pause.Count < 1 {
+		t.Errorf("%s empty after runtime.GC", MetricGCPauseUs)
+	}
+	if pause.Count > 0 && (pause.Min < 0 || pause.Max > 60e6) {
+		t.Errorf("GC pause extrema [%g,%g]µs implausible", pause.Min, pause.Max)
+	}
+	if _, ok := s.Histograms[MetricSchedLatUs]; !ok {
+		t.Errorf("%s not registered", MetricSchedLatUs)
+	}
+
+	// The bridge must be cumulative: a second snapshot only adds new
+	// events, it does not replay history.
+	c1 := s.Histograms[MetricGCPauseUs].Count
+	runtime.GC()
+	s2 := reg.Snapshot()
+	c2 := s2.Histograms[MetricGCPauseUs].Count
+	if c2 < c1 {
+		t.Errorf("pause count went backwards: %d → %d", c1, c2)
+	}
+	if d := s2.DeltaSince(s); d.Histograms[MetricGCPauseUs].Count > c2 {
+		t.Errorf("window delta exceeds cumulative count")
+	}
+}

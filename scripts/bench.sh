@@ -10,6 +10,7 @@
 #   scripts/bench.sh soak      # >=1k-connection soak (informational)
 #   scripts/bench.sh load      # open-loop overload sweep + knee gate
 #   scripts/bench.sh heal      # partition-heal convergence sweep
+#   scripts/bench.sh fleet     # telemetry-plane overhead + SLO gate
 #   scripts/bench.sh validate  # parse every BENCH_*.json record file
 #
 # Default mode runs the hot-path micro-benchmarks (hashing, prefix
@@ -92,6 +93,17 @@
 # BENCH_<date>.json, where cmd/benchcheck validates the heal record
 # schema. Scale can be tuned with BENCH_HEAL_AS (default 120) and
 # BENCH_HEAL_GUIDS (default 40).
+#
+# Fleet mode runs TestFleetTelemetryCI (fleet_ci_test.go): the full
+# telemetry plane — metric collector, runtime bridge, black-box SLO
+# prober — against a live 3-node cluster under foreground load. The
+# test gates the plane's cost itself: foreground latency must stay
+# within BENCH_FLEET_TOLERANCE_PCT (default 5%) of the idle loop, the
+# single-op allocation budgets must hold with telemetry attached, and
+# a healthy cluster must probe clean (no failures, no SLO burn). It
+# emits one FLEETRECORD line that this mode harvests into
+# BENCH_<date>.json, where cmd/benchcheck validates the fleet record
+# schema.
 #
 # Validate mode builds cmd/benchcheck and parses every BENCH_*.json in
 # the repository root, failing on any malformed record file. Every
@@ -458,12 +470,30 @@ heal)
     echo "partition-heal sweep passed: divergence measured, every interval converged"
     ;;
 
+fleet)
+    date_tag=$(date +%Y%m%d)
+    out="BENCH_${date_tag}.json"
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    BENCH_FLEET=1 BENCH_DATE="$date_tag" \
+        go test -run '^TestFleetTelemetryCI$' -v -timeout 10m . | tee "$raw"
+
+    records=$(awk '/^FLEETRECORD / { sub(/^FLEETRECORD /, ""); if (seen++) printf ",\n"; printf "  %s", $0 }' "$raw")
+    if [ -z "$records" ]; then
+        echo "FAIL: fleet gate emitted no FLEETRECORD lines" >&2
+        exit 1
+    fi
+    append_records "$out" "$records"
+    echo "wrote $out"
+    echo "fleet telemetry gate passed: scrape overhead within budget, probes clean"
+    ;;
+
 validate)
     go run ./cmd/benchcheck
     ;;
 
 *)
-    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|load|heal|validate]" >&2
+    echo "usage: $0 [micro|smoke|pipelined|trace|alloc|recover|soak|load|heal|fleet|validate]" >&2
     exit 2
     ;;
 esac

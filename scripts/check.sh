@@ -25,7 +25,7 @@ fi
 go vet ./...
 go test -race ./internal/core/... ./internal/engine/... ./internal/topology/...
 go test -race ./internal/wire/... ./internal/simnet/... ./internal/nodesim/...
-go test -race ./internal/server/... ./internal/client/... ./internal/metrics/...
+go test -race ./internal/server/... ./internal/client/... ./internal/metrics/... ./internal/obs/...
 go test -race ./internal/trace/... ./internal/store/... ./internal/load/...
 go test -race ./internal/experiments/... -run 'BatchFrameModel|Determinism'
 go test -race -run '^$' -bench '^BenchmarkLookup64ClientsV2$' -benchtime=10x .
@@ -64,3 +64,9 @@ go test -run '^$' -fuzz '^FuzzLoadSnapshot$' -fuzztime=10s ./internal/store
 # any malformed page without panicking and round-trip canonically.
 go test -run '^$' -fuzz '^FuzzDecodeRepairDigest$' -fuzztime=10s ./internal/wire
 go test -run '^$' -fuzz '^FuzzDecodeRepairDiff$' -fuzztime=10s ./internal/wire
+
+# Fuzz smoke on the fleet snapshot decoder (DESIGN.md §13): the
+# collector feeds every scraped /debug/metrics body through
+# DecodeSnapshot, so it must reject malformed telemetry without
+# panicking and re-encode accepted input to a canonical fixed point.
+go test -run '^$' -fuzz '^FuzzDecodeFleetSnapshot$' -fuzztime=10s ./internal/obs
